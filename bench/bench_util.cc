@@ -1,0 +1,62 @@
+#include "bench_util.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "backend/functional_backend.hh"
+#include "common/logging.hh"
+#include "gpm/executor.hh"
+
+namespace sc::bench {
+
+void
+printHeader(const std::string &figure, const std::string &title,
+            const arch::SparseCoreConfig &config)
+{
+    setVerbose(false);
+    std::printf("==== %s: %s ====\n", figure.c_str(), title.c_str());
+    std::printf("config: %s\n", config.describe().c_str());
+    std::printf("        cores modeled: 1 | L1d %lluKB | L2 %lluKB | "
+                "L3 %lluMB | line 64B (Table 2)\n\n",
+                static_cast<unsigned long long>(
+                    config.mem.l1.sizeBytes / 1024),
+                static_cast<unsigned long long>(
+                    config.mem.l2.sizeBytes / 1024),
+                static_cast<unsigned long long>(
+                    config.mem.l3.sizeBytes / (1024 * 1024)));
+}
+
+unsigned
+autoStride(const graph::CsrGraph &g, gpm::GpmApp app,
+           std::uint64_t target_elements)
+{
+    // Probe at a coarse stride; work scales ~linearly with the root
+    // count, so extrapolate and clamp.
+    const unsigned probe =
+        std::max(1u, std::min(257u, g.numVertices() / 32));
+    backend::FunctionalBackend functional;
+    gpm::PlanExecutor executor(g, functional);
+    executor.setRootStride(probe);
+    executor.runMany(gpm::gpmAppPlans(app));
+    const std::uint64_t probe_work =
+        functional.stats().get("setOpElements") +
+        functional.stats().get("streamLoads") +
+        functional.stats().get("nestedElements");
+    const double full_work =
+        static_cast<double>(probe_work) * probe;
+    if (full_work <= static_cast<double>(target_elements))
+        return 1;
+    const double stride =
+        full_work / static_cast<double>(target_elements);
+    return static_cast<unsigned>(
+        std::min<double>(stride + 1.0, g.numVertices() / 8.0 + 1.0));
+}
+
+void
+emitTable(const Table &table)
+{
+    std::printf("%s\n", table.str().c_str());
+    std::printf("-- csv --\n%s\n", table.csv().c_str());
+}
+
+} // namespace sc::bench

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: configuration banner,
+ * dataset sampling policy, and table emission. Every bench prints the
+ * rows/series of one paper figure or table.
+ */
+
+#ifndef SPARSECORE_BENCH_BENCH_UTIL_HH
+#define SPARSECORE_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "arch/config.hh"
+#include "common/table.hh"
+#include "graph/datasets.hh"
+#include "gpm/apps.hh"
+
+namespace sc::bench {
+
+/** Print the figure banner + Table-2 configuration line. */
+void printHeader(const std::string &figure, const std::string &title,
+                 const arch::SparseCoreConfig &config);
+
+/**
+ * Deterministic self-tuning root sampling. A probe run on the
+ * timeless functional backend at a coarse stride measures the
+ * (app, graph) cell's set-operation work; the returned stride caps
+ * the full run near `target_elements`. The same stride is applied to
+ * every substrate, so reported speedups (cycle ratios) stay
+ * meaningful. See EXPERIMENTS.md.
+ */
+unsigned autoStride(const graph::CsrGraph &g, gpm::GpmApp app,
+                    std::uint64_t target_elements = 16'000'000);
+
+/** Print the table plus a CSV block for downstream plotting. */
+void emitTable(const Table &table);
+
+} // namespace sc::bench
+
+#endif // SPARSECORE_BENCH_BENCH_UTIL_HH

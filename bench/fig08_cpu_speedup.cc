@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 8: SparseCore speedup over the CPU baseline for every GPM
+ * application (TC, TM, TS, T, TT, 4C, 5C, 4CS, 5CS) on all ten
+ * graphs, plus FSM on mico at thresholds 1K and 2K.
+ */
+
+#include <cstdio>
+
+#include "api/machine.hh"
+#include "bench_util.hh"
+#include "graph/datasets.hh"
+
+int
+main()
+{
+    using namespace sc;
+    api::Machine machine;
+    bench::printHeader("Figure 8", "speedups over CPU",
+                       machine.config());
+
+    for (const gpm::GpmApp app : gpm::allGpmApps()) {
+        Table table({"graph", "embeddings", "cpu cycles",
+                     "sparsecore cycles", "speedup"});
+        for (const auto &key : graph::allGraphKeys()) {
+            const graph::CsrGraph &g = graph::loadGraph(key);
+            const unsigned stride = bench::autoStride(g, app);
+            const api::Comparison cmp =
+                machine.compareGpm(app, g, stride);
+            table.addRow({key + (stride > 1 ? "*" : ""),
+                          std::to_string(cmp.functionalResult),
+                          std::to_string(cmp.baseline.cycles),
+                          std::to_string(cmp.accelerated.cycles),
+                          Table::speedup(cmp.speedup())});
+        }
+        std::printf("--- %s ---\n", gpm::gpmAppName(app));
+        bench::emitTable(table);
+    }
+
+    // FSM on mico at the paper's two thresholds.
+    std::printf("--- FSM on M ---\n");
+    Table fsm_table({"threshold", "frequent patterns", "cpu cycles",
+                     "sparsecore cycles", "speedup"});
+    const graph::LabeledGraph &m = graph::loadLabeledGraph("M", 6);
+    for (const std::uint64_t support : {1000ull, 2000ull}) {
+        const api::Comparison cmp = machine.compareFsm(m, support);
+        fsm_table.addRow({std::to_string(support),
+                          std::to_string(cmp.functionalResult),
+                          std::to_string(cmp.baseline.cycles),
+                          std::to_string(cmp.accelerated.cycles),
+                          Table::speedup(cmp.speedup())});
+    }
+    bench::emitTable(fsm_table);
+    std::printf("(* = root-sampled dataset, identical stride on both "
+                "substrates)\n");
+    return 0;
+}

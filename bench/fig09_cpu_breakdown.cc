@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 9: CPU-baseline execution-cycle breakdown (Cache /
+ * Mispred. / Other computation / Intersection) for TC, TM, TS, 4C,
+ * 5C, TT on all ten graphs.
+ */
+
+#include <cstdio>
+
+#include "api/machine.hh"
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace sc;
+    using gpm::GpmApp;
+    api::Machine machine;
+    bench::printHeader("Figure 9", "CPU execution breakdown",
+                       machine.config());
+
+    const std::vector<GpmApp> apps = {GpmApp::TC, GpmApp::TM,
+                                      GpmApp::TS, GpmApp::C4,
+                                      GpmApp::C5, GpmApp::TT};
+    for (const GpmApp app : apps) {
+        Table table({"graph", "Cache%", "Mispred%", "OtherComp%",
+                     "Intersection%"});
+        for (const auto &key : graph::allGraphKeys()) {
+            const graph::CsrGraph &g = graph::loadGraph(key);
+            const unsigned stride = bench::autoStride(g, app);
+            const auto res = machine.mineCpu(app, g, stride);
+            const auto &bd = res.breakdown;
+            table.addRow(
+                {key + (stride > 1 ? "*" : ""),
+                 Table::num(100 * bd.fraction(sim::CycleClass::Cache),
+                            1),
+                 Table::num(
+                     100 * bd.fraction(sim::CycleClass::Mispredict),
+                     1),
+                 Table::num(
+                     100 * bd.fraction(sim::CycleClass::OtherCompute),
+                     1),
+                 Table::num(
+                     100 * bd.fraction(sim::CycleClass::Intersection),
+                     1)});
+        }
+        std::printf("--- %s ---\n", gpm::gpmAppName(app));
+        bench::emitTable(table);
+    }
+    return 0;
+}

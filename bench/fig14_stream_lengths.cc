@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 14: stream-length distributions. Left: CDF of operand
+ * stream lengths per application on email-eu-core. Right: triangle
+ * counting's stream-length CDF on every dataset (cut at 500, as in
+ * the paper).
+ */
+
+#include <cstdio>
+
+#include "backend/functional_backend.hh"
+#include "bench_util.hh"
+#include "gpm/executor.hh"
+
+namespace {
+
+/** Collect the stream-length histogram of one app on one graph. */
+const sc::Histogram &
+collect(sc::backend::FunctionalBackend &be, sc::gpm::GpmApp app,
+        const sc::graph::CsrGraph &g, unsigned stride)
+{
+    sc::gpm::PlanExecutor exec(g, be);
+    exec.setRootStride(stride);
+    exec.runMany(sc::gpm::gpmAppPlans(app));
+    return be.streamLengthHist();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sc;
+    using gpm::GpmApp;
+    arch::SparseCoreConfig config;
+    bench::printHeader("Figure 14", "stream length distributions",
+                       config);
+
+    const std::vector<unsigned> points = {4,  8,  16,  32, 64,
+                                          96, 128, 192, 256, 384};
+
+    // Left: apps on email-eu-core (E).
+    std::printf("--- CDF of stream lengths by app, graph E ---\n");
+    {
+        std::vector<std::string> header = {"app"};
+        for (unsigned p : points)
+            header.push_back("<=" + std::to_string(p));
+        Table table(header);
+        const graph::CsrGraph &e = graph::loadGraph("E");
+        for (const GpmApp app :
+             {GpmApp::T, GpmApp::TM, GpmApp::TC, GpmApp::C4,
+              GpmApp::C5, GpmApp::TT}) {
+            backend::FunctionalBackend be;
+            const auto &hist =
+                collect(be, app, e, bench::autoStride(e, app));
+            std::vector<std::string> row = {gpm::gpmAppName(app)};
+            for (unsigned p : points)
+                row.push_back(Table::num(hist.cdfAt(p), 3));
+            table.addRow(std::move(row));
+        }
+        bench::emitTable(table);
+    }
+
+    // Right: triangle counting across all datasets, cut at 500.
+    std::printf("--- CDF of stream lengths for T, all graphs "
+                "(cut at 500) ---\n");
+    {
+        std::vector<std::string> header = {"graph", "mean", "p50",
+                                           "p90", "p99"};
+        for (unsigned p : {16u, 64u, 256u, 500u})
+            header.push_back("<=" + std::to_string(p));
+        Table table(header);
+        for (const auto &key : graph::allGraphKeys()) {
+            const graph::CsrGraph &g = graph::loadGraph(key);
+            const unsigned stride =
+                bench::autoStride(g, GpmApp::T);
+            backend::FunctionalBackend be;
+            const auto &hist = collect(be, GpmApp::T, g, stride);
+            std::vector<std::string> row = {
+                key + (stride > 1 ? "*" : ""),
+                Table::num(hist.mean(), 1),
+                std::to_string(hist.percentile(0.5)),
+                std::to_string(hist.percentile(0.9)),
+                std::to_string(hist.percentile(0.99))};
+            for (unsigned p : {16u, 64u, 256u, 500u})
+                row.push_back(Table::num(hist.cdfAt(p), 3));
+            table.addRow(std::move(row));
+        }
+        bench::emitTable(table);
+    }
+    return 0;
+}

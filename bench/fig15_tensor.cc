@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Figure 15: tensor-computation speedups over the CPU baseline —
+ * spmspm with inner-product, outer-product and Gustavson on the
+ * eleven Table-5 matrices, plus TTV and TTM on the two tensors.
+ */
+
+#include <cstdio>
+
+#include "api/machine.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "tensor/tensor_datasets.hh"
+#include "tensor/tensor_gen.hh"
+
+namespace {
+
+/** Row stride keeping each matrix cell's work bounded. */
+unsigned
+matrixStride(const sc::tensor::SparseMatrix &m,
+             sc::kernels::SpmspmAlgorithm algorithm)
+{
+    using sc::kernels::SpmspmAlgorithm;
+    // Inner product touches rows x cols pairs; sample it the
+    // hardest. Outer/Gustavson scale with flops.
+    const double pairs = static_cast<double>(m.rows()) * m.rows();
+    const double nnz = static_cast<double>(m.nnz());
+    double work = 0;
+    double budget = 0;
+    switch (algorithm) {
+      case SpmspmAlgorithm::Inner:
+        // Every (i,j) pair costs simulated stream setup even when
+        // the operands barely overlap; budget the pair count.
+        work = pairs + nnz * 16;
+        budget = 1.5e6;
+        break;
+      default:
+        work = nnz * nnz / std::max(1.0, double(m.rows())) * 4;
+        budget = 16e6;
+        break;
+    }
+    return work <= budget
+               ? 1
+               : static_cast<unsigned>(work / budget + 1.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sc;
+    using kernels::SpmspmAlgorithm;
+    api::Machine machine;
+    bench::printHeader("Figure 15", "tensor computation speedup",
+                       machine.config());
+
+    for (const auto algorithm :
+         {SpmspmAlgorithm::Inner, SpmspmAlgorithm::Outer,
+          SpmspmAlgorithm::Gustavson}) {
+        Table table({"matrix", "cpu cycles", "sc cycles", "speedup"});
+        std::vector<double> speedups;
+        for (const auto &key : tensor::allMatrixKeys()) {
+            const tensor::SparseMatrix &m = tensor::loadMatrix(key);
+            const unsigned stride = matrixStride(m, algorithm);
+            const auto cmp =
+                machine.compareSpmspm(m, m, algorithm, stride);
+            speedups.push_back(cmp.speedup());
+            table.addRow({key + (stride > 1 ? "*" : ""),
+                          std::to_string(cmp.baseline.cycles),
+                          std::to_string(cmp.accelerated.cycles),
+                          Table::speedup(cmp.speedup())});
+        }
+        table.addRow({"gmean", "", "",
+                      Table::speedup(geomean(speedups))});
+        std::printf("--- spmspm %s (C = A*A) ---\n",
+                    kernels::spmspmAlgorithmName(algorithm));
+        bench::emitTable(table);
+    }
+
+    // TTV and TTM on the two FROSTT-like tensors.
+    std::printf("--- TTV (Z(i,j) = sum_k A(i,j,k) v(k)) ---\n");
+    Table ttv_table({"tensor", "cpu cycles", "sc cycles", "speedup"});
+    for (const auto &key : tensor::allTensorKeys()) {
+        const tensor::CsfTensor &t = tensor::loadTensor(key);
+        const auto vec = tensor::generateVector(t.dimK(), 0x77);
+        const unsigned stride =
+            static_cast<unsigned>(t.nnz() / 4'000'000 + 1);
+        const auto cmp = machine.compareTtv(t, vec, stride);
+        ttv_table.addRow({key + (stride > 1 ? "*" : ""),
+                          std::to_string(cmp.baseline.cycles),
+                          std::to_string(cmp.accelerated.cycles),
+                          Table::speedup(cmp.speedup())});
+    }
+    bench::emitTable(ttv_table);
+
+    std::printf("--- TTM (Z(i,j,k) = sum_l A(i,j,l) B(k,l)) ---\n");
+    Table ttm_table({"tensor", "cpu cycles", "sc cycles", "speedup"});
+    for (const auto &key : tensor::allTensorKeys()) {
+        const tensor::CsfTensor &t = tensor::loadTensor(key);
+        // B: a modest sparse matrix with the tensor's k-dim columns.
+        const auto b = tensor::generateMatrix(
+            64, t.dimK(), 16 * t.dimK(),
+            tensor::MatrixStructure::Uniform, 0x78, "B");
+        const unsigned stride =
+            static_cast<unsigned>(t.nnz() / 400'000 + 1);
+        const auto cmp = machine.compareTtm(t, b, stride);
+        ttm_table.addRow({key + (stride > 1 ? "*" : ""),
+                          std::to_string(cmp.baseline.cycles),
+                          std::to_string(cmp.accelerated.cycles),
+                          Table::speedup(cmp.speedup())});
+    }
+    bench::emitTable(ttm_table);
+    std::printf("(* = row/slice-sampled dataset, identical stride on "
+                "both substrates)\n");
+    return 0;
+}

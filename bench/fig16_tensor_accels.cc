@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 16: geometric-mean speedup of ExTensor, OuterSPACE, Gamma,
+ * and SparseCore running outer-product / Gustavson, all normalized to
+ * SparseCore running inner-product (one compute unit everywhere, as
+ * in §6.9.2).
+ */
+
+#include <cstdio>
+
+#include "backend/sparsecore_backend.hh"
+#include "baselines/tensor_accels.hh"
+#include "bench_util.hh"
+#include <algorithm>
+
+#include "kernels/spmspm.hh"
+#include "tensor/tensor_datasets.hh"
+
+int
+main()
+{
+    using namespace sc;
+    using kernels::SpmspmAlgorithm;
+
+    arch::SparseCoreConfig config;
+    config.numSus = 1; // fair single-unit comparison
+    bench::printHeader("Figure 16",
+                       "tensor accelerators vs SparseCore dataflows "
+                       "(gmean over Table-5 matrices, normalized to "
+                       "SparseCore inner-product)",
+                       config);
+
+    std::vector<double> sc_outer_s, sc_gus_s, ext_s, osp_s, gamma_s;
+
+    // The gmean uses the small/medium matrices at full size; the two
+    // largest are row-sampled identically everywhere.
+    for (const auto &key : tensor::allMatrixKeys()) {
+        const tensor::SparseMatrix &m = tensor::loadMatrix(key);
+        const double pairs = static_cast<double>(m.rows()) * m.rows();
+        unsigned stride = 1;
+        if (m.nnz() > 400'000)
+            stride = static_cast<unsigned>(m.nnz() / 200'000);
+        if (pairs > 1.5e6)
+            stride = std::max(
+                stride, static_cast<unsigned>(pairs / 1.5e6 + 1.0));
+
+        backend::SparseCoreBackend inner_be(config);
+        const auto sc_inner = kernels::runSpmspm(
+            m, m, SpmspmAlgorithm::Inner, inner_be, stride);
+        backend::SparseCoreBackend outer_be(config);
+        const auto sc_outer = kernels::runSpmspm(
+            m, m, SpmspmAlgorithm::Outer, outer_be, stride);
+        backend::SparseCoreBackend gus_be(config);
+        const auto sc_gus = kernels::runSpmspm(
+            m, m, SpmspmAlgorithm::Gustavson, gus_be, stride);
+
+        const auto ext = baselines::extensorSpmspm(m, m, 16, stride);
+        const auto osp = baselines::outerspaceSpmspm(m, m, stride);
+        const auto gamma = baselines::gammaSpmspm(m, m, stride);
+
+        const double base = static_cast<double>(sc_inner.cycles);
+        sc_outer_s.push_back(base / sc_outer.cycles);
+        sc_gus_s.push_back(base / sc_gus.cycles);
+        ext_s.push_back(base / ext.cycles);
+        osp_s.push_back(base / osp.cycles);
+        gamma_s.push_back(base / gamma.cycles);
+    }
+
+    Table table({"configuration", "gmean speedup over "
+                                  "inner-product SparseCore"});
+    table.addRow({"inner: SparseCore", "1.00x"});
+    table.addRow({"inner: ExTensor", Table::speedup(geomean(ext_s))});
+    table.addRow(
+        {"outer: SparseCore", Table::speedup(geomean(sc_outer_s))});
+    table.addRow(
+        {"outer: OuterSPACE", Table::speedup(geomean(osp_s))});
+    table.addRow(
+        {"gustavson: SparseCore", Table::speedup(geomean(sc_gus_s))});
+    table.addRow({"gustavson: Gamma", Table::speedup(geomean(gamma_s))});
+    bench::emitTable(table);
+
+    std::printf(
+        "Expected shape (§6.9.2): specialized accelerators beat\n"
+        "SparseCore on their own dataflow (5.2x/3.1x/2.4x in the\n"
+        "paper), but SparseCore with the better algorithm (Gustavson)\n"
+        "beats accelerators locked to worse dataflows.\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Quickstart: build a graph, count triangles on the CPU baseline and
+ * on SparseCore, and print the speedup with its cycle breakdown.
+ *
+ * Build & run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/example_quickstart
+ */
+
+#include <cstdio>
+
+#include "api/machine.hh"
+#include "graph/generators.hh"
+
+int
+main()
+{
+    using namespace sc;
+
+    // 1. A synthetic social-network-like graph: 4000 vertices, ~40K
+    //    edges, power-law degrees (max ~300).
+    const graph::CsrGraph g =
+        graph::generateChungLu(4000, 40000, 300, 2.0, /*seed=*/1);
+    std::printf("graph: %u vertices, %llu edges, max degree %u\n",
+                g.numVertices(),
+                static_cast<unsigned long long>(g.numEdges()),
+                g.maxDegree());
+
+    // 2. A SparseCore machine with the paper's default configuration
+    //    (Table 2: 4 SUs, 16 stream registers, 4KB S-Cache, 16KB
+    //    scratchpad).
+    api::Machine machine;
+    std::printf("%s\n\n", machine.config().describe().c_str());
+
+    // 3. Count triangles on both substrates. The same plan (with
+    //    symmetry breaking and nested intersection) runs on each;
+    //    only the timing model differs.
+    const api::Comparison cmp =
+        machine.compareGpm(gpm::GpmApp::T, g);
+    std::printf("triangle counting\n%s\n", cmp.str().c_str());
+
+    // 4. The stream ISA also accelerates bounded set operations in
+    //    deeper patterns: 4-cliques.
+    const api::Comparison c4 =
+        machine.compareGpm(gpm::GpmApp::C4, g);
+    std::printf("4-clique counting\n%s", c4.str().c_str());
+    return 0;
+}

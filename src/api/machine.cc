@@ -1,0 +1,134 @@
+#include "api/machine.hh"
+
+#include "backend/cpu_backend.hh"
+#include "backend/sparsecore_backend.hh"
+#include "gpm/executor.hh"
+
+namespace sc::api {
+
+Machine::Machine(const arch::SparseCoreConfig &config) : config_(config)
+{
+}
+
+gpm::GpmRunResult
+Machine::mineSparseCore(gpm::GpmApp app, const graph::CsrGraph &g,
+                        unsigned root_stride) const
+{
+    backend::SparseCoreBackend be(config_);
+    gpm::PlanExecutor executor(g, be);
+    executor.setRootStride(root_stride);
+    return executor.runMany(gpm::gpmAppPlans(app));
+}
+
+gpm::GpmRunResult
+Machine::mineCpu(gpm::GpmApp app, const graph::CsrGraph &g,
+                 unsigned root_stride) const
+{
+    backend::CpuBackend be(config_.core, config_.mem);
+    gpm::PlanExecutor executor(g, be);
+    executor.setRootStride(root_stride);
+    return executor.runMany(gpm::gpmAppPlans(app));
+}
+
+Comparison
+Machine::compareGpm(gpm::GpmApp app, const graph::CsrGraph &g,
+                    unsigned root_stride) const
+{
+    const auto cpu = mineCpu(app, g, root_stride);
+    const auto sc = mineSparseCore(app, g, root_stride);
+    if (cpu.embeddings != sc.embeddings)
+        panic("substrates disagree on the embedding count: "
+              "%llu (cpu) vs %llu (sparsecore)",
+              static_cast<unsigned long long>(cpu.embeddings),
+              static_cast<unsigned long long>(sc.embeddings));
+    Comparison cmp;
+    cmp.functionalResult = sc.embeddings;
+    cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
+    cmp.accelerated = {"sparsecore", sc.cycles, sc.breakdown};
+    return cmp;
+}
+
+Comparison
+Machine::compareFsm(const graph::LabeledGraph &g,
+                    std::uint64_t min_support) const
+{
+    backend::CpuBackend cpu_be(config_.core, config_.mem);
+    const auto cpu = gpm::runFsm(g, cpu_be, min_support);
+    backend::SparseCoreBackend sc_be(config_);
+    const auto sc = gpm::runFsm(g, sc_be, min_support);
+    if (cpu.totalFrequent() != sc.totalFrequent())
+        panic("substrates disagree on FSM results");
+    Comparison cmp;
+    cmp.functionalResult = sc.totalFrequent();
+    cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
+    cmp.accelerated = {"sparsecore", sc.cycles, sc.breakdown};
+    return cmp;
+}
+
+kernels::TensorRunResult
+Machine::spmspmSparseCore(const tensor::SparseMatrix &a,
+                          const tensor::SparseMatrix &b,
+                          kernels::SpmspmAlgorithm algorithm,
+                          unsigned stride,
+                          tensor::SparseMatrix *result) const
+{
+    backend::SparseCoreBackend be(config_);
+    return kernels::runSpmspm(a, b, algorithm, be, stride, result);
+}
+
+kernels::TensorRunResult
+Machine::spmspmCpu(const tensor::SparseMatrix &a,
+                   const tensor::SparseMatrix &b,
+                   kernels::SpmspmAlgorithm algorithm, unsigned stride,
+                   tensor::SparseMatrix *result) const
+{
+    backend::CpuBackend be(config_.core, config_.mem);
+    return kernels::runSpmspm(a, b, algorithm, be, stride, result);
+}
+
+Comparison
+Machine::compareSpmspm(const tensor::SparseMatrix &a,
+                       const tensor::SparseMatrix &b,
+                       kernels::SpmspmAlgorithm algorithm,
+                       unsigned stride) const
+{
+    const auto cpu = spmspmCpu(a, b, algorithm, stride);
+    const auto sc = spmspmSparseCore(a, b, algorithm, stride);
+    Comparison cmp;
+    cmp.functionalResult = sc.valueOps;
+    cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
+    cmp.accelerated = {"sparsecore", sc.cycles, sc.breakdown};
+    return cmp;
+}
+
+Comparison
+Machine::compareTtv(const tensor::CsfTensor &a,
+                    const std::vector<Value> &vec, unsigned stride) const
+{
+    backend::CpuBackend cpu_be(config_.core, config_.mem);
+    const auto cpu = kernels::runTtv(a, vec, cpu_be, stride);
+    backend::SparseCoreBackend sc_be(config_);
+    const auto sc = kernels::runTtv(a, vec, sc_be, stride);
+    Comparison cmp;
+    cmp.functionalResult = sc.valueOps;
+    cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
+    cmp.accelerated = {"sparsecore", sc.cycles, sc.breakdown};
+    return cmp;
+}
+
+Comparison
+Machine::compareTtm(const tensor::CsfTensor &a,
+                    const tensor::SparseMatrix &b, unsigned stride) const
+{
+    backend::CpuBackend cpu_be(config_.core, config_.mem);
+    const auto cpu = kernels::runTtm(a, b, cpu_be, stride);
+    backend::SparseCoreBackend sc_be(config_);
+    const auto sc = kernels::runTtm(a, b, sc_be, stride);
+    Comparison cmp;
+    cmp.functionalResult = sc.valueOps;
+    cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
+    cmp.accelerated = {"sparsecore", sc.cycles, sc.breakdown};
+    return cmp;
+}
+
+} // namespace sc::api

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * sc::api::Machine — the library's top-level facade.
+ *
+ * A Machine owns a SparseCore configuration and runs GPM applications
+ * or tensor kernels on the SparseCore substrate, the CPU baseline, or
+ * both (returning a Comparison). This is the API the examples and
+ * most benchmarks use; lower layers (backends, engine, plans) remain
+ * public for advanced use.
+ */
+
+#ifndef SPARSECORE_API_MACHINE_HH
+#define SPARSECORE_API_MACHINE_HH
+
+#include <memory>
+#include <string>
+
+#include "api/report.hh"
+#include "arch/config.hh"
+#include "gpm/apps.hh"
+#include "gpm/fsm.hh"
+#include "kernels/spmspm.hh"
+#include "kernels/ttm.hh"
+#include "kernels/ttv.hh"
+
+namespace sc::api {
+
+/** The facade. */
+class Machine
+{
+  public:
+    explicit Machine(
+        const arch::SparseCoreConfig &config = arch::SparseCoreConfig{});
+
+    const arch::SparseCoreConfig &config() const { return config_; }
+
+    // ---------------- GPM ----------------
+    /** Run a GPM app on SparseCore. */
+    gpm::GpmRunResult mineSparseCore(gpm::GpmApp app,
+                                     const graph::CsrGraph &g,
+                                     unsigned root_stride = 1) const;
+    /** Run a GPM app on the CPU baseline. */
+    gpm::GpmRunResult mineCpu(gpm::GpmApp app, const graph::CsrGraph &g,
+                              unsigned root_stride = 1) const;
+    /** Both substrates + speedup. */
+    Comparison compareGpm(gpm::GpmApp app, const graph::CsrGraph &g,
+                          unsigned root_stride = 1) const;
+
+    /** FSM on both substrates. */
+    Comparison compareFsm(const graph::LabeledGraph &g,
+                          std::uint64_t min_support) const;
+
+    // ---------------- tensors ----------------
+    /** spmspm on SparseCore. */
+    kernels::TensorRunResult
+    spmspmSparseCore(const tensor::SparseMatrix &a,
+                     const tensor::SparseMatrix &b,
+                     kernels::SpmspmAlgorithm algorithm,
+                     unsigned stride = 1,
+                     tensor::SparseMatrix *result = nullptr) const;
+    /** spmspm on the CPU baseline. */
+    kernels::TensorRunResult
+    spmspmCpu(const tensor::SparseMatrix &a, const tensor::SparseMatrix &b,
+              kernels::SpmspmAlgorithm algorithm, unsigned stride = 1,
+              tensor::SparseMatrix *result = nullptr) const;
+    /** Both substrates + speedup. */
+    Comparison compareSpmspm(const tensor::SparseMatrix &a,
+                             const tensor::SparseMatrix &b,
+                             kernels::SpmspmAlgorithm algorithm,
+                             unsigned stride = 1) const;
+
+    Comparison compareTtv(const tensor::CsfTensor &a,
+                          const std::vector<Value> &vec,
+                          unsigned stride = 1) const;
+    Comparison compareTtm(const tensor::CsfTensor &a,
+                          const tensor::SparseMatrix &b,
+                          unsigned stride = 1) const;
+
+  private:
+    arch::SparseCoreConfig config_;
+};
+
+} // namespace sc::api
+
+#endif // SPARSECORE_API_MACHINE_HH

@@ -1,0 +1,65 @@
+#include "api/parallel.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "backend/cpu_backend.hh"
+#include "backend/sparsecore_backend.hh"
+#include "common/logging.hh"
+#include "gpm/executor.hh"
+
+namespace sc::api {
+
+namespace {
+
+template <typename MakeBackend>
+ParallelGpmResult
+mineParallel(gpm::GpmApp app, const graph::CsrGraph &g,
+             unsigned num_cores, unsigned root_stride,
+             MakeBackend &&make_backend)
+{
+    if (num_cores == 0)
+        fatal("need at least one core");
+    const auto plans = gpm::gpmAppPlans(app);
+
+    ParallelGpmResult result;
+    result.perCore.reserve(num_cores);
+    for (unsigned core = 0; core < num_cores; ++core) {
+        auto backend = make_backend();
+        gpm::PlanExecutor executor(g, *backend);
+        executor.setRootRange(core * root_stride,
+                              num_cores * root_stride);
+        const auto run = executor.runMany(plans);
+        result.embeddings += run.embeddings;
+        result.perCore.push_back(run.cycles);
+        result.cycles = std::max(result.cycles, run.cycles);
+    }
+    return result;
+}
+
+} // namespace
+
+ParallelGpmResult
+mineParallelSparseCore(gpm::GpmApp app, const graph::CsrGraph &g,
+                       unsigned num_cores,
+                       const arch::SparseCoreConfig &config,
+                       unsigned root_stride)
+{
+    return mineParallel(app, g, num_cores, root_stride, [&] {
+        return std::make_unique<backend::SparseCoreBackend>(config);
+    });
+}
+
+ParallelGpmResult
+mineParallelCpu(gpm::GpmApp app, const graph::CsrGraph &g,
+                unsigned num_cores,
+                const arch::SparseCoreConfig &config,
+                unsigned root_stride)
+{
+    return mineParallel(app, g, num_cores, root_stride, [&] {
+        return std::make_unique<backend::CpuBackend>(config.core,
+                                                     config.mem);
+    });
+}
+
+} // namespace sc::api

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Multi-core mining (Table 2 configures six cores): the root-vertex
+ * loop is split across cores by interleaving (core c takes vertices
+ * c, c+N, c+2N, ...), each core owning a private SparseCore engine —
+ * its own SUs, S-Cache, scratchpad and L1/L2 — exactly the
+ * replication the paper's per-core extension implies. The parallel
+ * runtime is the slowest core's cycle count; graph data is read-only,
+ * so no coherence traffic is modeled (§5.1).
+ */
+
+#ifndef SPARSECORE_API_PARALLEL_HH
+#define SPARSECORE_API_PARALLEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+#include "gpm/apps.hh"
+
+namespace sc::api {
+
+/** Outcome of a multi-core mining run. */
+struct ParallelGpmResult
+{
+    std::uint64_t embeddings = 0; ///< total across cores
+    Cycles cycles = 0;            ///< slowest core (wall clock)
+    std::vector<Cycles> perCore;  ///< each core's cycle count
+
+    /** Load balance: average / slowest core utilization. */
+    double
+    balance() const
+    {
+        if (perCore.empty() || cycles == 0)
+            return 0.0;
+        double sum = 0;
+        for (Cycles c : perCore)
+            sum += static_cast<double>(c);
+        return sum / perCore.size() / static_cast<double>(cycles);
+    }
+};
+
+/**
+ * Run a GPM app across num_cores SparseCore cores.
+ * @param root_stride extra sampling on top of the core split
+ */
+ParallelGpmResult mineParallelSparseCore(
+    gpm::GpmApp app, const graph::CsrGraph &g, unsigned num_cores,
+    const arch::SparseCoreConfig &config = arch::SparseCoreConfig{},
+    unsigned root_stride = 1);
+
+/** The CPU-baseline equivalent (one scalar core per slice). */
+ParallelGpmResult mineParallelCpu(
+    gpm::GpmApp app, const graph::CsrGraph &g, unsigned num_cores,
+    const arch::SparseCoreConfig &config = arch::SparseCoreConfig{},
+    unsigned root_stride = 1);
+
+} // namespace sc::api
+
+#endif // SPARSECORE_API_PARALLEL_HH

@@ -1,0 +1,39 @@
+#include "api/report.hh"
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace sc::api {
+
+std::string
+breakdownStr(const sim::CycleBreakdown &breakdown)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(sim::CycleClass::NumClasses); ++i) {
+        const auto cls = static_cast<sim::CycleClass>(i);
+        if (!first)
+            os << " | ";
+        first = false;
+        os << sim::cycleClassName(cls) << " "
+           << Table::num(100.0 * breakdown.fraction(cls), 1) << "%";
+    }
+    return os.str();
+}
+
+std::string
+Comparison::str() const
+{
+    std::ostringstream os;
+    os << "result: " << functionalResult << "\n";
+    os << baseline.substrate << ": " << baseline.cycles
+       << " cycles  [" << breakdownStr(baseline.breakdown) << "]\n";
+    os << accelerated.substrate << ": " << accelerated.cycles
+       << " cycles  [" << breakdownStr(accelerated.breakdown) << "]\n";
+    os << "speedup: " << Table::speedup(speedup()) << "\n";
+    return os.str();
+}
+
+} // namespace sc::api

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Result/report types of the public API: cycle counts, breakdowns and
+ * speedups with text formatting.
+ */
+
+#ifndef SPARSECORE_API_REPORT_HH
+#define SPARSECORE_API_REPORT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/core_model.hh"
+
+namespace sc::api {
+
+/** One substrate's result for a workload. */
+struct SubstrateResult
+{
+    std::string substrate;
+    Cycles cycles = 0;
+    sim::CycleBreakdown breakdown;
+};
+
+/** A two-substrate comparison (e.g. SparseCore vs CPU). */
+struct Comparison
+{
+    std::uint64_t functionalResult = 0; ///< count / checksum
+    SubstrateResult baseline;
+    SubstrateResult accelerated;
+
+    double
+    speedup() const
+    {
+        return accelerated.cycles
+                   ? static_cast<double>(baseline.cycles) /
+                         static_cast<double>(accelerated.cycles)
+                   : 0.0;
+    }
+
+    /** Multi-line human-readable report. */
+    std::string str() const;
+};
+
+/** Render a breakdown as "Cache 12.3% | Mispred. 8.4% | ...". */
+std::string breakdownStr(const sim::CycleBreakdown &breakdown);
+
+} // namespace sc::api
+
+#endif // SPARSECORE_API_REPORT_HH

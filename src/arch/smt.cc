@@ -1,0 +1,114 @@
+#include "arch/smt.hh"
+
+#include "common/logging.hh"
+
+namespace sc::arch {
+
+Smt::Smt(unsigned num_entries) : entries_(num_entries)
+{
+    if (num_entries == 0)
+        fatal("SMT requires at least one entry");
+    for (unsigned i = 0; i < num_entries; ++i)
+        entries_[i].sreg = i;
+}
+
+std::optional<unsigned>
+Smt::define(std::uint64_t sid)
+{
+    auto it = defined_.find(sid);
+    if (it != defined_.end()) {
+        // §3.3: re-defining an active sid overwrites the mapping.
+        SmtEntry &e = entries_[it->second];
+        e.start = e.produced = false;
+        e.pred0 = e.pred1 = noPred;
+        ++stats_.counter("redefines");
+        return it->second;
+    }
+    for (unsigned i = 0; i < entries_.size(); ++i) {
+        if (!entries_[i].va) {
+            SmtEntry &e = entries_[i];
+            e.sid = sid;
+            e.vd = e.va = true;
+            e.start = e.produced = false;
+            e.pred0 = e.pred1 = noPred;
+            defined_[sid] = i;
+            ++stats_.counter("defines");
+            return i;
+        }
+    }
+    ++stats_.counter("allocStalls");
+    return std::nullopt;
+}
+
+void
+Smt::decodeFree(std::uint64_t sid)
+{
+    auto it = defined_.find(sid);
+    if (it == defined_.end())
+        panic("S_FREE of undefined stream id %llu",
+              static_cast<unsigned long long>(sid));
+    entries_[it->second].vd = false;
+    defined_.erase(it);
+    ++stats_.counter("frees");
+}
+
+void
+Smt::retireFree(unsigned entry_index)
+{
+    SmtEntry &e = entry(entry_index);
+    if (e.vd)
+        panic("retiring S_FREE for an entry still defined");
+    e.va = false;
+    e.start = e.produced = false;
+}
+
+unsigned
+Smt::spillOne()
+{
+    for (unsigned i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].va) {
+            if (entries_[i].vd)
+                defined_.erase(entries_[i].sid);
+            entries_[i].va = false;
+            entries_[i].vd = false;
+            ++stats_.counter("spills");
+            return i;
+        }
+    }
+    panic("spillOne called on an empty SMT");
+}
+
+std::optional<unsigned>
+Smt::lookup(std::uint64_t sid) const
+{
+    auto it = defined_.find(sid);
+    if (it == defined_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+SmtEntry &
+Smt::entry(unsigned index)
+{
+    if (index >= entries_.size())
+        panic("SMT entry index %u out of range", index);
+    return entries_[index];
+}
+
+const SmtEntry &
+Smt::entry(unsigned index) const
+{
+    return const_cast<Smt *>(this)->entry(index);
+}
+
+unsigned
+Smt::activeCount() const
+{
+    unsigned count = 0;
+    for (const auto &e : entries_)
+        if (e.va)
+            ++count;
+    return count;
+}
+
+} // namespace sc::arch

@@ -1,0 +1,45 @@
+#include "arch/stream_unit.hh"
+
+#include "common/logging.hh"
+
+namespace sc::arch {
+
+StreamUnit::StreamUnit(unsigned id, unsigned window,
+                       Cycles pipeline_latency)
+    : id_(id), window_(window), pipelineLatency_(pipeline_latency)
+{
+    if (window == 0)
+        fatal("SU window must be positive");
+}
+
+Cycles
+StreamUnit::opCycles(streams::KeySpan a, streams::KeySpan b,
+                     streams::SetOpKind kind, Key bound) const
+{
+    return pipelineLatency_ +
+           streams::suCycles(a, b, kind, bound, window_);
+}
+
+void
+StreamUnit::occupy(Cycles start, Cycles end)
+{
+    if (end < start)
+        panic("SU %u occupancy interval is inverted", id_);
+    if (start < freeAt_)
+        panic("SU %u scheduled while busy (start %llu < free %llu)",
+              id_, static_cast<unsigned long long>(start),
+              static_cast<unsigned long long>(freeAt_));
+    freeAt_ = end;
+    busyCycles_ += end - start;
+    ++ops_;
+}
+
+void
+StreamUnit::reset()
+{
+    freeAt_ = 0;
+    busyCycles_ = 0;
+    ops_ = 0;
+}
+
+} // namespace sc::arch

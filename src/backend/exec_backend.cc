@@ -1,0 +1,19 @@
+#include "backend/exec_backend.hh"
+
+#include "common/logging.hh"
+
+namespace sc::backend {
+
+void
+ExecBackend::nestedIntersect(BackendStream s, streams::KeySpan s_keys,
+                             const std::vector<NestedItem> &elems)
+{
+    (void)s;
+    (void)s_keys;
+    (void)elems;
+    panic("backend '%s' does not implement nested intersection; the "
+          "plan executor must lower it to an explicit loop",
+          name().c_str());
+}
+
+} // namespace sc::backend

@@ -1,0 +1,110 @@
+#include "backend/functional_backend.hh"
+
+namespace sc::backend {
+
+FunctionalBackend::FunctionalBackend() = default;
+
+void
+FunctionalBackend::begin()
+{
+    next_ = 0;
+    liveStreams_ = 0;
+    stats_.reset();
+    lengthHist_.reset();
+}
+
+BackendStream
+FunctionalBackend::nextHandle()
+{
+    return next_++;
+}
+
+BackendStream
+FunctionalBackend::streamLoad(Addr, std::uint32_t length, unsigned,
+                              streams::KeySpan)
+{
+    ++stats_.counter("streamLoads");
+    ++liveStreams_;
+    lengthHist_.sample(length);
+    return nextHandle();
+}
+
+BackendStream
+FunctionalBackend::streamLoadKv(Addr, Addr, std::uint32_t length,
+                                unsigned, streams::KeySpan)
+{
+    ++stats_.counter("streamLoadsKv");
+    ++liveStreams_;
+    lengthHist_.sample(length);
+    return nextHandle();
+}
+
+void
+FunctionalBackend::streamFree(BackendStream)
+{
+    ++stats_.counter("streamFrees");
+    --liveStreams_;
+}
+
+BackendStream
+FunctionalBackend::setOp(streams::SetOpKind kind, BackendStream,
+                         BackendStream, streams::KeySpan ak,
+                         streams::KeySpan bk, Key, streams::KeySpan,
+                         Addr)
+{
+    ++stats_.counter(std::string("setOp.") + streams::setOpName(kind));
+    stats_.counter("setOpElements") += ak.size() + bk.size();
+    lengthHist_.sample(ak.size());
+    lengthHist_.sample(bk.size());
+    ++liveStreams_;
+    return nextHandle();
+}
+
+void
+FunctionalBackend::setOpCount(streams::SetOpKind kind, BackendStream,
+                              BackendStream, streams::KeySpan ak,
+                              streams::KeySpan bk, Key, std::uint64_t)
+{
+    ++stats_.counter(std::string("setOpCount.") +
+                     streams::setOpName(kind));
+    stats_.counter("setOpElements") += ak.size() + bk.size();
+    lengthHist_.sample(ak.size());
+    lengthHist_.sample(bk.size());
+}
+
+void
+FunctionalBackend::valueIntersect(BackendStream, BackendStream,
+                                  streams::KeySpan ak,
+                                  streams::KeySpan bk, Addr, Addr,
+                                  std::span<const std::uint32_t> match_a,
+                                  std::span<const std::uint32_t>)
+{
+    ++stats_.counter("valueIntersects");
+    stats_.counter("valueMatches") += match_a.size();
+    lengthHist_.sample(ak.size());
+    lengthHist_.sample(bk.size());
+}
+
+BackendStream
+FunctionalBackend::valueMerge(BackendStream, BackendStream,
+                              streams::KeySpan ak, streams::KeySpan bk,
+                              Addr, Addr, std::uint64_t, Addr)
+{
+    ++stats_.counter("valueMerges");
+    lengthHist_.sample(ak.size());
+    lengthHist_.sample(bk.size());
+    ++liveStreams_;
+    return nextHandle();
+}
+
+void
+FunctionalBackend::nestedIntersect(BackendStream, streams::KeySpan,
+                                   const std::vector<NestedItem> &elems)
+{
+    ++stats_.counter("nestedIntersects");
+    stats_.counter("nestedElements") += elems.size();
+    for (const auto &elem : elems)
+        lengthHist_.sample(elem.nested.size());
+}
+
+} // namespace sc::backend

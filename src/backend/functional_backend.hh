@@ -1,0 +1,76 @@
+/**
+ * @file
+ * FunctionalBackend: timeless substrate that only records structural
+ * statistics (operation counts, total set-op work, stream-length
+ * histogram). Used by tests as the golden-count reference and by the
+ * Fig. 14 stream-length analysis.
+ */
+
+#ifndef SPARSECORE_BACKEND_FUNCTIONAL_BACKEND_HH
+#define SPARSECORE_BACKEND_FUNCTIONAL_BACKEND_HH
+
+#include "backend/exec_backend.hh"
+#include "common/stats.hh"
+
+namespace sc::backend {
+
+/** Structure-only backend. */
+class FunctionalBackend : public ExecBackend
+{
+  public:
+    FunctionalBackend();
+
+    std::string name() const override { return "functional"; }
+    void begin() override;
+    Cycles finish() override { return 0; }
+    sim::CycleBreakdown breakdown() const override { return {}; }
+
+    BackendStream streamLoad(Addr key_addr, std::uint32_t length,
+                             unsigned priority,
+                             streams::KeySpan keys) override;
+    BackendStream streamLoadKv(Addr key_addr, Addr val_addr,
+                               std::uint32_t length, unsigned priority,
+                               streams::KeySpan keys) override;
+    void streamFree(BackendStream handle) override;
+
+    BackendStream setOp(streams::SetOpKind kind, BackendStream a,
+                        BackendStream b, streams::KeySpan ak,
+                        streams::KeySpan bk, Key bound,
+                        streams::KeySpan result, Addr out_addr) override;
+    void setOpCount(streams::SetOpKind kind, BackendStream a,
+                    BackendStream b, streams::KeySpan ak,
+                    streams::KeySpan bk, Key bound,
+                    std::uint64_t count) override;
+
+    void valueIntersect(BackendStream a, BackendStream b,
+                        streams::KeySpan ak, streams::KeySpan bk,
+                        Addr a_val_base, Addr b_val_base,
+                        std::span<const std::uint32_t> match_a,
+                        std::span<const std::uint32_t> match_b) override;
+    BackendStream valueMerge(BackendStream a, BackendStream b,
+                             streams::KeySpan ak, streams::KeySpan bk,
+                             Addr a_val_base, Addr b_val_base,
+                             std::uint64_t result_len,
+                             Addr out_addr) override;
+
+    bool supportsNested() const override { return true; }
+    void nestedIntersect(BackendStream s, streams::KeySpan s_keys,
+                         const std::vector<NestedItem> &elems) override;
+
+    const StatSet &stats() const { return stats_; }
+    const Histogram &streamLengthHist() const { return lengthHist_; }
+    /** Live streams (loads minus frees), for leak checks in tests. */
+    std::int64_t liveStreams() const { return liveStreams_; }
+
+  private:
+    BackendStream nextHandle();
+
+    BackendStream next_ = 0;
+    std::int64_t liveStreams_ = 0;
+    StatSet stats_{"functional"};
+    Histogram lengthHist_{4, 512};
+};
+
+} // namespace sc::backend
+
+#endif // SPARSECORE_BACKEND_FUNCTIONAL_BACKEND_HH

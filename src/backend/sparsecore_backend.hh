@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SparseCoreBackend: adapts the ExecBackend event stream onto the
+ * cycle-level SparseCore engine (src/arch).
+ */
+
+#ifndef SPARSECORE_BACKEND_SPARSECORE_BACKEND_HH
+#define SPARSECORE_BACKEND_SPARSECORE_BACKEND_HH
+
+#include <memory>
+
+#include "arch/engine.hh"
+#include "backend/exec_backend.hh"
+
+namespace sc::backend {
+
+/** The SparseCore substrate. */
+class SparseCoreBackend : public ExecBackend
+{
+  public:
+    explicit SparseCoreBackend(
+        const arch::SparseCoreConfig &config = arch::SparseCoreConfig{});
+
+    std::string name() const override { return "sparsecore"; }
+    void begin() override;
+    Cycles finish() override;
+    sim::CycleBreakdown breakdown() const override;
+
+    void scalarOps(std::uint64_t n) override;
+    void scalarBranch(std::uint64_t pc, bool taken) override;
+    void scalarLoad(Addr addr) override;
+
+    BackendStream streamLoad(Addr key_addr, std::uint32_t length,
+                             unsigned priority,
+                             streams::KeySpan keys) override;
+    BackendStream streamLoadKv(Addr key_addr, Addr val_addr,
+                               std::uint32_t length, unsigned priority,
+                               streams::KeySpan keys) override;
+    void streamFree(BackendStream handle) override;
+
+    BackendStream setOp(streams::SetOpKind kind, BackendStream a,
+                        BackendStream b, streams::KeySpan ak,
+                        streams::KeySpan bk, Key bound,
+                        streams::KeySpan result, Addr out_addr) override;
+    void setOpCount(streams::SetOpKind kind, BackendStream a,
+                    BackendStream b, streams::KeySpan ak,
+                    streams::KeySpan bk, Key bound,
+                    std::uint64_t count) override;
+
+    void valueIntersect(BackendStream a, BackendStream b,
+                        streams::KeySpan ak, streams::KeySpan bk,
+                        Addr a_val_base, Addr b_val_base,
+                        std::span<const std::uint32_t> match_a,
+                        std::span<const std::uint32_t> match_b) override;
+    BackendStream valueMerge(BackendStream a, BackendStream b,
+                             streams::KeySpan ak, streams::KeySpan bk,
+                             Addr a_val_base, Addr b_val_base,
+                             std::uint64_t result_len,
+                             Addr out_addr) override;
+
+    bool supportsNested() const override
+    {
+        return engine_->config().nestedIntersection;
+    }
+    void nestedIntersect(BackendStream s, streams::KeySpan s_keys,
+                         const std::vector<NestedItem> &elems) override;
+
+    void consumeStream(BackendStream handle) override;
+    void iterateStream(BackendStream handle, std::uint64_t n,
+                       unsigned ops_per_element) override;
+
+    arch::Engine &engine() { return *engine_; }
+    const arch::Engine &engine() const { return *engine_; }
+
+  private:
+    arch::SparseCoreConfig config_;
+    std::unique_ptr<arch::Engine> engine_;
+};
+
+} // namespace sc::backend
+
+#endif // SPARSECORE_BACKEND_SPARSECORE_BACKEND_HH

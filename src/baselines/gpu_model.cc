@@ -1,0 +1,169 @@
+#include "baselines/gpu_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sc::baselines {
+
+using backend::BackendStream;
+
+GpuBackend::GpuBackend(bool symmetry_breaking, unsigned redundancy,
+                       const GpuParams &params)
+    : symmetryBreaking_(symmetry_breaking), redundancy_(redundancy),
+      params_(params)
+{
+    if (redundancy == 0)
+        fatal("GPU model redundancy must be positive");
+}
+
+void
+GpuBackend::begin()
+{
+    next_ = 0;
+    laneInstructions_ = 0;
+    bytesMoved_ = 0;
+}
+
+Cycles
+GpuBackend::finish()
+{
+    // Effective lane throughput (lane-instructions per GPU cycle).
+    const double lanes =
+        params_.cudaCores * params_.warpUtilization;
+    const double divergence = symmetryBreaking_
+                                  ? params_.divergenceFactor
+                                  : params_.divergenceFactorNoBreaking;
+    const double compute_gpu_cycles =
+        laneInstructions_ * divergence / std::max(1.0, lanes);
+    // Memory time: effective bandwidth in bytes per GPU cycle.
+    const double bytes_per_cycle = params_.memBandwidthGBs *
+                                   params_.memUtilization /
+                                   params_.clockGhz;
+    const double mem_gpu_cycles =
+        bytesMoved_ / std::max(1.0, bytes_per_cycle);
+    const double gpu_cycles =
+        std::max(compute_gpu_cycles, mem_gpu_cycles);
+    // Normalize to the SparseCore 1 GHz clock.
+    return static_cast<Cycles>(gpu_cycles / params_.clockGhz);
+}
+
+sim::CycleBreakdown
+GpuBackend::breakdown() const
+{
+    sim::CycleBreakdown bd;
+    bd[sim::CycleClass::Intersection] =
+        const_cast<GpuBackend *>(this)->finish();
+    return bd;
+}
+
+void
+GpuBackend::scalarOps(std::uint64_t n)
+{
+    laneInstructions_ += static_cast<double>(n * redundancy_);
+}
+
+void
+GpuBackend::scalarBranch(std::uint64_t, bool)
+{
+    laneInstructions_ += redundancy_;
+}
+
+void
+GpuBackend::scalarLoad(Addr)
+{
+    laneInstructions_ += redundancy_;
+    bytesMoved_ += 32.0 * redundancy_; // uncoalesced sector fetch
+}
+
+BackendStream
+GpuBackend::streamLoad(Addr, std::uint32_t, unsigned, streams::KeySpan)
+{
+    laneInstructions_ += 4.0 * redundancy_;
+    return next_++;
+}
+
+BackendStream
+GpuBackend::streamLoadKv(Addr, Addr, std::uint32_t, unsigned,
+                         streams::KeySpan)
+{
+    return streamLoad(0, 0, 0, {});
+}
+
+void
+GpuBackend::streamFree(BackendStream)
+{
+}
+
+void
+GpuBackend::chargeSetOp(streams::KeySpan ak, streams::KeySpan bk,
+                        Key bound)
+{
+    // Steps of the scalar merge loop each thread runs.
+    std::uint64_t la = ak.size(), lb = bk.size();
+    if (symmetryBreaking_ && bound != noBound) {
+        la = static_cast<std::uint64_t>(
+            std::lower_bound(ak.begin(), ak.end(), bound) -
+            ak.begin());
+        lb = static_cast<std::uint64_t>(
+            std::lower_bound(bk.begin(), bk.end(), bound) -
+            bk.begin());
+    }
+    const double steps =
+        static_cast<double>(la + lb) *
+        (symmetryBreaking_ ? 1.0 : redundancy_);
+    laneInstructions_ += steps * params_.laneInstrPerStep;
+    bytesMoved_ += static_cast<double>(la + lb) * sizeof(Key) *
+                   (symmetryBreaking_ ? 1.0 : redundancy_);
+}
+
+BackendStream
+GpuBackend::setOp(streams::SetOpKind, BackendStream, BackendStream,
+                  streams::KeySpan ak, streams::KeySpan bk, Key bound,
+                  streams::KeySpan, Addr)
+{
+    chargeSetOp(ak, bk, bound);
+    return next_++;
+}
+
+void
+GpuBackend::setOpCount(streams::SetOpKind, BackendStream, BackendStream,
+                       streams::KeySpan ak, streams::KeySpan bk,
+                       Key bound, std::uint64_t)
+{
+    chargeSetOp(ak, bk, bound);
+}
+
+void
+GpuBackend::valueIntersect(BackendStream, BackendStream,
+                           streams::KeySpan ak, streams::KeySpan bk,
+                           Addr, Addr,
+                           std::span<const std::uint32_t> match_a,
+                           std::span<const std::uint32_t>)
+{
+    chargeSetOp(ak, bk, noBound);
+    laneInstructions_ += 2.0 * match_a.size();
+    bytesMoved_ += 16.0 * match_a.size();
+}
+
+BackendStream
+GpuBackend::valueMerge(BackendStream, BackendStream, streams::KeySpan ak,
+                       streams::KeySpan bk, Addr, Addr,
+                       std::uint64_t result_len, Addr)
+{
+    chargeSetOp(ak, bk, noBound);
+    laneInstructions_ += 2.0 * result_len;
+    bytesMoved_ += 12.0 * result_len;
+    return next_++;
+}
+
+void
+GpuBackend::iterateStream(BackendStream, std::uint64_t n, unsigned ops)
+{
+    laneInstructions_ +=
+        static_cast<double>(n) * ops *
+        (symmetryBreaking_ ? 1.0 : redundancy_);
+}
+
+} // namespace sc::baselines

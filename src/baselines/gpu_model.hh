@@ -1,0 +1,116 @@
+/**
+ * @file
+ * GPU model (§6.5): an analytical backend for pattern enumeration on
+ * a Tesla-K40m-class GPU, calibrated with the utilization figures the
+ * paper profiles — ~4.4% warp utilization (branch divergence and
+ * ragged per-thread loop lengths) and ~13% global-memory-bandwidth
+ * utilization (scattered edge-list accesses).
+ *
+ * The backend consumes the same event stream as the other substrates
+ * and converts scalar merge-loop steps into GPU time, normalized to
+ * SparseCore's 1 GHz clock. The "without symmetry breaking" variant
+ * multiplies enumeration work by the pattern's automorphism count
+ * but runs with less divergence per step.
+ */
+
+#ifndef SPARSECORE_BASELINES_GPU_MODEL_HH
+#define SPARSECORE_BASELINES_GPU_MODEL_HH
+
+#include "backend/exec_backend.hh"
+
+namespace sc::baselines {
+
+/** GPU model parameters (Tesla K40m unless noted). */
+struct GpuParams
+{
+    unsigned cudaCores = 2880;
+    double clockGhz = 0.745;          ///< vs SparseCore's 1 GHz
+    double warpUtilization = 0.044;   ///< paper-profiled
+    double memBandwidthGBs = 288.0;
+    double memUtilization = 0.13;     ///< paper-profiled
+    /** Lane-instructions per merge-loop step (the branchy inner
+     *  loop plus per-thread enumeration-stack management). */
+    double laneInstrPerStep = 40.0;
+    /** Divergence serialization factor with symmetry breaking:
+     *  ragged loop bounds fully serialize the 32-wide warp. */
+    double divergenceFactor = 32.0;
+    /** Divergence factor without symmetry breaking (fewer branches,
+     *  more uniform loops). */
+    double divergenceFactorNoBreaking = 20.0;
+};
+
+/** The GPU backend. */
+class GpuBackend : public backend::ExecBackend
+{
+  public:
+    /**
+     * @param symmetry_breaking include the v_i < v_j restrictions
+     * @param redundancy automorphism count of the mined pattern (the
+     *        extra work when symmetry breaking is off)
+     */
+    GpuBackend(bool symmetry_breaking, unsigned redundancy,
+               const GpuParams &params = GpuParams{});
+
+    std::string name() const override { return "gpu"; }
+    void begin() override;
+    Cycles finish() override;
+    sim::CycleBreakdown breakdown() const override;
+
+    void scalarOps(std::uint64_t n) override;
+    void scalarBranch(std::uint64_t pc, bool taken) override;
+    void scalarLoad(Addr addr) override;
+
+    backend::BackendStream streamLoad(Addr key_addr,
+                                      std::uint32_t length,
+                                      unsigned priority,
+                                      streams::KeySpan keys) override;
+    backend::BackendStream streamLoadKv(Addr key_addr, Addr val_addr,
+                                        std::uint32_t length,
+                                        unsigned priority,
+                                        streams::KeySpan keys) override;
+    void streamFree(backend::BackendStream handle) override;
+
+    backend::BackendStream setOp(streams::SetOpKind kind,
+                                 backend::BackendStream a,
+                                 backend::BackendStream b,
+                                 streams::KeySpan ak,
+                                 streams::KeySpan bk, Key bound,
+                                 streams::KeySpan result,
+                                 Addr out_addr) override;
+    void setOpCount(streams::SetOpKind kind, backend::BackendStream a,
+                    backend::BackendStream b, streams::KeySpan ak,
+                    streams::KeySpan bk, Key bound,
+                    std::uint64_t count) override;
+
+    void valueIntersect(backend::BackendStream a,
+                        backend::BackendStream b, streams::KeySpan ak,
+                        streams::KeySpan bk, Addr a_val_base,
+                        Addr b_val_base,
+                        std::span<const std::uint32_t> match_a,
+                        std::span<const std::uint32_t> match_b) override;
+    backend::BackendStream valueMerge(backend::BackendStream a,
+                                      backend::BackendStream b,
+                                      streams::KeySpan ak,
+                                      streams::KeySpan bk,
+                                      Addr a_val_base, Addr b_val_base,
+                                      std::uint64_t result_len,
+                                      Addr out_addr) override;
+
+    void iterateStream(backend::BackendStream handle, std::uint64_t n,
+                       unsigned ops_per_element) override;
+
+  private:
+    void chargeSetOp(streams::KeySpan ak, streams::KeySpan bk,
+                     Key bound);
+
+    bool symmetryBreaking_;
+    unsigned redundancy_;
+    GpuParams params_;
+    backend::BackendStream next_ = 0;
+    double laneInstructions_ = 0; ///< total lane-instructions
+    double bytesMoved_ = 0;       ///< total global-memory bytes
+};
+
+} // namespace sc::baselines
+
+#endif // SPARSECORE_BASELINES_GPU_MODEL_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * GRAMER model (§2.3/§6.3.1): a locality-aware, pattern-oblivious GPM
+ * accelerator. It explores ALL connected size-k subgraphs (no
+ * symmetry breaking, no pattern-guided pruning) and runs an expensive
+ * isomorphism check per candidate, which is why the paper finds it
+ * slower than even the CPU baseline.
+ *
+ * The model counts the candidate space from the graph's structure
+ * (extension counts per BFS level) and charges per-candidate queue
+ * management, extension and isomorphism-check costs through a
+ * priority-based memory model (GRAMER pins the hottest vertices
+ * on-chip).
+ */
+
+#ifndef SPARSECORE_BASELINES_GRAMER_HH
+#define SPARSECORE_BASELINES_GRAMER_HH
+
+#include <cstdint>
+
+#include "graph/csr_graph.hh"
+#include "sim/core_model.hh"
+
+namespace sc::baselines {
+
+/** GRAMER parameters. */
+struct GramerParams
+{
+    /** Cycles per candidate for queue push/pop + bookkeeping. */
+    Cycles queueCost = 8;
+    /** Cycles per isomorphism-check vertex-pair comparison. */
+    Cycles isoCheckCostPerPair = 2;
+    /** On-chip priority buffer (pins the hottest vertices). */
+    std::uint64_t priorityBufferBytes = 512 * 1024;
+    /** Cycles per off-chip edge-list element. */
+    double offChipCostPerElement = 2.0;
+    /** Cycles per on-chip edge-list element. */
+    double onChipCostPerElement = 0.25;
+};
+
+/** Result of a GRAMER estimate. */
+struct GramerResult
+{
+    Cycles cycles = 0;
+    double candidateSubgraphs = 0; ///< explored candidate count
+};
+
+/**
+ * Estimate GRAMER's cycles for mining all patterns of `k` vertices.
+ * The candidate space is computed exactly for k = 3 (wedge+triangle
+ * extensions) and by degree-weighted extension for k = 4, 5.
+ */
+GramerResult estimateGramer(const graph::CsrGraph &g, unsigned k,
+                            const GramerParams &params = GramerParams{});
+
+} // namespace sc::baselines
+
+#endif // SPARSECORE_BASELINES_GRAMER_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tensor accelerator models for Fig. 16 (§6.9.2): ExTensor
+ * (inner-product with hierarchical intersection), OuterSPACE
+ * (outer-product with scratchpad-hidden latency), and Gamma
+ * (Gustavson with an always-hit FiberCache and a one-element-per-
+ * cycle PE) — each modeled per the paper's own simplifications, with
+ * a single compute unit for the fair single-SU comparison.
+ */
+
+#ifndef SPARSECORE_BASELINES_TENSOR_ACCELS_HH
+#define SPARSECORE_BASELINES_TENSOR_ACCELS_HH
+
+#include "common/types.hh"
+#include "tensor/sparse_matrix.hh"
+
+namespace sc::baselines {
+
+/** Cost of one spmspm on an accelerator model. */
+struct AccelCost
+{
+    Cycles cycles = 0;
+    std::uint64_t elementsTouched = 0;
+};
+
+/**
+ * ExTensor: inner-product dataflow. One PE with a parallel comparator
+ * array (same width as an SU, for fairness) performs every row(A) x
+ * col(B) intersection back to back; DRAM->LLB streaming overlaps with
+ * compute and only shows when it exceeds the comparator time.
+ */
+AccelCost extensorSpmspm(const tensor::SparseMatrix &a,
+                         const tensor::SparseMatrix &b,
+                         unsigned comparator_width = 16,
+                         unsigned row_stride = 1);
+
+/**
+ * OuterSPACE: outer-product dataflow. The multiply phase streams
+ * col(A,k) x row(B,k) partial products through the PE's SIMD MAC
+ * lanes (4/cycle); the merge phase is a linear pass over the partial
+ * products at 2 elements/cycle with scratchpad-hidden latency
+ * (§6.9.2: allocation and fetch latencies are hidden).
+ */
+AccelCost outerspaceSpmspm(const tensor::SparseMatrix &a,
+                           const tensor::SparseMatrix &b,
+                           unsigned col_stride = 1);
+
+/**
+ * Gamma: Gustavson dataflow. The FiberCache always hits (the paper's
+ * simplification); the PE consumes one fetched element per cycle
+ * across all scaled B-row merges.
+ */
+AccelCost gammaSpmspm(const tensor::SparseMatrix &a,
+                      const tensor::SparseMatrix &b,
+                      unsigned row_stride = 1);
+
+} // namespace sc::baselines
+
+#endif // SPARSECORE_BASELINES_TENSOR_ACCELS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text table formatting for benchmark output. Every bench binary
+ * prints the same rows/series the paper's figures report, using this
+ * formatter for alignment plus an optional CSV dump.
+ */
+
+#ifndef SPARSECORE_COMMON_TABLE_HH
+#define SPARSECORE_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+    /** Format as a speedup, e.g. "13.5x". */
+    static std::string speedup(double v, int precision = 2);
+
+    /** Render aligned text. */
+    std::string str() const;
+    /** Render comma-separated values. */
+    std::string csv() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Geometric mean of a non-empty series of positive values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace sc
+
+#endif // SPARSECORE_COMMON_TABLE_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the SparseCore library.
+ */
+
+#ifndef SPARSECORE_COMMON_TYPES_HH
+#define SPARSECORE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace sc {
+
+/** Graph vertex identifier / stream key. Streams are sorted key lists. */
+using Key = std::uint32_t;
+/** Vertex identifier (alias of Key: edge lists are key streams). */
+using VertexId = std::uint32_t;
+/** Floating-point payload of a (key,value) stream. */
+using Value = double;
+/** Simulated byte address used by the cache models. */
+using Addr = std::uint64_t;
+/** Simulated clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Sentinel returned by S_FETCH past the end of a stream (§3.3). */
+constexpr Key endOfStream = 0xffffffffu;
+
+/** Unbounded upper-bound operand value for set operations (R3 = -1). */
+constexpr Key noBound = 0xffffffffu;
+
+} // namespace sc
+
+#endif // SPARSECORE_COMMON_TYPES_HH

@@ -1,0 +1,115 @@
+#include "gpm/apps.hh"
+
+#include "common/logging.hh"
+#include "gpm/planner.hh"
+
+namespace sc::gpm {
+
+const char *
+gpmAppName(GpmApp app)
+{
+    switch (app) {
+      case GpmApp::T:
+        return "T";
+      case GpmApp::TS:
+        return "TS";
+      case GpmApp::TC:
+        return "TC";
+      case GpmApp::TT:
+        return "TT";
+      case GpmApp::TM:
+        return "TM";
+      case GpmApp::C4:
+        return "4C";
+      case GpmApp::C4S:
+        return "4CS";
+      case GpmApp::C5:
+        return "5C";
+      case GpmApp::C5S:
+        return "5CS";
+      case GpmApp::M4:
+        return "4M";
+      case GpmApp::FSM:
+        return "FSM";
+      default:
+        panic("unknown GPM app %u", static_cast<unsigned>(app));
+    }
+}
+
+std::vector<GpmApp>
+allGpmApps()
+{
+    return {GpmApp::TC, GpmApp::TM, GpmApp::TS, GpmApp::T, GpmApp::TT,
+            GpmApp::C4, GpmApp::C5, GpmApp::C4S, GpmApp::C5S};
+}
+
+std::vector<GpmApp>
+figureSevenApps()
+{
+    return {GpmApp::TC, GpmApp::TM, GpmApp::TT, GpmApp::T, GpmApp::C4,
+            GpmApp::C5};
+}
+
+std::vector<MiningPlan>
+gpmAppPlans(GpmApp app)
+{
+    switch (app) {
+      case GpmApp::T:
+        return {buildPlan(Pattern::triangle(), identityOrder(3), true,
+                          true)};
+      case GpmApp::TS:
+        return {buildPlan(Pattern::triangle(), identityOrder(3), true,
+                          false)};
+      case GpmApp::TC:
+        return {buildPlan(Pattern::threeChain(), identityOrder(3), true,
+                          false)};
+      case GpmApp::TT:
+        return {buildPlan(Pattern::tailedTriangle(), identityOrder(4),
+                          true, false)};
+      case GpmApp::TM:
+        // 3-motif: count every connected 3-vertex pattern.
+        return {buildPlan(Pattern::triangle(), identityOrder(3), true,
+                          false),
+                buildPlan(Pattern::threeChain(), identityOrder(3), true,
+                          false)};
+      case GpmApp::C4:
+        return {buildPlan(Pattern::clique(4), identityOrder(4), true,
+                          true)};
+      case GpmApp::C4S:
+        return {buildPlan(Pattern::clique(4), identityOrder(4), true,
+                          false)};
+      case GpmApp::C5:
+        return {buildPlan(Pattern::clique(5), identityOrder(5), true,
+                          true)};
+      case GpmApp::C5S:
+        return {buildPlan(Pattern::clique(5), identityOrder(5), true,
+                          false)};
+      case GpmApp::M4:
+        // 4-motif: every connected 4-vertex pattern, vertex-induced.
+        return {buildPlan(Pattern::path(4), identityOrder(4), true,
+                          false),
+                buildPlan(Pattern::star(3), identityOrder(4), true,
+                          false),
+                buildPlan(Pattern::cycle(4), identityOrder(4), true,
+                          false),
+                buildPlan(Pattern::tailedTriangle(), identityOrder(4),
+                          true, false),
+                buildPlan(Pattern::diamond(), identityOrder(4), true,
+                          false),
+                buildPlan(Pattern::clique(4), identityOrder(4), true,
+                          true)};
+      case GpmApp::FSM:
+        fatal("FSM runs through gpm/fsm.hh, not plans");
+      default:
+        panic("unknown GPM app %u", static_cast<unsigned>(app));
+    }
+}
+
+GpmRunResult
+runGpmApp(GpmApp app, const graph::CsrGraph &g, backend::ExecBackend &b)
+{
+    PlanExecutor executor(g, b);
+    return executor.runMany(gpmAppPlans(app));
+}
+
+} // namespace sc::gpm

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The Table-3 GPM application registry: triangle (T / TS without
+ * nested intersection), three-chain (TC), tailed triangle (TT),
+ * 3-motif (TM), 4/5-clique (4C/4CS, 5C/5CS), and FSM.
+ */
+
+#ifndef SPARSECORE_GPM_APPS_HH
+#define SPARSECORE_GPM_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "backend/exec_backend.hh"
+#include "graph/csr_graph.hh"
+#include "graph/labeled_graph.hh"
+#include "gpm/executor.hh"
+#include "gpm/plan.hh"
+
+namespace sc::gpm {
+
+/** Application identifiers (Table 3 + the *S variants of §6.3.2). */
+enum class GpmApp : unsigned
+{
+    T,   ///< triangle counting (nested intersection)
+    TS,  ///< triangle counting (explicit loop)
+    TC,  ///< three-chain counting
+    TT,  ///< tailed-triangle counting
+    TM,  ///< 3-motif (triangle + three-chain)
+    C4,  ///< 4-clique (nested)
+    C4S, ///< 4-clique (explicit loop)
+    C5,  ///< 5-clique (nested)
+    C5S, ///< 5-clique (explicit loop)
+    M4,  ///< 4-motif (all six connected 4-vertex patterns)
+    FSM, ///< frequent subgraph mining
+};
+
+/** Short display name ("T", "TC", ...). */
+const char *gpmAppName(GpmApp app);
+/** All apps in Fig. 8 order. */
+std::vector<GpmApp> allGpmApps();
+/** The apps used by Figs. 7/9 (no *S variants except TS). */
+std::vector<GpmApp> figureSevenApps();
+
+/** Plans implementing an app (FSM has none — it runs via runFsm). */
+std::vector<MiningPlan> gpmAppPlans(GpmApp app);
+
+/**
+ * Run an app on a graph against a backend.
+ * @param root_stride process every stride-th start vertex (>=1);
+ *        benchmarks use sampling on the largest graphs, tests use 1
+ */
+GpmRunResult runGpmApp(GpmApp app, const graph::CsrGraph &g,
+                       backend::ExecBackend &b);
+
+/** FSM needs labels and a support threshold; see gpm/fsm.hh. */
+
+} // namespace sc::gpm
+
+#endif // SPARSECORE_GPM_APPS_HH

@@ -1,0 +1,411 @@
+#include "gpm/executor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sc::gpm {
+
+using backend::BackendStream;
+using backend::noStream;
+using streams::SetOpKind;
+
+namespace {
+
+/** Synthetic address regions for executor-managed buffers. */
+constexpr Addr candidateRegion = 0x600000000ull;
+constexpr Addr priorSetRegion = 0x690000000ull;
+constexpr Addr candidateStride = 0x4000000ull;
+
+/** Branch pc of the outer vertex loop. */
+constexpr std::uint64_t pcRootLoop = 0x100;
+
+} // namespace
+
+PlanExecutor::PlanExecutor(const graph::CsrGraph &g,
+                           backend::ExecBackend &b)
+    : graph_(g), backend_(b)
+{
+}
+
+void
+PlanExecutor::setRootStride(unsigned stride)
+{
+    setRootRange(0, stride);
+}
+
+void
+PlanExecutor::setRootRange(unsigned offset, unsigned stride)
+{
+    if (stride == 0)
+        fatal("root stride must be positive");
+    if (offset >= stride)
+        fatal("root offset %u must be below the stride %u", offset,
+              stride);
+    rootOffset_ = offset;
+    rootStride_ = stride;
+}
+
+Key
+PlanExecutor::boundValue(const LevelPlan &level) const
+{
+    Key bound = noBound;
+    for (unsigned b : level.bounds)
+        bound = std::min(bound, static_cast<Key>(embedding_[b]));
+    return bound;
+}
+
+BackendStream
+PlanExecutor::loadNeighborStream(VertexId v, streams::KeySpan span,
+                                 unsigned priority)
+{
+    return backend_.streamLoad(graph_.edgeListAddr(v),
+                               static_cast<std::uint32_t>(span.size()),
+                               priority, span);
+}
+
+GpmRunResult
+PlanExecutor::run(const MiningPlan &plan)
+{
+    return runMany({plan});
+}
+
+GpmRunResult
+PlanExecutor::runMany(const std::vector<MiningPlan> &plans,
+                      std::vector<std::uint64_t> *counts_out)
+{
+    backend_.begin();
+    GpmRunResult result = runManyNoLifecycle(plans, counts_out);
+    result.cycles = backend_.finish();
+    result.breakdown = backend_.breakdown();
+    return result;
+}
+
+GpmRunResult
+PlanExecutor::runManyNoLifecycle(const std::vector<MiningPlan> &plans,
+                                 std::vector<std::uint64_t> *counts_out)
+{
+    GpmRunResult result;
+    for (const MiningPlan &plan : plans) {
+        const std::uint64_t c = runPlan(plan);
+        result.embeddings += c;
+        if (counts_out)
+            counts_out->push_back(c);
+    }
+    return result;
+}
+
+std::uint64_t
+PlanExecutor::runPlan(const MiningPlan &plan)
+{
+    const unsigned k = plan.numPositions();
+    if (k < 2)
+        fatal("plans need at least two positions");
+    embedding_.assign(k, 0);
+    sets_.assign(k, CandidateSet{});
+    arena_.resize(k);
+    arenaTmp_.resize(k);
+    count_ = 0;
+
+    const VertexId n = graph_.numVertices();
+    for (VertexId v0 = rootOffset_; v0 < n; v0 += rootStride_) {
+        // Outer loop control: vertex-array access plus loop handling.
+        backend_.scalarLoad(graph_.vertexEntryAddr(v0));
+        backend_.scalarOps(3);
+        backend_.scalarBranch(pcRootLoop, v0 + 1 < n);
+        if (graph_.degree(v0) == 0)
+            continue;
+        embedding_[0] = v0;
+        recurse(plan, 1);
+    }
+    return count_;
+}
+
+void
+PlanExecutor::recurse(const MiningPlan &plan, unsigned position)
+{
+    const unsigned k = plan.numPositions();
+    const CandidateSet *prev =
+        position >= 2 ? &sets_[position - 1] : nullptr;
+
+    CandidateSet cand;
+    const bool produced =
+        buildCandidates(plan, position, prev, cand);
+    if (!produced)
+        return; // count accumulated directly
+
+    sets_[position] = cand;
+
+    const bool nested_here =
+        plan.useNested && plan.countOnly && position + 2 == k;
+    if (nested_here) {
+        nestedTail(plan, cand);
+    } else if (position + 1 < k || !plan.countOnly) {
+        backend_.iterateStream(cand.handle, cand.keys.size(), 3);
+        for (const Key v : cand.keys) {
+            embedding_[position] = v;
+            recurse(plan, position + 1);
+        }
+    } else {
+        // Final level reached with a materialized set (no final op
+        // was available to count): its size is the count.
+        backend_.consumeStream(cand.handle);
+        backend_.scalarOps(1);
+        count_ += cand.keys.size();
+    }
+
+    if (cand.ownsHandle)
+        backend_.streamFree(cand.handle);
+    sets_[position] = CandidateSet{};
+}
+
+bool
+PlanExecutor::buildCandidates(const MiningPlan &plan, unsigned position,
+                              const CandidateSet *prev,
+                              CandidateSet &out)
+{
+    const unsigned k = plan.numPositions();
+    const LevelPlan &level = plan.levels[position - 1];
+    const bool nested_covers_final = plan.useNested && plan.countOnly;
+    const bool final_count = plan.countOnly && position + 1 == k &&
+                             !nested_covers_final;
+    const Key bv = boundValue(level);
+
+    // ---- pending operation list ----
+    struct PendingOp
+    {
+        SetOpKind kind;
+        VertexId vertex;   // operand edge list (when !priorSet)
+        bool priorSet;
+    };
+    std::vector<PendingOp> ops;
+
+    streams::KeySpan base;
+    BackendStream base_handle = noStream;
+    bool base_owned = false;
+    bool base_loaded = false;
+
+    auto sliced_neighbors = [&](VertexId v) -> streams::KeySpan {
+        auto full = graph_.neighbors(v);
+        if (bv == noBound)
+            return full;
+        if (static_cast<Key>(v) == bv) {
+            // Hardware shortcut: the CSR offset array (GFR2).
+            backend_.scalarOps(1);
+            return graph_.neighborsBelow(v);
+        }
+        // Generic slice: binary search for the bound.
+        backend_.scalarOps(4);
+        auto it = std::lower_bound(full.begin(), full.end(), bv);
+        return full.subspan(0, static_cast<std::size_t>(
+                                   it - full.begin()));
+    };
+
+    if (level.incremental) {
+        if (!prev || prev->handle == noStream)
+            panic("incremental level %u without a previous set",
+                  position);
+        base = prev->keys;
+        base_handle = prev->handle;
+        base_loaded = true;
+        ops.push_back({SetOpKind::Intersect,
+                       embedding_[position - 1], false});
+    } else {
+        const unsigned c0 = level.connect.front();
+        base = sliced_neighbors(embedding_[c0]);
+        base_handle = noStream; // loaded lazily if ops exist
+        for (std::size_t i = 1; i < level.connect.size(); ++i)
+            ops.push_back({SetOpKind::Intersect,
+                           embedding_[level.connect[i]], false});
+    }
+    for (unsigned d : level.disconnect)
+        ops.push_back({SetOpKind::Subtract, embedding_[d], false});
+
+    std::vector<Key> prior_values;
+    for (unsigned q : level.priorExclude)
+        prior_values.push_back(embedding_[q]);
+    std::sort(prior_values.begin(), prior_values.end());
+    prior_values.erase(
+        std::unique(prior_values.begin(), prior_values.end()),
+        prior_values.end());
+    if (!prior_values.empty())
+        ops.push_back({SetOpKind::Subtract, 0, true});
+
+    // ---- no ops: the sliced base IS the candidate set ----
+    if (ops.empty()) {
+        if (final_count) {
+            backend_.scalarOps(2); // length from offsets
+            count_ += base.size();
+            return false;
+        }
+        const unsigned c0 = level.connect.front();
+        out.keys = base;
+        out.handle = loadNeighborStream(
+            embedding_[c0], base,
+            level.connect.front() + 1 < position ? 1 : 0);
+        out.ownsHandle = true;
+        return true;
+    }
+
+    // ---- load the base stream if it is an edge list ----
+    if (!base_loaded) {
+        const unsigned c0 = level.connect.front();
+        const unsigned priority = c0 + 1 < position ? 1 : 0;
+        base_handle =
+            loadNeighborStream(embedding_[c0], base, priority);
+        base_owned = true;
+        base_loaded = true;
+    }
+
+    // ---- execute the chain ----
+    streams::KeySpan cur = base;
+    BackendStream cur_handle = base_handle;
+    bool cur_owned = base_owned;
+    std::vector<Key> *buf = &arena_[position];
+    std::vector<Key> *tmp = &arenaTmp_[position];
+    const Addr out_addr = candidateRegion + position * candidateStride;
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const PendingOp &op = ops[i];
+        const bool last = i + 1 == ops.size();
+
+        // Operand stream.
+        streams::KeySpan operand;
+        BackendStream operand_handle;
+        if (op.priorSet) {
+            operand = prior_values;
+            operand_handle = backend_.streamLoad(
+                priorSetRegion + position * 256,
+                static_cast<std::uint32_t>(prior_values.size()), 0,
+                operand);
+        } else {
+            // Slice the operand when the bound equals the operand
+            // vertex itself (compiler uses the CSR offset array).
+            streams::KeySpan span =
+                bv != noBound && static_cast<Key>(op.vertex) == bv
+                    ? graph_.neighborsBelow(op.vertex)
+                    : graph_.neighbors(op.vertex);
+            const unsigned priority =
+                static_cast<Key>(op.vertex) ==
+                        embedding_[position - 1]
+                    ? 0
+                    : 1;
+            operand_handle =
+                loadNeighborStream(op.vertex, span, priority);
+            operand = span;
+        }
+
+        if (last && final_count) {
+            std::uint64_t cnt;
+            if (op.kind == SetOpKind::Intersect) {
+                cnt = streams::intersect(cur, operand, bv).count;
+                backend_.setOpCount(op.kind, cur_handle,
+                                    operand_handle, cur, operand, bv,
+                                    cnt);
+            } else {
+                // Counting rewrite (the compiler's algebraic
+                // optimization): |A - B| below the bound equals
+                // |A below bound| - |A & B below bound|, so the
+                // expensive subtraction becomes a cheap intersection
+                // count plus scalar arithmetic. Both substrates run
+                // the same rewritten code.
+                std::uint64_t below_a = cur.size();
+                if (bv != noBound) {
+                    auto it = std::lower_bound(cur.begin(), cur.end(),
+                                               bv);
+                    below_a = static_cast<std::uint64_t>(
+                        it - cur.begin());
+                    backend_.scalarOps(4); // binary search
+                }
+                const std::uint64_t inter =
+                    streams::intersect(cur, operand, bv).count;
+                backend_.setOpCount(SetOpKind::Intersect, cur_handle,
+                                    operand_handle, cur, operand, bv,
+                                    inter);
+                backend_.scalarOps(2); // the subtraction + accumulate
+                cnt = below_a - inter;
+            }
+            count_ += cnt;
+            backend_.streamFree(operand_handle);
+            if (cur_owned)
+                backend_.streamFree(cur_handle);
+            return false;
+        }
+
+        buf->clear();
+        if (op.kind == SetOpKind::Intersect)
+            streams::intersect(cur, operand, bv, buf);
+        else
+            streams::subtract(cur, operand, bv, buf);
+        const BackendStream result_handle = backend_.setOp(
+            op.kind, cur_handle, operand_handle, cur, operand, bv,
+            *buf, out_addr);
+
+        backend_.streamFree(operand_handle);
+        if (cur_owned)
+            backend_.streamFree(cur_handle);
+
+        cur = *buf;
+        cur_handle = result_handle;
+        cur_owned = true;
+        std::swap(buf, tmp);
+    }
+
+    // Keep the final result in arena_[position] so the span stays
+    // valid across deeper recursion (buffers alternate; after the
+    // swap, `tmp` points at the buffer that holds the result).
+    if (tmp != &arena_[position])
+        std::swap(arena_[position], arenaTmp_[position]);
+    out.keys = cur.empty()
+                   ? streams::KeySpan{}
+                   : streams::KeySpan{arena_[position].data(),
+                                      arena_[position].size()};
+    out.handle = cur_handle;
+    out.ownsHandle = cur_owned;
+    return true;
+}
+
+void
+PlanExecutor::nestedTail(const MiningPlan &plan,
+                         const CandidateSet &set)
+{
+    (void)plan;
+    if (set.keys.empty())
+        return;
+
+    if (backend_.supportsNested()) {
+        std::vector<backend::NestedItem> items;
+        items.reserve(set.keys.size());
+        std::uint64_t total = 0;
+        for (const Key v : set.keys) {
+            auto below = graph_.neighborsBelow(v);
+            items.push_back({graph_.vertexEntryAddr(v),
+                             graph_.edgeListAddr(v), below,
+                             static_cast<Key>(v)});
+            total += streams::intersect(set.keys, below,
+                                        static_cast<Key>(v))
+                         .count;
+        }
+        backend_.nestedIntersect(set.handle, set.keys, items);
+        backend_.scalarOps(1); // copy acc_reg to the destination
+        count_ += total;
+        return;
+    }
+
+    // Lowered form: the explicit loop (TS/4CS/5CS and the CPU path).
+    backend_.iterateStream(set.handle, set.keys.size(), 3);
+    for (const Key v : set.keys) {
+        auto below = graph_.neighborsBelow(v);
+        const BackendStream h = loadNeighborStream(v, below, 0);
+        const std::uint64_t cnt =
+            streams::intersect(set.keys, below, static_cast<Key>(v))
+                .count;
+        backend_.setOpCount(SetOpKind::Intersect, set.handle, h,
+                            set.keys, below, static_cast<Key>(v), cnt);
+        backend_.streamFree(h);
+        backend_.scalarOps(1); // accumulate
+        count_ += cnt;
+    }
+}
+
+} // namespace sc::gpm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Plan executor: runs a MiningPlan over a CSR graph against any
+ * ExecBackend. The enumeration is performed functionally exactly once
+ * (producing the embedding count) while every stream load, set
+ * operation, nested intersection and loop is reported to the backend
+ * for timing. Backends without S_NESTINTER support get the explicit
+ * per-element loop (the paper's TS/4CS/5CS variants and the CPU
+ * baseline).
+ */
+
+#ifndef SPARSECORE_GPM_EXECUTOR_HH
+#define SPARSECORE_GPM_EXECUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/exec_backend.hh"
+#include "graph/csr_graph.hh"
+#include "gpm/plan.hh"
+
+namespace sc::gpm {
+
+/** Result of one mining run. */
+struct GpmRunResult
+{
+    std::uint64_t embeddings = 0; ///< symmetry-broken embedding count
+    Cycles cycles = 0;            ///< backend cycles
+    sim::CycleBreakdown breakdown;
+};
+
+/** Executes plans against a backend. */
+class PlanExecutor
+{
+  public:
+    PlanExecutor(const graph::CsrGraph &g, backend::ExecBackend &b);
+
+    /**
+     * Root sampling: process every stride-th start vertex. Benchmarks
+     * sample the largest graphs to bound simulation time (speedups
+     * are cycle ratios, so identical sampling on every substrate
+     * keeps them meaningful); tests always use stride 1.
+     */
+    void setRootStride(unsigned stride);
+
+    /**
+     * Root partitioning for multi-core runs: this executor processes
+     * vertices offset, offset+stride, offset+2*stride, ... — the
+     * interleaved split that balances the degree skew across cores.
+     */
+    void setRootRange(unsigned offset, unsigned stride);
+
+    /** Run one plan end to end (begin/finish the backend). */
+    GpmRunResult run(const MiningPlan &plan);
+
+    /**
+     * Run several plans as one application (e.g. 3-motif = triangle +
+     * three-chain); per-plan counts appended to counts_out.
+     */
+    GpmRunResult runMany(const std::vector<MiningPlan> &plans,
+                         std::vector<std::uint64_t> *counts_out = nullptr);
+
+    /**
+     * Run plans WITHOUT calling the backend's begin()/finish():
+     * composable building block for hybrid algorithms (e.g. IEP
+     * counting mixes a plan run with scalar arithmetic in a single
+     * backend session). Cycles/breakdown in the result are zero; the
+     * caller finishes the backend itself.
+     */
+    GpmRunResult
+    runManyNoLifecycle(const std::vector<MiningPlan> &plans,
+                       std::vector<std::uint64_t> *counts_out = nullptr);
+
+  private:
+    struct CandidateSet
+    {
+        streams::KeySpan keys;          ///< current candidates
+        backend::BackendStream handle = backend::noStream;
+        bool ownsHandle = false;        ///< executor must free it
+    };
+
+    /** Enumerate one plan without backend begin/finish. */
+    std::uint64_t runPlan(const MiningPlan &plan);
+
+    void recurse(const MiningPlan &plan, unsigned position);
+
+    /**
+     * Build the candidate set for `position` from the current
+     * embedding; for the final counting level the last operation is a
+     * count. Returns true when a candidate set was produced (false =>
+     * the count was accumulated directly).
+     */
+    bool buildCandidates(const MiningPlan &plan, unsigned position,
+                         const CandidateSet *prev, CandidateSet &out);
+
+    /** Nested tail: S_NESTINTER over the given candidate set. */
+    void nestedTail(const MiningPlan &plan, const CandidateSet &set);
+
+    /** Effective upper bound of a level (runtime min), or noBound. */
+    Key boundValue(const LevelPlan &level) const;
+
+    /** Load a (possibly sliced) neighbor list as a backend stream. */
+    backend::BackendStream loadNeighborStream(VertexId v,
+                                              streams::KeySpan span,
+                                              unsigned priority);
+
+    const graph::CsrGraph &graph_;
+    backend::ExecBackend &backend_;
+
+    std::vector<VertexId> embedding_;
+    std::vector<CandidateSet> sets_; ///< per position
+    /** Per-level scratch buffers for intermediate op outputs. */
+    std::vector<std::vector<Key>> arena_;
+    std::vector<std::vector<Key>> arenaTmp_;
+    std::uint64_t count_ = 0;
+    unsigned rootStride_ = 1;
+    unsigned rootOffset_ = 0;
+};
+
+} // namespace sc::gpm
+
+#endif // SPARSECORE_GPM_EXECUTOR_HH

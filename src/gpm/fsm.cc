@@ -1,0 +1,392 @@
+#include "gpm/fsm.hh"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "streams/set_ops.hh"
+
+namespace sc::gpm {
+
+using backend::BackendStream;
+using graph::Label;
+using streams::SetOpKind;
+
+namespace {
+
+/** MNI bookkeeping for one labeled pattern: distinct graph vertices
+ *  seen at each pattern position. */
+struct MniSets
+{
+    std::array<std::unordered_set<VertexId>, 4> positions;
+    unsigned used = 0;
+
+    std::uint64_t
+    support() const
+    {
+        std::uint64_t s = ~std::uint64_t{0};
+        for (unsigned p = 0; p < used; ++p)
+            s = std::min(
+                s, static_cast<std::uint64_t>(positions[p].size()));
+        return used ? s : 0;
+    }
+};
+
+/** Pattern keys: small label tuples packed into 64 bits with a tag. */
+std::uint64_t
+edgeKey(Label a, Label b)
+{
+    if (a > b)
+        std::swap(a, b);
+    return (1ull << 60) | (static_cast<std::uint64_t>(a) << 16) | b;
+}
+
+std::uint64_t
+wedgeKey(Label center, Label l1, Label l2)
+{
+    if (l1 > l2)
+        std::swap(l1, l2);
+    return (2ull << 60) | (static_cast<std::uint64_t>(center) << 32) |
+           (static_cast<std::uint64_t>(l1) << 16) | l2;
+}
+
+std::uint64_t
+triangleKey(Label a, Label b, Label c)
+{
+    Label l[3] = {a, b, c};
+    std::sort(l, l + 3);
+    return (3ull << 60) | (static_cast<std::uint64_t>(l[0]) << 32) |
+           (static_cast<std::uint64_t>(l[1]) << 16) | l[2];
+}
+
+std::uint64_t
+starKey(Label center, Label l1, Label l2, Label l3)
+{
+    Label l[3] = {l1, l2, l3};
+    std::sort(l, l + 3);
+    return (4ull << 60) | (static_cast<std::uint64_t>(center) << 48) |
+           (static_cast<std::uint64_t>(l[0]) << 32) |
+           (static_cast<std::uint64_t>(l[1]) << 16) | l[2];
+}
+
+std::uint64_t
+pathKey(Label end0, Label mid0, Label mid1, Label end1)
+{
+    // Canonical orientation: smaller (mid, end) pair first.
+    if (std::tie(mid0, end0) > std::tie(mid1, end1)) {
+        std::swap(mid0, mid1);
+        std::swap(end0, end1);
+    }
+    return (5ull << 60) | (static_cast<std::uint64_t>(end0) << 48) |
+           (static_cast<std::uint64_t>(mid0) << 32) |
+           (static_cast<std::uint64_t>(mid1) << 16) | end1;
+}
+
+} // namespace
+
+FsmResult
+runFsm(const graph::LabeledGraph &lg, backend::ExecBackend &backend,
+       std::uint64_t min_support)
+{
+    const graph::CsrGraph &g = lg.graph();
+    backend.begin();
+
+    std::map<std::uint64_t, MniSets> tables;
+    auto insert = [&](std::uint64_t key, unsigned pos, VertexId v,
+                      unsigned used) {
+        MniSets &t = tables[key];
+        t.used = std::max(t.used, used);
+        t.positions[pos].insert(v);
+        backend.scalarOps(4); // hash + insert bookkeeping
+    };
+
+    // ---------------- phase 1: labeled edges ----------------
+    for (VertexId u = 0; u < g.numVertices(); ++u) {
+        backend.scalarLoad(g.vertexEntryAddr(u));
+        backend.scalarOps(2);
+        auto above = g.neighborsAbove(u);
+        backend.iterateStream(backend::noStream, above.size(), 2);
+        for (VertexId v : above) {
+            backend.scalarLoad(g.edgeListAddr(u));
+            const std::uint64_t key = edgeKey(lg.label(u), lg.label(v));
+            // Position 0 holds the smaller label's endpoint; with
+            // equal labels both endpoints feed both positions.
+            if (lg.label(u) == lg.label(v)) {
+                insert(key, 0, u, 2);
+                insert(key, 0, v, 2);
+                insert(key, 1, u, 2);
+                insert(key, 1, v, 2);
+            } else if (lg.label(u) < lg.label(v)) {
+                insert(key, 0, u, 2);
+                insert(key, 1, v, 2);
+            } else {
+                insert(key, 0, v, 2);
+                insert(key, 1, u, 2);
+            }
+        }
+    }
+
+    auto frequent = [&](std::uint64_t key) {
+        auto it = tables.find(key);
+        return it != tables.end() &&
+               it->second.support() >= min_support;
+    };
+    auto edgeFrequent = [&](Label a, Label b) {
+        return frequent(edgeKey(a, b));
+    };
+
+    FsmResult result;
+    for (const auto &[key, t] : tables)
+        if (t.support() >= min_support)
+            ++result.frequentEdges;
+
+    // ---------------- phase 2: wedges (2 edges) ----------------
+    for (VertexId c = 0; c < g.numVertices(); ++c) {
+        auto nbrs = g.neighbors(c);
+        const Label lc = lg.label(c);
+        backend.iterateStream(backend::noStream, nbrs.size(), 2);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            for (std::size_t j = 0; j < i; ++j) {
+                backend.scalarOps(3);
+                const VertexId v1 = nbrs[i], v2 = nbrs[j];
+                const Label l1 = lg.label(v1), l2 = lg.label(v2);
+                if (!edgeFrequent(lc, l1) || !edgeFrequent(lc, l2))
+                    continue;
+                const std::uint64_t key = wedgeKey(lc, l1, l2);
+                insert(key, 0, c, 3);
+                if (l1 == l2) {
+                    insert(key, 1, v1, 3);
+                    insert(key, 1, v2, 3);
+                    insert(key, 2, v1, 3);
+                    insert(key, 2, v2, 3);
+                } else if (l1 < l2) {
+                    insert(key, 1, v1, 3);
+                    insert(key, 2, v2, 3);
+                } else {
+                    insert(key, 1, v2, 3);
+                    insert(key, 2, v1, 3);
+                }
+            }
+        }
+    }
+
+    // ---------------- phase 3: triangles (stream intersections) ----
+    std::vector<Key> tri_buf;
+    for (VertexId u = 0; u < g.numVertices(); ++u) {
+        auto below_u = g.neighborsBelow(u);
+        if (below_u.empty())
+            continue;
+        const BackendStream hu = backend.streamLoad(
+            g.edgeListAddr(u),
+            static_cast<std::uint32_t>(below_u.size()), 1, below_u);
+        backend.iterateStream(hu, below_u.size(), 3);
+        for (VertexId v : below_u) {
+            if (!edgeFrequent(lg.label(u), lg.label(v)))
+                continue;
+            auto below_v = g.neighborsBelow(v);
+            const BackendStream hv = backend.streamLoad(
+                g.edgeListAddr(v),
+                static_cast<std::uint32_t>(below_v.size()), 0,
+                below_v);
+            tri_buf.clear();
+            streams::intersect(below_u, below_v, noBound, &tri_buf);
+            const BackendStream hw = backend.setOp(
+                SetOpKind::Intersect, hu, hv, below_u, below_v,
+                noBound, tri_buf, 0x6f0000000ull);
+            backend.iterateStream(hw, tri_buf.size(), 2);
+            for (VertexId w : tri_buf) {
+                const std::uint64_t key = triangleKey(
+                    lg.label(u), lg.label(v), lg.label(w));
+                // All three positions share the sorted label tuple;
+                // insert each vertex at every position whose label
+                // matches.
+                Label sorted[3] = {lg.label(u), lg.label(v),
+                                   lg.label(w)};
+                std::sort(sorted, sorted + 3);
+                for (VertexId x : {u, v, w})
+                    for (unsigned p = 0; p < 3; ++p)
+                        if (lg.label(x) == sorted[p])
+                            insert(key, p, x, 3);
+            }
+            backend.streamFree(hw);
+            backend.streamFree(hv);
+        }
+        backend.streamFree(hu);
+    }
+
+    // ---------------- phase 4: 3-stars ----------------
+    std::map<Label, std::uint32_t> label_counts;
+    for (VertexId c = 0; c < g.numVertices(); ++c) {
+        auto nbrs = g.neighbors(c);
+        if (nbrs.size() < 3)
+            continue;
+        const Label lc = lg.label(c);
+        label_counts.clear();
+        backend.iterateStream(backend::noStream, nbrs.size(), 3);
+        for (VertexId v : nbrs)
+            ++label_counts[lg.label(v)];
+        // For each frequent-edge label multiset {a<=b<=c2} feasible
+        // from the counts, credit the center and the leaves.
+        std::vector<Label> labels;
+        for (const auto &[l, cnt] : label_counts)
+            if (edgeFrequent(lc, l))
+                labels.push_back(l);
+        for (std::size_t i = 0; i < labels.size(); ++i)
+            for (std::size_t j = i; j < labels.size(); ++j)
+                for (std::size_t k = j; k < labels.size(); ++k) {
+                    backend.scalarOps(4);
+                    const Label a = labels[i], b = labels[j],
+                                c2 = labels[k];
+                    std::map<Label, std::uint32_t> need;
+                    ++need[a];
+                    ++need[b];
+                    ++need[c2];
+                    bool ok = true;
+                    for (const auto &[l, cnt] : need)
+                        if (label_counts[l] < cnt)
+                            ok = false;
+                    if (!ok)
+                        continue;
+                    const std::uint64_t key = starKey(lc, a, b, c2);
+                    insert(key, 0, c, 4);
+                    for (VertexId v : nbrs) {
+                        const Label lv = lg.label(v);
+                        Label sorted[3] = {a, b, c2};
+                        for (unsigned p = 0; p < 3; ++p)
+                            if (lv == sorted[p])
+                                insert(key, p + 1, v, 4);
+                    }
+                }
+    }
+
+    // ---------------- phase 5: 4-paths (stream subtractions) -------
+    std::vector<Key> path_buf_a, path_buf_b;
+    for (VertexId u = 0; u < g.numVertices(); ++u) {
+        auto above_u = g.neighborsAbove(u);
+        for (VertexId v : above_u) {
+            if (!edgeFrequent(lg.label(u), lg.label(v)))
+                continue;
+            // A = N(u) - {v}, B = N(v) - {u}: singleton subtractions.
+            auto nu = g.neighbors(u);
+            auto nv = g.neighbors(v);
+            const BackendStream hu = backend.streamLoad(
+                g.edgeListAddr(u),
+                static_cast<std::uint32_t>(nu.size()), 0, nu);
+            const BackendStream hv = backend.streamLoad(
+                g.edgeListAddr(v),
+                static_cast<std::uint32_t>(nv.size()), 0, nv);
+            const Key single_v[1] = {v};
+            const Key single_u[1] = {u};
+            const BackendStream hsv = backend.streamLoad(
+                0x6f8000000ull, 1, 0, streams::KeySpan{single_v, 1});
+            const BackendStream hsu = backend.streamLoad(
+                0x6f8000100ull, 1, 0, streams::KeySpan{single_u, 1});
+            path_buf_a.clear();
+            path_buf_b.clear();
+            streams::subtract(nu, streams::KeySpan{single_v, 1},
+                              noBound, &path_buf_a);
+            streams::subtract(nv, streams::KeySpan{single_u, 1},
+                              noBound, &path_buf_b);
+            const BackendStream ha = backend.setOp(
+                SetOpKind::Subtract, hu, hsv, nu,
+                streams::KeySpan{single_v, 1}, noBound, path_buf_a,
+                0x6f4000000ull);
+            const BackendStream hb = backend.setOp(
+                SetOpKind::Subtract, hv, hsu, nv,
+                streams::KeySpan{single_u, 1}, noBound, path_buf_b,
+                0x6f6000000ull);
+
+            const Label lu = lg.label(u), lv = lg.label(v);
+            // End w on the u side needs some x != w on the v side.
+            backend.iterateStream(ha, path_buf_a.size(), 3);
+            for (VertexId w : path_buf_a) {
+                const bool completable =
+                    path_buf_b.size() >= 2 ||
+                    (path_buf_b.size() == 1 && path_buf_b[0] != w);
+                if (!completable ||
+                    !edgeFrequent(lg.label(w), lu)) {
+                    continue;
+                }
+                // Determine w's end position from the canonical
+                // orientation of (end0, mid0, mid1, end1).
+                for (VertexId x : path_buf_b) {
+                    if (x == w)
+                        continue;
+                    if (!edgeFrequent(lg.label(x), lv))
+                        continue;
+                    const std::uint64_t key = pathKey(
+                        lg.label(w), lu, lv, lg.label(x));
+                    // Positions: 0 = end0, 1 = mid0, 2 = mid1,
+                    // 3 = end1 in canonical orientation.
+                    const bool flipped =
+                        std::make_pair(lv, lg.label(x)) <
+                        std::make_pair(lu, lg.label(w));
+                    insert(key, flipped ? 3 : 0, w, 4);
+                    insert(key, flipped ? 2 : 1, u, 4);
+                    insert(key, flipped ? 1 : 2, v, 4);
+                    insert(key, flipped ? 0 : 3, x, 4);
+                    break; // one witness is enough for w's MNI entry
+                }
+            }
+            // Symmetric pass for the v side ends.
+            backend.iterateStream(hb, path_buf_b.size(), 3);
+            for (VertexId x : path_buf_b) {
+                const bool completable =
+                    path_buf_a.size() >= 2 ||
+                    (path_buf_a.size() == 1 && path_buf_a[0] != x);
+                if (!completable ||
+                    !edgeFrequent(lg.label(x), lv)) {
+                    continue;
+                }
+                for (VertexId w : path_buf_a) {
+                    if (w == x)
+                        continue;
+                    if (!edgeFrequent(lg.label(w), lu))
+                        continue;
+                    const std::uint64_t key = pathKey(
+                        lg.label(w), lu, lv, lg.label(x));
+                    const bool flipped =
+                        std::make_pair(lv, lg.label(x)) <
+                        std::make_pair(lu, lg.label(w));
+                    insert(key, flipped ? 0 : 3, x, 4);
+                    break;
+                }
+            }
+
+            backend.streamFree(ha);
+            backend.streamFree(hb);
+            backend.streamFree(hsu);
+            backend.streamFree(hsv);
+            backend.streamFree(hv);
+            backend.streamFree(hu);
+        }
+    }
+
+    // ---------------- tally ----------------
+    for (const auto &[key, t] : tables) {
+        if (t.support() < min_support)
+            continue;
+        switch (key >> 60) {
+          case 2:
+            ++result.frequentWedges;
+            break;
+          case 3:
+            ++result.frequentTriangles;
+            break;
+          case 4:
+            ++result.frequentStars;
+            break;
+          case 5:
+            ++result.frequentPaths;
+            break;
+          default:
+            break; // edges tallied above
+        }
+    }
+    result.cycles = backend.finish();
+    result.breakdown = backend.breakdown();
+    return result;
+}
+
+} // namespace sc::gpm

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Frequent subgraph mining (FSM) with the minimum image-based (MNI)
+ * support metric, on vertex-labeled graphs, for patterns with at most
+ * three edges (edge, wedge, triangle, 3-star, 4-path) — the same
+ * scope as the paper's §6.2 (which follows Peregrine).
+ *
+ * Candidate patterns are pruned anti-monotonically (a pattern is only
+ * explored when its sub-edges are frequent). Triangle enumeration
+ * uses stream intersections and 4-path enumeration uses stream
+ * subtractions — the parts SparseCore accelerates; the MNI support
+ * bookkeeping is scalar, which is why FSM sees the smallest speedups
+ * (§6.3.2).
+ */
+
+#ifndef SPARSECORE_GPM_FSM_HH
+#define SPARSECORE_GPM_FSM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/exec_backend.hh"
+#include "graph/labeled_graph.hh"
+#include "sim/core_model.hh"
+
+namespace sc::gpm {
+
+/** Outcome of one FSM run. */
+struct FsmResult
+{
+    unsigned frequentEdges = 0;
+    unsigned frequentWedges = 0;
+    unsigned frequentTriangles = 0;
+    unsigned frequentStars = 0;
+    unsigned frequentPaths = 0;
+    Cycles cycles = 0;
+    sim::CycleBreakdown breakdown;
+
+    unsigned
+    totalFrequent() const
+    {
+        return frequentEdges + frequentWedges + frequentTriangles +
+               frequentStars + frequentPaths;
+    }
+};
+
+/**
+ * Mine all frequent patterns with <= 3 edges.
+ * @param min_support MNI support threshold (paper: 1K and 2K on mico)
+ */
+FsmResult runFsm(const graph::LabeledGraph &g,
+                 backend::ExecBackend &backend,
+                 std::uint64_t min_support);
+
+} // namespace sc::gpm
+
+#endif // SPARSECORE_GPM_FSM_HH

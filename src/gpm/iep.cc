@@ -1,0 +1,75 @@
+#include "gpm/iep.hh"
+
+#include "common/logging.hh"
+#include "gpm/apps.hh"
+#include "gpm/planner.hh"
+
+namespace sc::gpm {
+
+namespace {
+
+/** The arithmetic pass: sum of C(deg(v), 2) over sampled roots. */
+std::uint64_t
+wedgePairs(const graph::CsrGraph &g, backend::ExecBackend &backend,
+           unsigned root_stride)
+{
+    std::uint64_t pairs = 0;
+    for (VertexId v = 0; v < g.numVertices(); v += root_stride) {
+        // deg(v) from the vertex array: one load plus the C(d,2)
+        // arithmetic and loop control.
+        backend.scalarLoad(g.vertexEntryAddr(v));
+        backend.scalarOps(4);
+        const std::uint64_t d = g.degree(v);
+        pairs += d * (d - 1) / 2;
+    }
+    return pairs;
+}
+
+/** Triangles through the regular plan, inside an open backend
+ *  session. */
+std::uint64_t
+triangles(const graph::CsrGraph &g, backend::ExecBackend &backend,
+          unsigned root_stride)
+{
+    PlanExecutor executor(g, backend);
+    executor.setRootStride(root_stride);
+    return executor
+        .runManyNoLifecycle(gpmAppPlans(
+            backend.supportsNested() ? GpmApp::T : GpmApp::TS))
+        .embeddings;
+}
+
+} // namespace
+
+GpmRunResult
+runThreeChainIep(const graph::CsrGraph &g,
+                 backend::ExecBackend &backend, unsigned root_stride)
+{
+    backend.begin();
+    const std::uint64_t tri = triangles(g, backend, root_stride);
+    const std::uint64_t pairs = wedgePairs(g, backend, root_stride);
+
+    GpmRunResult result;
+    // Each triangle closes one wedge at each of its three corners.
+    result.embeddings = pairs - 3 * tri;
+    result.cycles = backend.finish();
+    result.breakdown = backend.breakdown();
+    return result;
+}
+
+GpmRunResult
+runThreeMotifIep(const graph::CsrGraph &g,
+                 backend::ExecBackend &backend, unsigned root_stride)
+{
+    backend.begin();
+    const std::uint64_t tri = triangles(g, backend, root_stride);
+    const std::uint64_t pairs = wedgePairs(g, backend, root_stride);
+
+    GpmRunResult result;
+    result.embeddings = pairs - 2 * tri; // chains + triangles
+    result.cycles = backend.finish();
+    result.breakdown = backend.breakdown();
+    return result;
+}
+
+} // namespace sc::gpm

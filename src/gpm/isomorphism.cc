@@ -1,0 +1,116 @@
+#include "gpm/isomorphism.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace sc::gpm {
+
+namespace {
+
+/** Apply permutation perm to p: vertex v of p becomes perm[v]. */
+Pattern
+permute(const Pattern &p, const Permutation &perm)
+{
+    Pattern out(p.numVertices(), p.name());
+    for (unsigned u = 0; u < p.numVertices(); ++u)
+        for (unsigned v = u + 1; v < p.numVertices(); ++v)
+            if (p.hasEdge(u, v))
+                out.addEdge(perm[u], perm[v]);
+    return out;
+}
+
+bool
+sameAdjacency(const Pattern &a, const Pattern &b)
+{
+    if (a.numVertices() != b.numVertices())
+        return false;
+    for (unsigned v = 0; v < a.numVertices(); ++v)
+        if (a.adjacency(v) != b.adjacency(v))
+            return false;
+    return true;
+}
+
+std::uint64_t
+encode(const Pattern &p)
+{
+    std::uint64_t code = 0;
+    for (unsigned v = 0; v < p.numVertices(); ++v)
+        code = (code << 8) | p.adjacency(v);
+    return code;
+}
+
+} // namespace
+
+std::vector<Permutation>
+automorphisms(const Pattern &p)
+{
+    const unsigned n = p.numVertices();
+    Permutation perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::vector<Permutation> autos;
+    do {
+        if (sameAdjacency(permute(p, perm), p))
+            autos.push_back(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return autos;
+}
+
+bool
+isomorphic(const Pattern &a, const Pattern &b)
+{
+    if (a.numVertices() != b.numVertices() ||
+        a.numEdges() != b.numEdges()) {
+        return false;
+    }
+    const unsigned n = a.numVertices();
+    Permutation perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    do {
+        if (sameAdjacency(permute(a, perm), b))
+            return true;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return false;
+}
+
+std::uint64_t
+canonicalCode(const Pattern &p)
+{
+    const unsigned n = p.numVertices();
+    Permutation perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::uint64_t best = ~std::uint64_t{0};
+    do {
+        best = std::min(best, encode(permute(p, perm)));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    // Tag with the vertex count so codes of different sizes never
+    // collide.
+    return (static_cast<std::uint64_t>(n) << 56) | best;
+}
+
+std::vector<std::pair<unsigned, unsigned>>
+symmetryRestrictions(const Pattern &p)
+{
+    // GraphPi-style first-difference pairs: for each non-identity
+    // automorphism sigma, find the first position q with
+    // sigma(q) != q and require v_q > v_sigma(q) (keeping the
+    // lexicographically-GREATEST member of each orbit, which turns
+    // every restriction into an upper bound on the later vertex —
+    // the form the bounded stream ISA can exploit). Emitted as
+    // (a, b) meaning v_a > v_b; a < b always holds because sigma
+    // fixes all positions before its first difference.
+    std::set<std::pair<unsigned, unsigned>> pairs;
+    for (const auto &sigma : automorphisms(p)) {
+        for (unsigned q = 0; q < p.numVertices(); ++q) {
+            if (sigma[q] != q) {
+                pairs.emplace(q, sigma[q]);
+                break;
+            }
+        }
+    }
+    return {pairs.begin(), pairs.end()};
+}
+
+} // namespace sc::gpm

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small-graph isomorphism utilities: automorphism groups, canonical
+ * codes (FSM pattern dedup), and the GraphPi/GraphZero-style
+ * symmetry-breaking restriction generation used by the planner.
+ */
+
+#ifndef SPARSECORE_GPM_ISOMORPHISM_HH
+#define SPARSECORE_GPM_ISOMORPHISM_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gpm/pattern.hh"
+
+namespace sc::gpm {
+
+/** A vertex permutation of a pattern. */
+using Permutation = std::vector<unsigned>;
+
+/** All automorphisms of a pattern (includes the identity). */
+std::vector<Permutation> automorphisms(const Pattern &p);
+
+/** True when the two patterns are isomorphic. */
+bool isomorphic(const Pattern &a, const Pattern &b);
+
+/**
+ * Canonical code: the lexicographically smallest adjacency-bitmask
+ * encoding over all permutations. Equal codes <=> isomorphic.
+ */
+std::uint64_t canonicalCode(const Pattern &p);
+
+/**
+ * Symmetry-breaking restrictions: ordered pairs (a, b) requiring
+ * v_a > v_b during enumeration (so position b is upper-bounded by
+ * position a). Generated with the first-difference method over the
+ * automorphism group: enforcing all pairs keeps exactly one member of
+ * each automorphism orbit (the lexicographically-least embedding).
+ */
+std::vector<std::pair<unsigned, unsigned>>
+symmetryRestrictions(const Pattern &p);
+
+} // namespace sc::gpm
+
+#endif // SPARSECORE_GPM_ISOMORPHISM_HH

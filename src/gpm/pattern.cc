@@ -1,0 +1,140 @@
+#include "gpm/pattern.hh"
+
+#include "common/logging.hh"
+
+namespace sc::gpm {
+
+Pattern::Pattern(unsigned n, std::string name)
+    : n_(n), name_(std::move(name))
+{
+    if (n == 0 || n > maxPatternVertices)
+        fatal("pattern size %u out of range [1, %u]", n,
+              maxPatternVertices);
+}
+
+void
+Pattern::addEdge(unsigned u, unsigned v)
+{
+    if (u >= n_ || v >= n_ || u == v)
+        fatal("bad pattern edge (%u,%u) for %u vertices", u, v, n_);
+    adj_[u] |= static_cast<std::uint8_t>(1u << v);
+    adj_[v] |= static_cast<std::uint8_t>(1u << u);
+}
+
+bool
+Pattern::hasEdge(unsigned u, unsigned v) const
+{
+    return u < n_ && v < n_ && (adj_[u] >> v) & 1u;
+}
+
+unsigned
+Pattern::numEdges() const
+{
+    unsigned total = 0;
+    for (unsigned v = 0; v < n_; ++v)
+        total += degree(v);
+    return total / 2;
+}
+
+unsigned
+Pattern::degree(unsigned v) const
+{
+    return static_cast<unsigned>(__builtin_popcount(adj_[v]));
+}
+
+bool
+Pattern::isConnected() const
+{
+    if (n_ == 0)
+        return false;
+    std::uint8_t visited = 1;
+    std::uint8_t frontier = 1;
+    while (frontier) {
+        std::uint8_t next = 0;
+        for (unsigned v = 0; v < n_; ++v)
+            if ((frontier >> v) & 1u)
+                next |= adj_[v];
+        frontier = next & static_cast<std::uint8_t>(~visited);
+        visited |= next;
+    }
+    return visited == (1u << n_) - 1;
+}
+
+Pattern
+Pattern::triangle()
+{
+    return clique(3);
+}
+
+Pattern
+Pattern::threeChain()
+{
+    return path(3);
+}
+
+Pattern
+Pattern::tailedTriangle()
+{
+    // Vertices: 0,2 = symmetric triangle vertices, 1 = tail-bearing
+    // triangle vertex, 3 = tail (matches the Fig. 2 role order).
+    Pattern p(4, "tailed-triangle");
+    p.addEdge(0, 1);
+    p.addEdge(0, 2);
+    p.addEdge(1, 2);
+    p.addEdge(1, 3);
+    return p;
+}
+
+Pattern
+Pattern::clique(unsigned k)
+{
+    Pattern p(k, std::to_string(k) + "-clique");
+    for (unsigned u = 0; u < k; ++u)
+        for (unsigned v = u + 1; v < k; ++v)
+            p.addEdge(u, v);
+    return p;
+}
+
+Pattern
+Pattern::path(unsigned k)
+{
+    Pattern p(k, std::to_string(k) + "-path");
+    for (unsigned v = 0; v + 1 < k; ++v)
+        p.addEdge(v, v + 1);
+    return p;
+}
+
+Pattern
+Pattern::star(unsigned k)
+{
+    Pattern p(k + 1, std::to_string(k) + "-star");
+    for (unsigned v = 1; v <= k; ++v)
+        p.addEdge(0, v);
+    return p;
+}
+
+Pattern
+Pattern::cycle(unsigned k)
+{
+    if (k < 3)
+        fatal("cycles need at least three vertices");
+    Pattern p(k, std::to_string(k) + "-cycle");
+    for (unsigned v = 0; v < k; ++v)
+        p.addEdge(v, (v + 1) % k);
+    return p;
+}
+
+Pattern
+Pattern::diamond()
+{
+    // K4 minus the (2,3) edge: 0 and 1 are the degree-3 vertices.
+    Pattern p(4, "diamond");
+    p.addEdge(0, 1);
+    p.addEdge(0, 2);
+    p.addEdge(0, 3);
+    p.addEdge(1, 2);
+    p.addEdge(1, 3);
+    return p;
+}
+
+} // namespace sc::gpm

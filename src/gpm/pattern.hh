@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Pattern graphs for GPM: small undirected graphs (<= 8 vertices)
+ * stored as per-vertex adjacency bitmasks, with named factories for
+ * the Table-3 application patterns.
+ */
+
+#ifndef SPARSECORE_GPM_PATTERN_HH
+#define SPARSECORE_GPM_PATTERN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace sc::gpm {
+
+/** Maximum pattern size supported. */
+constexpr unsigned maxPatternVertices = 8;
+
+/** A small undirected pattern graph. */
+class Pattern
+{
+  public:
+    Pattern() = default;
+    /** @param n vertex count; edges added via addEdge(). */
+    explicit Pattern(unsigned n, std::string name = "pattern");
+
+    void addEdge(unsigned u, unsigned v);
+    bool hasEdge(unsigned u, unsigned v) const;
+
+    unsigned numVertices() const { return n_; }
+    unsigned numEdges() const;
+    /** Adjacency bitmask of vertex v. */
+    std::uint8_t adjacency(unsigned v) const { return adj_[v]; }
+    unsigned degree(unsigned v) const;
+
+    bool isConnected() const;
+
+    const std::string &name() const { return name_; }
+
+    // ---- named factories (Table 3 patterns) ----
+    static Pattern triangle();
+    /** Path on three vertices (the "three chain"). */
+    static Pattern threeChain();
+    static Pattern tailedTriangle();
+    static Pattern clique(unsigned k);
+    /** Path on k vertices. */
+    static Pattern path(unsigned k);
+    /** Star with k leaves (k+1 vertices). */
+    static Pattern star(unsigned k);
+    /** Cycle on k vertices. */
+    static Pattern cycle(unsigned k);
+    /** Diamond: K4 minus one edge. */
+    static Pattern diamond();
+
+  private:
+    unsigned n_ = 0;
+    std::array<std::uint8_t, maxPatternVertices> adj_{};
+    std::string name_;
+};
+
+} // namespace sc::gpm
+
+#endif // SPARSECORE_GPM_PATTERN_HH

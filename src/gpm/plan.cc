@@ -1,0 +1,52 @@
+#include "gpm/plan.hh"
+
+#include <sstream>
+
+namespace sc::gpm {
+
+std::string
+MiningPlan::describe() const
+{
+    std::ostringstream os;
+    os << "plan for " << pattern.name() << " ("
+       << (vertexInduced ? "vertex" : "edge") << "-induced"
+       << (useNested ? ", nested tail" : "") << ")\n";
+    os << "for v0 in V:\n";
+    std::string indent = "  ";
+    for (unsigned l = 0; l < levels.size(); ++l) {
+        const LevelPlan &lp = levels[l];
+        os << indent << "C" << l + 1 << " = ";
+        bool first = true;
+        for (unsigned c : lp.connect) {
+            os << (first ? "" : " & ") << "N(v" << c << ")";
+            first = false;
+        }
+        for (unsigned d : lp.disconnect)
+            os << " - N(v" << d << ")";
+        for (unsigned e : lp.priorExclude)
+            os << " - {v" << e << "}";
+        if (!lp.bounds.empty()) {
+            os << "  [< min(";
+            for (std::size_t i = 0; i < lp.bounds.size(); ++i)
+                os << (i ? "," : "") << "v" << lp.bounds[i];
+            os << ")]";
+        }
+        if (lp.incremental)
+            os << "  (incremental from C" << l << ")";
+        os << "\n";
+        const bool last = l + 1 == levels.size();
+        if (last && countOnly) {
+            os << indent << "count += |C" << l + 1 << "|";
+            if (useNested && l > 0)
+                os << "  via S_NESTINTER(C" << l << ")";
+            os << "\n";
+        } else {
+            os << indent << "for v" << l + 1 << " in C" << l + 1
+               << ":\n";
+            indent += "  ";
+        }
+    }
+    return os.str();
+}
+
+} // namespace sc::gpm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Mining plans: the compiler IR for pattern enumeration.
+ *
+ * A plan fixes an enumeration order over the pattern's vertices; each
+ * level (one per vertex after the first) describes how the candidate
+ * set is computed from earlier vertices' neighbor lists:
+ *   C_l = (intersection of N(v_c) for c in connect)
+ *         - (union of N(v_d) for d in disconnect)   [vertex-induced]
+ *         - {earlier vertices that could still appear}
+ *   bounded above by min(v_b for b in bounds)       [symmetry breaking]
+ * The planner (planner.hh) derives plans from patterns; the executor
+ * (executor.hh) runs them against any ExecBackend.
+ */
+
+#ifndef SPARSECORE_GPM_PLAN_HH
+#define SPARSECORE_GPM_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpm/pattern.hh"
+
+namespace sc::gpm {
+
+/** Candidate-set recipe for one enumeration level. */
+struct LevelPlan
+{
+    /** Earlier positions whose neighbor lists are intersected. */
+    std::vector<unsigned> connect;
+    /** Earlier positions whose neighbor lists are subtracted
+     *  (vertex-induced patterns only). */
+    std::vector<unsigned> disconnect;
+    /** Earlier positions upper-bounding this vertex (v_l < v_b);
+     *  the effective bound is the runtime minimum. */
+    std::vector<unsigned> bounds;
+    /** Earlier positions that may appear in the candidate set and
+     *  must be subtracted for distinctness. */
+    std::vector<unsigned> priorExclude;
+    /** C_l = op(C_{l-1}, N(v_{l-1})): reuse the previous set. */
+    bool incremental = false;
+};
+
+/** A complete enumeration plan for one pattern. */
+struct MiningPlan
+{
+    Pattern pattern;
+    /** order[position] = pattern vertex enumerated at that position. */
+    std::vector<unsigned> order;
+    /** One per position 1..k-1 (position 0 iterates all vertices). */
+    std::vector<LevelPlan> levels;
+    /** Embeddings are only counted, never materialized. */
+    bool countOnly = true;
+    /** Vertex-induced (subtract non-adjacent) vs edge-induced. */
+    bool vertexInduced = true;
+    /** Lower the final counting level to S_NESTINTER when the
+     *  backend supports it. */
+    bool useNested = false;
+
+    unsigned numPositions() const
+    {
+        return static_cast<unsigned>(order.size());
+    }
+
+    /** Human-readable pseudo-code of the plan. */
+    std::string describe() const;
+};
+
+} // namespace sc::gpm
+
+#endif // SPARSECORE_GPM_PLAN_HH

@@ -1,0 +1,131 @@
+#include "gpm/planner.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "gpm/isomorphism.hh"
+
+namespace sc::gpm {
+
+std::vector<unsigned>
+identityOrder(unsigned k)
+{
+    std::vector<unsigned> order(k);
+    std::iota(order.begin(), order.end(), 0u);
+    return order;
+}
+
+MiningPlan
+buildPlan(const Pattern &pattern, std::vector<unsigned> order,
+          bool vertex_induced, bool use_nested)
+{
+    const unsigned k = pattern.numVertices();
+    if (order.size() != k)
+        fatal("order size %zu != pattern size %u", order.size(), k);
+    if (!pattern.isConnected())
+        fatal("pattern '%s' is not connected", pattern.name().c_str());
+
+    // position of each pattern vertex
+    std::vector<unsigned> pos(k);
+    for (unsigned p = 0; p < k; ++p) {
+        if (order[p] >= k)
+            fatal("order entry %u out of range", order[p]);
+        pos[order[p]] = p;
+    }
+
+    // Symmetry restrictions in pattern-vertex space -> positions.
+    // (a, b) means v_a > v_b; we need pos[a] < pos[b] so the later
+    // position is upper-bounded by an already-chosen vertex.
+    std::vector<std::pair<unsigned, unsigned>> restrictions;
+    for (const auto &[a, b] : symmetryRestrictions(pattern)) {
+        if (pos[a] >= pos[b])
+            fatal("order incompatible with restriction v%u > v%u of "
+                  "pattern '%s'",
+                  a, b, pattern.name().c_str());
+        restrictions.emplace_back(pos[a], pos[b]);
+    }
+
+    MiningPlan plan;
+    plan.pattern = pattern;
+    plan.order = std::move(order);
+    plan.vertexInduced = vertex_induced;
+    plan.countOnly = true;
+
+    for (unsigned p = 1; p < k; ++p) {
+        LevelPlan lp;
+        const unsigned pv = plan.order[p];
+        for (unsigned q = 0; q < p; ++q) {
+            const unsigned qv = plan.order[q];
+            if (pattern.hasEdge(pv, qv))
+                lp.connect.push_back(q);
+            else if (vertex_induced)
+                lp.disconnect.push_back(q);
+        }
+        if (lp.connect.empty())
+            fatal("position %u of pattern '%s' has no earlier "
+                  "neighbor; choose a connected order",
+                  p, pattern.name().c_str());
+        for (const auto &[earlier, later] : restrictions)
+            if (later == p)
+                lp.bounds.push_back(earlier);
+
+        // Earlier positions that can still appear in the candidate
+        // set: not excluded by adjacency (a vertex is never its own
+        // neighbor), by subtraction, or by an upper bound on q
+        // itself.
+        for (unsigned q = 0; q < p; ++q) {
+            const bool in_connect =
+                std::find(lp.connect.begin(), lp.connect.end(), q) !=
+                lp.connect.end();
+            const bool in_disconnect =
+                std::find(lp.disconnect.begin(), lp.disconnect.end(),
+                          q) != lp.disconnect.end();
+            const bool bounded_by_q =
+                std::find(lp.bounds.begin(), lp.bounds.end(), q) !=
+                lp.bounds.end();
+            if (!in_connect && !in_disconnect && !bounded_by_q)
+                lp.priorExclude.push_back(q);
+        }
+        plan.levels.push_back(std::move(lp));
+    }
+
+    // Incremental reuse: C_p = INTER(C_{p-1}, N(v_{p-1}), bound).
+    for (unsigned p = 2; p < k; ++p) {
+        LevelPlan &cur = plan.levels[p - 1];
+        const LevelPlan &prev = plan.levels[p - 2];
+        std::vector<unsigned> expected = prev.connect;
+        expected.push_back(p - 1);
+        std::sort(expected.begin(), expected.end());
+        std::vector<unsigned> have = cur.connect;
+        std::sort(have.begin(), have.end());
+        const bool connect_ok = have == expected;
+        const bool disconnect_ok = cur.disconnect == prev.disconnect;
+        const bool bound_ok =
+            prev.bounds.empty() ||
+            std::find(cur.bounds.begin(), cur.bounds.end(), p - 1) !=
+                cur.bounds.end();
+        const bool exclude_ok = cur.priorExclude == prev.priorExclude;
+        cur.incremental =
+            connect_ok && disconnect_ok && bound_ok && exclude_ok;
+    }
+
+    // Nested tail: last level must be incremental with an empty
+    // disconnect/priorExclude set and bounded by the previous
+    // position (C = sum over v in C_prev of |C_prev & N(v)|_{<v}).
+    if (use_nested && k >= 3) {
+        const LevelPlan &last = plan.levels.back();
+        const bool bounded_by_prev =
+            std::find(last.bounds.begin(), last.bounds.end(), k - 2) !=
+            last.bounds.end();
+        plan.useNested = last.incremental && last.disconnect.empty() &&
+                         last.priorExclude.empty() && bounded_by_prev;
+        if (use_nested && !plan.useNested)
+            warn("pattern '%s': nested intersection not applicable; "
+                 "falling back to the explicit loop",
+                 pattern.name().c_str());
+    }
+    return plan;
+}
+
+} // namespace sc::gpm

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The GPM plan generator — the software half of the paper's compiler
+ * (InHouseAutomine-equivalent). Takes a pattern plus an enumeration
+ * order, derives symmetry-breaking restrictions from the automorphism
+ * group, classifies connect/disconnect sets, detects incremental
+ * candidate reuse, and decides nested-intersection applicability.
+ */
+
+#ifndef SPARSECORE_GPM_PLANNER_HH
+#define SPARSECORE_GPM_PLANNER_HH
+
+#include <vector>
+
+#include "gpm/plan.hh"
+
+namespace sc::gpm {
+
+/**
+ * Build a plan.
+ * @param pattern the pattern to enumerate
+ * @param order enumeration order (order[pos] = pattern vertex); every
+ *        position after the first must be adjacent to an earlier one,
+ *        and every symmetry restriction must point from an earlier to
+ *        a later position (fatal() otherwise — pick a compatible
+ *        order)
+ * @param vertex_induced vertex-induced (subtract non-neighbors) or
+ *        edge-induced semantics
+ * @param use_nested lower the final counting level to S_NESTINTER on
+ *        capable backends
+ */
+MiningPlan buildPlan(const Pattern &pattern, std::vector<unsigned> order,
+                     bool vertex_induced, bool use_nested);
+
+/** Natural order 0..k-1. */
+std::vector<unsigned> identityOrder(unsigned k);
+
+} // namespace sc::gpm
+
+#endif // SPARSECORE_GPM_PLANNER_HH

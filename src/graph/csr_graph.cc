@@ -1,0 +1,50 @@
+#include "graph/csr_graph.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sc::graph {
+
+CsrGraph::CsrGraph(std::vector<std::uint64_t> offsets,
+                   std::vector<VertexId> edges, std::string name)
+    : offsets_(std::move(offsets)), edges_(std::move(edges)),
+      name_(std::move(name))
+{
+    if (offsets_.empty())
+        fatal("CSR graph requires a non-empty offset array");
+    if (offsets_.front() != 0 || offsets_.back() != edges_.size())
+        fatal("CSR offsets are inconsistent with the edge array");
+
+    const VertexId n = numVertices();
+    aboveOffsets_.resize(n);
+    for (VertexId v = 0; v < n; ++v) {
+        auto list = neighbors(v);
+        if (!std::is_sorted(list.begin(), list.end()))
+            fatal("neighbor list of vertex %u is not sorted", v);
+        maxDegree_ = std::max(maxDegree_, degree(v));
+        auto it = std::upper_bound(list.begin(), list.end(), v);
+        aboveOffsets_[v] =
+            static_cast<std::uint32_t>(it - list.begin());
+    }
+    edgeArrayBase_ = vertexArrayBase_ +
+                     (static_cast<Addr>(n) + 1) * sizeof(std::uint64_t);
+    // Align the edge array to a cache line for clean prefetch modeling.
+    edgeArrayBase_ = (edgeArrayBase_ + 63) & ~Addr{63};
+}
+
+double
+CsrGraph::avgDegree() const
+{
+    const VertexId n = numVertices();
+    return n ? static_cast<double>(edges_.size()) / n : 0.0;
+}
+
+bool
+CsrGraph::hasEdge(VertexId u, VertexId v) const
+{
+    auto list = neighbors(u);
+    return std::binary_search(list.begin(), list.end(), v);
+}
+
+} // namespace sc::graph

@@ -1,0 +1,108 @@
+#include "graph/datasets.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "graph/generators.hh"
+
+namespace sc::graph {
+
+const std::vector<GraphDataset> &
+graphDatasets()
+{
+    // Published statistics (Table 4):
+    //   C citeseer            3.3K/4.5K  maxD 99
+    //   E email-eu-core       1.0K/16.1K maxD 345
+    //   B soc-sign-bitcoinalpha 3.8K/24K maxD 511
+    //   G p2p-Gnutella08      6K/21K     maxD 97
+    //   F socfb-Haverford76   1.4K/60K   maxD 375
+    //   W wiki-vote           7K/104K    maxD 1065
+    //   M mico                96.6K/1.1M maxD 1359  (scaled 1/4.4)
+    //   Y com-youtube         1.1M/3.0M  maxD 28754 (scaled 1/27)
+    //   P patent              3.8M/16.5M maxD 793   (scaled 1/62)
+    //   L livejournal         4.8M/42.9M maxD 20333 (scaled 1/100)
+    static const std::vector<GraphDataset> datasets = {
+        {"C", "citeseer", 3300, 4500, 99, 2.6, 1.0},
+        {"E", "email-eu-core", 1005, 16100, 345, 1.9, 1.0},
+        {"B", "soc-sign-bitcoinalpha", 3783, 24000, 511, 2.0, 1.0},
+        {"G", "p2p-Gnutella08", 6000, 21000, 97, 2.6, 1.0},
+        {"F", "socfb-Haverford76", 1446, 60000, 375, 1.8, 1.0},
+        {"W", "wiki-vote", 7100, 104000, 1065, 2.0, 1.0},
+        {"M", "mico", 22000, 250000, 320, 2.1, 4.4},
+        {"Y", "com-youtube", 40000, 110000, 1050, 1.9, 27.0},
+        {"P", "patent", 61000, 266000, 120, 2.5, 62.0},
+        {"L", "livejournal", 48000, 429000, 900, 2.1, 100.0},
+    };
+    return datasets;
+}
+
+const GraphDataset &
+graphDataset(const std::string &key)
+{
+    for (const auto &dataset : graphDatasets())
+        if (dataset.key == key)
+            return dataset;
+    fatal("unknown graph dataset key '%s'", key.c_str());
+}
+
+const CsrGraph &
+loadGraph(const std::string &key)
+{
+    static std::map<std::string, CsrGraph> cache;
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    const GraphDataset &ds = graphDataset(key);
+    // Seed derived from the key so every dataset is distinct but
+    // reproducible across runs.
+    std::uint64_t seed = 0x5ca1ab1e;
+    for (char c : ds.key)
+        seed = seed * 131 + static_cast<unsigned char>(c);
+    CsrGraph graph = generateChungLu(ds.numVertices, ds.numEdges,
+                                     ds.maxDegree, ds.alpha, seed,
+                                     ds.name);
+    auto [pos, inserted] = cache.emplace(key, std::move(graph));
+    (void)inserted;
+    return pos->second;
+}
+
+const LabeledGraph &
+loadLabeledGraph(const std::string &key, std::uint32_t num_labels)
+{
+    static std::map<std::string, LabeledGraph> cache;
+    const std::string cache_key =
+        key + "/" + std::to_string(num_labels);
+    auto it = cache.find(cache_key);
+    if (it != cache.end())
+        return it->second;
+
+    std::uint64_t seed = 0x1abe1ed;
+    for (char c : key)
+        seed = seed * 131 + static_cast<unsigned char>(c);
+    LabeledGraph labeled = LabeledGraph::withRandomLabels(
+        loadGraph(key), num_labels, seed);
+    auto [pos, inserted] = cache.emplace(cache_key, std::move(labeled));
+    (void)inserted;
+    return pos->second;
+}
+
+std::vector<std::string>
+smallGraphKeys()
+{
+    return {"B", "E", "F", "W"};
+}
+
+std::vector<std::string>
+mediumGraphKeys()
+{
+    return {"E", "F", "W", "M", "Y"};
+}
+
+std::vector<std::string>
+allGraphKeys()
+{
+    return {"G", "C", "B", "E", "F", "W", "M", "Y", "P", "L"};
+}
+
+} // namespace sc::graph

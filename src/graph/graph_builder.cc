@@ -1,0 +1,76 @@
+#include "graph/graph_builder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sc::graph {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices)
+    : numVertices_(num_vertices)
+{
+}
+
+bool
+GraphBuilder::addEdge(VertexId u, VertexId v)
+{
+    if (u == v)
+        return false;
+    if (u >= numVertices_ || v >= numVertices_)
+        fatal("edge (%u,%u) out of range for %u vertices", u, v,
+              numVertices_);
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(std::min(u, v)) << 32) |
+        std::max(u, v);
+    if (!seen_.insert(packed).second)
+        return false;
+    edges_.emplace_back(u, v);
+    return true;
+}
+
+void
+GraphBuilder::addEdges(const std::vector<Edge> &edges)
+{
+    for (const auto &[u, v] : edges)
+        addEdge(u, v);
+}
+
+CsrGraph
+GraphBuilder::build(std::string name) &&
+{
+    // Symmetrize: one directed slot per direction.
+    std::vector<Edge> directed;
+    directed.reserve(edges_.size() * 2);
+    for (const auto &[u, v] : edges_) {
+        directed.emplace_back(u, v);
+        directed.emplace_back(v, u);
+    }
+    std::sort(directed.begin(), directed.end());
+    directed.erase(std::unique(directed.begin(), directed.end()),
+                   directed.end());
+
+    std::vector<std::uint64_t> offsets(numVertices_ + 1, 0);
+    for (const auto &[u, v] : directed)
+        ++offsets[u + 1];
+    for (VertexId v = 0; v < numVertices_; ++v)
+        offsets[v + 1] += offsets[v];
+
+    std::vector<VertexId> adjacency;
+    adjacency.reserve(directed.size());
+    for (const auto &[u, v] : directed)
+        adjacency.push_back(v);
+
+    return CsrGraph(std::move(offsets), std::move(adjacency),
+                    std::move(name));
+}
+
+CsrGraph
+buildCsr(VertexId num_vertices, const std::vector<Edge> &edges,
+         std::string name)
+{
+    GraphBuilder builder(num_vertices);
+    builder.addEdges(edges);
+    return std::move(builder).build(std::move(name));
+}
+
+} // namespace sc::graph

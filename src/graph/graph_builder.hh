@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Build CSR graphs from unordered edge lists: symmetrize, sort,
+ * de-duplicate, drop self loops, optionally relabel by degree.
+ */
+
+#ifndef SPARSECORE_GRAPH_GRAPH_BUILDER_HH
+#define SPARSECORE_GRAPH_GRAPH_BUILDER_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.hh"
+
+namespace sc::graph {
+
+/** An undirected edge as an unordered vertex pair. */
+using Edge = std::pair<VertexId, VertexId>;
+
+/** Incrementally collects edges, then finalizes into a CsrGraph. */
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(VertexId num_vertices);
+
+    /**
+     * Add one undirected edge; self loops and duplicates are
+     * silently dropped.
+     * @return true when the edge was new
+     */
+    bool addEdge(VertexId u, VertexId v);
+
+    void addEdges(const std::vector<Edge> &edges);
+
+    /** Unique undirected edges collected so far. */
+    std::uint64_t pendingEdges() const { return edges_.size(); }
+    VertexId numVertices() const { return numVertices_; }
+
+    /**
+     * Finalize into a CSR graph. Duplicates are removed; each
+     * undirected edge appears in both endpoint lists.
+     */
+    CsrGraph build(std::string name = "graph") &&;
+
+  private:
+    VertexId numVertices_;
+    std::vector<Edge> edges_;
+    std::unordered_set<std::uint64_t> seen_;
+};
+
+/** Convenience: build directly from an edge vector. */
+CsrGraph buildCsr(VertexId num_vertices, const std::vector<Edge> &edges,
+                  std::string name = "graph");
+
+} // namespace sc::graph
+
+#endif // SPARSECORE_GRAPH_GRAPH_BUILDER_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Dataset file I/O, so the library runs on real data when available:
+ * SNAP-style edge lists for graphs (the format wiki-vote, com-youtube
+ * etc. are distributed in) and MatrixMarket coordinate files for
+ * sparse matrices (the UF collection's format).
+ */
+
+#ifndef SPARSECORE_GRAPH_IO_HH
+#define SPARSECORE_GRAPH_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hh"
+#include "tensor/sparse_matrix.hh"
+
+namespace sc::graph {
+
+/**
+ * Parse a SNAP-style edge list: one "u v" pair per line, '#' or '%'
+ * comments, arbitrary whitespace. Vertex ids are compacted to a dense
+ * 0-based range; self loops and duplicates are dropped.
+ */
+CsrGraph loadEdgeList(std::istream &in, std::string name = "graph");
+
+/** Load an edge-list file; fatal() when the file cannot be opened. */
+CsrGraph loadEdgeListFile(const std::string &path);
+
+/** Write a graph as a SNAP-style edge list (each edge once, u < v). */
+void saveEdgeList(const CsrGraph &g, std::ostream &out);
+
+} // namespace sc::graph
+
+namespace sc::tensor {
+
+/**
+ * Parse a MatrixMarket coordinate file ("%%MatrixMarket matrix
+ * coordinate real general/symmetric"). Pattern files get value 1.0;
+ * symmetric files are expanded.
+ */
+SparseMatrix loadMatrixMarket(std::istream &in,
+                              std::string name = "matrix");
+
+/** Load a MatrixMarket file; fatal() when it cannot be opened. */
+SparseMatrix loadMatrixMarketFile(const std::string &path);
+
+/** Write a matrix in MatrixMarket coordinate format. */
+void saveMatrixMarket(const SparseMatrix &m, std::ostream &out);
+
+} // namespace sc::tensor
+
+#endif // SPARSECORE_GRAPH_IO_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Vertex-labeled graph for frequent subgraph mining (FSM).
+ */
+
+#ifndef SPARSECORE_GRAPH_LABELED_GRAPH_HH
+#define SPARSECORE_GRAPH_LABELED_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hh"
+
+namespace sc::graph {
+
+/** Vertex label type (FSM patterns are vertex-labeled, like mico). */
+using Label = std::uint32_t;
+
+/** A CSR graph plus per-vertex labels. */
+class LabeledGraph
+{
+  public:
+    LabeledGraph() = default;
+    LabeledGraph(CsrGraph graph, std::vector<Label> labels);
+
+    /** Assign deterministic pseudo-random labels from [0, numLabels). */
+    static LabeledGraph withRandomLabels(CsrGraph graph,
+                                         std::uint32_t num_labels,
+                                         std::uint64_t seed);
+
+    const CsrGraph &graph() const { return graph_; }
+    Label label(VertexId v) const { return labels_[v]; }
+    const std::vector<Label> &labels() const { return labels_; }
+    std::uint32_t numLabels() const { return numLabels_; }
+
+  private:
+    CsrGraph graph_;
+    std::vector<Label> labels_;
+    std::uint32_t numLabels_ = 0;
+};
+
+} // namespace sc::graph
+
+#endif // SPARSECORE_GRAPH_LABELED_GRAPH_HH

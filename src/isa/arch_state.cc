@@ -1,0 +1,206 @@
+#include "isa/arch_state.hh"
+
+#include <algorithm>
+
+namespace sc::isa {
+
+void
+MemoryImage::addSegment(Addr base, const void *data, std::size_t bytes)
+{
+    if (bytes == 0)
+        return;
+    // Reject overlap with existing segments.
+    auto it = segments_.upper_bound(base);
+    if (it != segments_.end() && it->first < base + bytes)
+        panic("memory segments overlap at 0x%llx",
+              static_cast<unsigned long long>(base));
+    if (it != segments_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.base + prev->second.bytes > base)
+            panic("memory segments overlap at 0x%llx",
+                  static_cast<unsigned long long>(base));
+    }
+    segments_[base] = {base, bytes,
+                       static_cast<const std::uint8_t *>(data)};
+}
+
+const MemoryImage::Segment *
+MemoryImage::find(Addr addr, std::size_t bytes) const
+{
+    auto it = segments_.upper_bound(addr);
+    if (it == segments_.begin())
+        throw StreamException(strprintf(
+            "unmapped memory access at 0x%llx",
+            static_cast<unsigned long long>(addr)));
+    --it;
+    const Segment &seg = it->second;
+    if (addr < seg.base || addr + bytes > seg.base + seg.bytes)
+        throw StreamException(strprintf(
+            "unmapped memory access at 0x%llx",
+            static_cast<unsigned long long>(addr)));
+    return &seg;
+}
+
+bool
+MemoryImage::mapped(Addr addr, std::size_t bytes) const
+{
+    try {
+        find(addr, bytes);
+        return true;
+    } catch (const StreamException &) {
+        return false;
+    }
+}
+
+unsigned
+StreamState::allocReg()
+{
+    for (unsigned i = 0; i < numStreamRegs; ++i)
+        if (!regs_[i].valid)
+            return i;
+    // §4.1: when all stream registers are active the initializing
+    // instruction stalls; at functional level running out means the
+    // program (compiler) exceeded the architectural limit.
+    throw StreamException("all stream registers active");
+}
+
+void
+StreamState::define(std::uint64_t sid, Addr key_addr,
+                    std::uint64_t length, std::uint64_t priority,
+                    bool is_kv, Addr val_addr)
+{
+    unsigned idx;
+    auto it = smt_.find(sid);
+    if (it != smt_.end()) {
+        // Re-defining an active sid overwrites the mapping (§3.3).
+        idx = it->second;
+    } else {
+        idx = allocReg();
+        smt_[sid] = idx;
+    }
+    StreamReg &reg = regs_[idx];
+    reg.valid = true;
+    reg.sid = sid;
+    reg.keyAddr = key_addr;
+    reg.valAddr = val_addr;
+    reg.length = length;
+    reg.priority = priority;
+    reg.isKv = is_kv;
+    reg.produced = false;
+    reg.producedKeys.clear();
+    reg.producedVals.clear();
+}
+
+StreamReg &
+StreamState::defineProduced(std::uint64_t sid)
+{
+    unsigned idx;
+    auto it = smt_.find(sid);
+    if (it != smt_.end()) {
+        idx = it->second;
+    } else {
+        idx = allocReg();
+        smt_[sid] = idx;
+    }
+    StreamReg &reg = regs_[idx];
+    reg.valid = true;
+    reg.sid = sid;
+    reg.keyAddr = 0;
+    reg.valAddr = 0;
+    reg.length = 0;
+    reg.priority = 0;
+    reg.isKv = false;
+    reg.produced = true;
+    reg.producedKeys.clear();
+    reg.producedVals.clear();
+    return reg;
+}
+
+void
+StreamState::free(std::uint64_t sid)
+{
+    auto it = smt_.find(sid);
+    if (it == smt_.end())
+        throw StreamException(strprintf(
+            "S_FREE of unmapped stream id %llu",
+            static_cast<unsigned long long>(sid)));
+    regs_[it->second].valid = false;
+    smt_.erase(it);
+}
+
+StreamReg &
+StreamState::lookup(std::uint64_t sid)
+{
+    auto it = smt_.find(sid);
+    if (it == smt_.end())
+        throw StreamException(strprintf(
+            "reference to unmapped stream id %llu",
+            static_cast<unsigned long long>(sid)));
+    return regs_[it->second];
+}
+
+const StreamReg &
+StreamState::lookup(std::uint64_t sid) const
+{
+    return const_cast<StreamState *>(this)->lookup(sid);
+}
+
+bool
+StreamState::isMapped(std::uint64_t sid) const
+{
+    return smt_.count(sid) != 0;
+}
+
+std::vector<Key>
+StreamState::keys(const StreamReg &reg) const
+{
+    if (reg.produced)
+        return reg.producedKeys;
+    return mem_->readArray<Key>(reg.keyAddr, reg.length);
+}
+
+std::vector<Value>
+StreamState::values(const StreamReg &reg) const
+{
+    if (!reg.isKv && !reg.produced)
+        throw StreamException("value access on a key-only stream");
+    if (reg.produced)
+        return reg.producedVals;
+    return mem_->readArray<Value>(reg.valAddr, reg.length);
+}
+
+unsigned
+StreamState::activeCount() const
+{
+    return static_cast<unsigned>(smt_.size());
+}
+
+void
+StreamState::loadGfr(std::uint64_t g0, std::uint64_t g1, std::uint64_t g2)
+{
+    gfr_ = {g0, g1, g2};
+}
+
+std::uint64_t
+StreamState::gfr(unsigned idx) const
+{
+    if (idx >= 3)
+        panic("GFR index %u out of range", idx);
+    return gfr_[idx];
+}
+
+StreamState::Checkpoint
+StreamState::checkpoint() const
+{
+    return Checkpoint{regs_, smt_, gfr_};
+}
+
+void
+StreamState::restore(Checkpoint cp)
+{
+    regs_ = std::move(cp.regs);
+    smt_ = std::move(cp.smt);
+    gfr_ = cp.gfr;
+}
+
+} // namespace sc::isa

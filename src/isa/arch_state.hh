@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Functional architectural state for the stream ISA: a segment-based
+ * memory image, the stream register file, the Stream Mapping Table
+ * (SMT, §4.1 semantics at architectural granularity), and the graph
+ * format registers (GFR0..2, §3.2).
+ */
+
+#ifndef SPARSECORE_ISA_ARCH_STATE_HH
+#define SPARSECORE_ISA_ARCH_STATE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/stream_inst.hh"
+
+namespace sc::isa {
+
+/** Raised for architectural stream exceptions (freeing an unmapped
+ *  stream, value ops on key-only streams, scalar access to stream
+ *  data, ...). */
+class StreamException : public SimError
+{
+  public:
+    explicit StreamException(const std::string &msg)
+        : SimError("stream exception: " + msg)
+    {}
+};
+
+/**
+ * Sparse functional memory: read-only data segments registered by the
+ * host program (graph arrays, tensor arrays) plus a writable scratch
+ * heap for produced streams.
+ */
+class MemoryImage
+{
+  public:
+    /** Map [base, base+bytes) to host data (borrowed, not owned). */
+    void addSegment(Addr base, const void *data, std::size_t bytes);
+
+    /** Typed load; throws StreamException on unmapped access. */
+    template <typename T>
+    T
+    read(Addr addr) const
+    {
+        const auto *seg = find(addr, sizeof(T));
+        T out;
+        std::memcpy(&out, seg->data + (addr - seg->base), sizeof(T));
+        return out;
+    }
+
+    /** Read a span of n elements of type T. */
+    template <typename T>
+    std::vector<T>
+    readArray(Addr addr, std::size_t n) const
+    {
+        const auto *seg = find(addr, sizeof(T) * n);
+        std::vector<T> out(n);
+        std::memcpy(out.data(), seg->data + (addr - seg->base),
+                    sizeof(T) * n);
+        return out;
+    }
+
+    bool mapped(Addr addr, std::size_t bytes) const;
+
+  private:
+    struct Segment
+    {
+        Addr base;
+        std::size_t bytes;
+        const std::uint8_t *data;
+    };
+
+    const Segment *find(Addr addr, std::size_t bytes) const;
+
+    std::map<Addr, Segment> segments_; // keyed by base
+};
+
+/** One architectural stream register (§3.2). */
+struct StreamReg
+{
+    bool valid = false;
+    std::uint64_t sid = 0;
+    Addr keyAddr = 0;
+    Addr valAddr = 0;
+    std::uint64_t length = 0;
+    std::uint64_t priority = 0;
+    bool isKv = false;
+    /** Produced data (output of S_INTER/S_SUB/S_MERGE/S_VMERGE);
+     *  empty for memory-backed streams. */
+    std::vector<Key> producedKeys;
+    std::vector<Value> producedVals;
+    bool produced = false; ///< producedKeys valid (not memory-backed)
+};
+
+/**
+ * Functional stream state: SMT + stream registers + GFRs. The
+ * interpreter is in-order, so VD and VA transition together here; the
+ * timing-level SMT in src/arch models the decode/retire window.
+ */
+class StreamState
+{
+  public:
+    explicit StreamState(MemoryImage &mem) : mem_(&mem) {}
+
+    /** S_READ/S_VREAD: (re)map sid, loading keys lazily from memory.
+     *  Throws when all stream registers are active. */
+    void define(std::uint64_t sid, Addr key_addr, std::uint64_t length,
+                std::uint64_t priority, bool is_kv, Addr val_addr = 0);
+
+    /** Create a mapping for a produced (computed) output stream. */
+    StreamReg &defineProduced(std::uint64_t sid);
+
+    /** S_FREE: unmap; throws StreamException when sid is not mapped. */
+    void free(std::uint64_t sid);
+
+    /** Lookup; throws StreamException when sid is not mapped. */
+    StreamReg &lookup(std::uint64_t sid);
+    const StreamReg &lookup(std::uint64_t sid) const;
+    bool isMapped(std::uint64_t sid) const;
+
+    /** Materialized sorted keys of a stream (memory or produced). */
+    std::vector<Key> keys(const StreamReg &reg) const;
+    /** Materialized values of a (key,value) stream. */
+    std::vector<Value> values(const StreamReg &reg) const;
+
+    /** Number of active streams. */
+    unsigned activeCount() const;
+
+    /** GFR0..2: CSR index, CSR edge list, CSR offset (§3.2). */
+    void loadGfr(std::uint64_t g0, std::uint64_t g1, std::uint64_t g2);
+    std::uint64_t gfr(unsigned idx) const;
+
+    /**
+     * Checkpoint of the full stream state, taken before executing a
+     * multi-micro-op S_NESTINTER so exceptions are precise (§5.1).
+     */
+    struct Checkpoint
+    {
+        std::array<StreamReg, numStreamRegs> regs;
+        std::map<std::uint64_t, unsigned> smt;
+        std::array<std::uint64_t, 3> gfr;
+    };
+
+    Checkpoint checkpoint() const;
+    void restore(Checkpoint cp);
+
+  private:
+    MemoryImage *mem_;
+    std::array<StreamReg, numStreamRegs> regs_;
+    std::map<std::uint64_t, unsigned> smt_; // sid -> sreg index
+    std::array<std::uint64_t, 3> gfr_{};
+
+    unsigned allocReg();
+};
+
+} // namespace sc::isa
+
+#endif // SPARSECORE_ISA_ARCH_STATE_HH

@@ -1,0 +1,275 @@
+#include "isa/assembler.hh"
+
+#include <bit>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace sc::isa {
+
+namespace {
+
+/** A raw token list for one source line. */
+struct Line
+{
+    std::size_t number;
+    std::string label;            // optional "name:" prefix
+    std::string mnemonic;         // empty for label-only lines
+    std::vector<std::string> operands;
+};
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<Line>
+tokenize(const std::string &source)
+{
+    std::vector<Line> lines;
+    std::istringstream in(source);
+    std::string raw;
+    std::size_t lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        // Strip comments.
+        for (const char *marker : {";", "#", "//"}) {
+            auto pos = raw.find(marker);
+            if (pos != std::string::npos)
+                raw = raw.substr(0, pos);
+        }
+        std::string text = trim(raw);
+        if (text.empty())
+            continue;
+
+        Line line;
+        line.number = lineno;
+        // A label is an identifier immediately followed by ':' at the
+        // start of the line ("loop:" or "loop: LI r1, 2").
+        auto colon = text.find(':');
+        if (colon != std::string::npos &&
+            colon == text.find_first_of(" \t:")) {
+            line.label = trim(text.substr(0, colon));
+            text = trim(text.substr(colon + 1));
+        }
+        if (!text.empty()) {
+            auto space = text.find_first_of(" \t");
+            line.mnemonic = text.substr(0, space);
+            if (space != std::string::npos) {
+                std::string rest = text.substr(space + 1);
+                std::istringstream ops(rest);
+                std::string op;
+                while (std::getline(ops, op, ','))
+                    line.operands.push_back(trim(op));
+            }
+        }
+        lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+[[noreturn]] void
+err(const Line &line, const std::string &what)
+{
+    throw AsmError(strprintf("line %zu: %s", line.number, what.c_str()));
+}
+
+unsigned
+parseReg(const Line &line, const std::string &tok, char prefix,
+         unsigned limit)
+{
+    if (tok.size() < 2 ||
+        std::tolower(static_cast<unsigned char>(tok[0])) != prefix)
+        err(line, "expected register operand '" +
+                      std::string(1, prefix) + "N', got '" + tok + "'");
+    char *end = nullptr;
+    const unsigned long idx = std::strtoul(tok.c_str() + 1, &end, 10);
+    if (*end != '\0' || idx >= limit)
+        err(line, "bad register '" + tok + "'");
+    return static_cast<unsigned>(idx);
+}
+
+std::int64_t
+parseImm(const Line &line, const std::string &tok)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 0);
+    if (*end != '\0')
+        err(line, "bad immediate '" + tok + "'");
+    return v;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    const auto lines = tokenize(source);
+
+    // Pass 1: assign pcs to labels.
+    std::map<std::string, std::uint64_t> labels;
+    std::uint64_t pc = 0;
+    for (const auto &line : lines) {
+        if (!line.label.empty()) {
+            if (labels.count(line.label))
+                throw AsmError("duplicate label '" + line.label + "'");
+            labels[line.label] = pc;
+        }
+        if (!line.mnemonic.empty())
+            ++pc;
+    }
+
+    // Pass 2: encode.
+    Program program;
+    pc = 0;
+    for (const auto &line : lines) {
+        if (line.mnemonic.empty())
+            continue;
+        const Opcode op = opcodeFromName(line.mnemonic);
+        if (op == Opcode::NumOpcodes)
+            err(line, "unknown mnemonic '" + line.mnemonic + "'");
+
+        Inst inst;
+        inst.op = op;
+        const auto &ops = line.operands;
+        auto need = [&](std::size_t n) {
+            if (ops.size() != n)
+                err(line, strprintf("expected %zu operands, got %zu", n,
+                                    ops.size()));
+        };
+        auto gprAt = [&](std::size_t i) {
+            return static_cast<std::uint8_t>(
+                parseReg(line, ops[i], 'r', numGprs));
+        };
+        auto fprAt = [&](std::size_t i) {
+            return static_cast<std::uint8_t>(
+                parseReg(line, ops[i], 'f', numFprs));
+        };
+        auto branchTarget = [&](std::size_t i) -> std::int64_t {
+            auto it = labels.find(ops[i]);
+            if (it != labels.end())
+                return static_cast<std::int64_t>(it->second) -
+                       static_cast<std::int64_t>(pc);
+            return parseImm(line, ops[i]);
+        };
+
+        switch (op) {
+          case Opcode::SRead:
+          case Opcode::SSub:
+          case Opcode::SSubC:
+          case Opcode::SInter:
+          case Opcode::SInterC:
+            need(4);
+            for (unsigned i = 0; i < 4; ++i)
+                inst.r[i] = gprAt(i);
+            break;
+          case Opcode::SVRead:
+            need(5);
+            for (unsigned i = 0; i < 5; ++i)
+                inst.r[i] = gprAt(i);
+            break;
+          case Opcode::SFree:
+            need(1);
+            inst.r[0] = gprAt(0);
+            break;
+          case Opcode::SMerge:
+          case Opcode::SMergeC:
+          case Opcode::SLdGfr:
+          case Opcode::SFetch:
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+            need(3);
+            for (unsigned i = 0; i < 3; ++i)
+                inst.r[i] = gprAt(i);
+            break;
+          case Opcode::SVInter: {
+            need(4);
+            for (unsigned i = 0; i < 3; ++i)
+                inst.r[i] = gprAt(i);
+            if (ops[3] == "MAC")
+                inst.valueOp = streams::ValueOp::Mac;
+            else if (ops[3] == "MAX")
+                inst.valueOp = streams::ValueOp::MaxAcc;
+            else if (ops[3] == "MIN")
+                inst.valueOp = streams::ValueOp::MinAcc;
+            else
+                err(line, "bad value op '" + ops[3] + "'");
+            break;
+          }
+          case Opcode::SVMerge:
+            need(5);
+            inst.f[0] = fprAt(0);
+            inst.f[1] = fprAt(1);
+            for (unsigned i = 0; i < 3; ++i)
+                inst.r[i] = gprAt(i + 2);
+            break;
+          case Opcode::SNestInter:
+          case Opcode::Mov:
+            need(2);
+            inst.r[0] = gprAt(0);
+            inst.r[1] = gprAt(1);
+            break;
+          case Opcode::Li:
+            need(2);
+            inst.r[0] = gprAt(0);
+            inst.imm = parseImm(line, ops[1]);
+            break;
+          case Opcode::Addi:
+            need(3);
+            inst.r[0] = gprAt(0);
+            inst.r[1] = gprAt(1);
+            inst.imm = parseImm(line, ops[2]);
+            break;
+          case Opcode::Fli: {
+            need(2);
+            inst.f[0] = fprAt(0);
+            char *end = nullptr;
+            const double v = std::strtod(ops[1].c_str(), &end);
+            if (*end != '\0')
+                err(line, "bad float literal '" + ops[1] + "'");
+            inst.imm = std::bit_cast<std::int64_t>(v);
+            break;
+          }
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge:
+            need(3);
+            inst.r[0] = gprAt(0);
+            inst.r[1] = gprAt(1);
+            inst.imm = branchTarget(2);
+            break;
+          case Opcode::Jmp:
+            need(1);
+            inst.imm = branchTarget(0);
+            break;
+          case Opcode::Halt:
+            need(0);
+            break;
+          default:
+            err(line, "unhandled mnemonic");
+        }
+        program.push_back(inst);
+        ++pc;
+    }
+    return program;
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::ostringstream os;
+    for (std::size_t pc = 0; pc < program.size(); ++pc)
+        os << pc << ":\t" << program[pc].toString() << '\n';
+    return os.str();
+}
+
+} // namespace sc::isa

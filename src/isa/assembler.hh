@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Textual assembler for stream-ISA programs.
+ *
+ * Syntax (one instruction per line):
+ *     ; comment          # comment
+ *     loop:              a label
+ *     LI r1, 42
+ *     S_READ r1, r2, r3, r4
+ *     S_VINTER r8, r9, r10, MAC
+ *     S_VMERGE f0, f1, r8, r9, r10
+ *     FLI f0, 2.5
+ *     BLT r1, r2, loop   branch targets may be labels or offsets
+ */
+
+#ifndef SPARSECORE_ISA_ASSEMBLER_HH
+#define SPARSECORE_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "common/logging.hh"
+#include "isa/stream_inst.hh"
+
+namespace sc::isa {
+
+/** Raised on malformed assembly input. */
+class AsmError : public SimError
+{
+  public:
+    explicit AsmError(const std::string &msg)
+        : SimError("asm error: " + msg)
+    {}
+};
+
+/** Assemble a program from source text. Throws AsmError. */
+Program assemble(const std::string &source);
+
+/** Disassemble a program back to text (labels become offsets). */
+std::string disassemble(const Program &program);
+
+} // namespace sc::isa
+
+#endif // SPARSECORE_ISA_ASSEMBLER_HH

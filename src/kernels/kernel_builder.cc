@@ -1,0 +1,149 @@
+#include "kernels/kernel_builder.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace sc::kernels {
+
+namespace {
+
+/** One tensor access: name + index variables. */
+struct Access
+{
+    std::string name;
+    std::vector<std::string> indices;
+};
+
+/** Parse "Name(i,j,k)" starting at pos; advances pos. */
+Access
+parseAccess(const std::string &s, std::size_t &pos)
+{
+    Access acc;
+    while (pos < s.size() &&
+           (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+            s[pos] == '_')) {
+        acc.name.push_back(s[pos++]);
+    }
+    if (acc.name.empty() || pos >= s.size() || s[pos] != '(')
+        throw SimError("kernel parse error: expected tensor access");
+    ++pos; // '('
+    std::string idx;
+    while (pos < s.size() && s[pos] != ')') {
+        if (s[pos] == ',') {
+            if (idx.empty())
+                throw SimError("kernel parse error: empty index");
+            acc.indices.push_back(idx);
+            idx.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(s[pos]))) {
+            idx.push_back(s[pos]);
+        }
+        ++pos;
+    }
+    if (pos >= s.size())
+        throw SimError("kernel parse error: unterminated access");
+    ++pos; // ')'
+    if (idx.empty())
+        throw SimError("kernel parse error: empty index");
+    acc.indices.push_back(idx);
+    return acc;
+}
+
+std::string
+stripSpaces(const std::string &s)
+{
+    std::string out;
+    for (char c : s)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            out.push_back(c);
+    return out;
+}
+
+} // namespace
+
+ParsedKernel
+parseKernel(const std::string &expression)
+{
+    const std::string s = stripSpaces(expression);
+    std::size_t pos = 0;
+    const Access out = parseAccess(s, pos);
+    if (pos >= s.size() || s[pos] != '=')
+        throw SimError("kernel parse error: expected '='");
+    ++pos;
+    const Access a = parseAccess(s, pos);
+    if (pos >= s.size() || s[pos] != '*')
+        throw SimError("kernel parse error: expected '*'");
+    ++pos;
+    const Access b = parseAccess(s, pos);
+    if (pos != s.size())
+        throw SimError("kernel parse error: trailing input");
+
+    // The contracted index appears in both inputs but not the output.
+    std::string contracted;
+    for (const auto &idx : a.indices) {
+        const bool in_b = std::find(b.indices.begin(), b.indices.end(),
+                                    idx) != b.indices.end();
+        const bool in_out =
+            std::find(out.indices.begin(), out.indices.end(), idx) !=
+            out.indices.end();
+        if (in_b && !in_out) {
+            if (!contracted.empty())
+                throw SimError(
+                    "kernel parse error: multiple contractions");
+            contracted = idx;
+        }
+    }
+    if (contracted.empty())
+        throw SimError("kernel parse error: no contracted index");
+
+    ParsedKernel parsed;
+    parsed.output = out.name;
+    parsed.inputA = a.name;
+    parsed.inputB = b.name;
+    parsed.contractedIndex = contracted;
+
+    if (out.indices.size() == 2 && a.indices.size() == 2 &&
+        b.indices.size() == 2) {
+        parsed.kind = KernelKind::Spmspm;
+    } else if (out.indices.size() == 2 && a.indices.size() == 3 &&
+               b.indices.size() == 1) {
+        parsed.kind = KernelKind::Ttv;
+    } else if (out.indices.size() == 3 && a.indices.size() == 3 &&
+               b.indices.size() == 2) {
+        parsed.kind = KernelKind::Ttm;
+    } else {
+        throw SimError("kernel parse error: unrecognized kernel form");
+    }
+    return parsed;
+}
+
+TensorRunResult
+runKernel(const std::string &expression, const KernelInputs &inputs,
+          backend::ExecBackend &backend, SpmspmAlgorithm algorithm,
+          unsigned stride)
+{
+    const ParsedKernel parsed = parseKernel(expression);
+    switch (parsed.kind) {
+      case KernelKind::Spmspm:
+        if (!inputs.matrixA || !inputs.matrixB)
+            throw SimError("spmspm expression needs matrixA/matrixB");
+        return runSpmspm(*inputs.matrixA, *inputs.matrixB, algorithm,
+                         backend, stride);
+      case KernelKind::Ttv:
+        if (!inputs.tensorA || !inputs.vectorB)
+            throw SimError("TTV expression needs tensorA/vectorB");
+        return runTtv(*inputs.tensorA, *inputs.vectorB, backend,
+                      stride);
+      case KernelKind::Ttm:
+        if (!inputs.tensorA || !inputs.matrixB)
+            throw SimError("TTM expression needs tensorA/matrixB");
+        return runTtm(*inputs.tensorA, *inputs.matrixB, backend,
+                      stride);
+      default:
+        throw SimError("unhandled kernel kind");
+    }
+}
+
+} // namespace sc::kernels

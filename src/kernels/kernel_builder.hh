@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TACO-like kernel builder (§5.3): parses a tensor-algebra expression
+ * in index notation and dispatches to the matching stream kernel.
+ * Recognized forms:
+ *     C(i,j)   = A(i,k) * B(k,j)    -> spmspm (algorithm selectable)
+ *     Z(i,j)   = A(i,j,k) * b(k)    -> TTV
+ *     Z(i,j,k) = A(i,j,l) * B(k,l)  -> TTM
+ * This preserves the paper's user interface: the expression is the
+ * program; the stream instructions are generated under the hood.
+ */
+
+#ifndef SPARSECORE_KERNELS_KERNEL_BUILDER_HH
+#define SPARSECORE_KERNELS_KERNEL_BUILDER_HH
+
+#include <string>
+
+#include "kernels/spmspm.hh"
+#include "kernels/ttm.hh"
+#include "kernels/ttv.hh"
+
+namespace sc::kernels {
+
+/** Kernel kinds the builder can emit. */
+enum class KernelKind : unsigned { Spmspm, Ttv, Ttm };
+
+/** A parsed expression. */
+struct ParsedKernel
+{
+    KernelKind kind;
+    std::string output;          ///< output tensor name
+    std::string inputA;          ///< first input name
+    std::string inputB;          ///< second input name
+    std::string contractedIndex; ///< the summed index variable
+};
+
+/**
+ * Parse an index-notation expression; throws SimError on anything
+ * outside the recognized forms.
+ */
+ParsedKernel parseKernel(const std::string &expression);
+
+/** Operand bundle for runKernel (only the relevant fields are used
+ *  per kernel kind). */
+struct KernelInputs
+{
+    const tensor::SparseMatrix *matrixA = nullptr; ///< spmspm A
+    const tensor::SparseMatrix *matrixB = nullptr; ///< spmspm/TTM B
+    const tensor::CsfTensor *tensorA = nullptr;    ///< TTV/TTM A
+    const std::vector<Value> *vectorB = nullptr;   ///< TTV b
+};
+
+/**
+ * The TACO-like front door: parse the expression and run the
+ * matching stream kernel on the backend.
+ * @param algorithm dataflow for spmspm expressions (ignored by
+ *        TTV/TTM)
+ * @throws SimError when the expression needs operands that were not
+ *         supplied
+ */
+TensorRunResult runKernel(const std::string &expression,
+                          const KernelInputs &inputs,
+                          backend::ExecBackend &backend,
+                          SpmspmAlgorithm algorithm =
+                              SpmspmAlgorithm::Gustavson,
+                          unsigned stride = 1);
+
+} // namespace sc::kernels
+
+#endif // SPARSECORE_KERNELS_KERNEL_BUILDER_HH

@@ -1,0 +1,257 @@
+#include "kernels/spmspm.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "streams/set_ops.hh"
+
+namespace sc::kernels {
+
+using backend::BackendStream;
+using tensor::SparseMatrix;
+using tensor::Triplet;
+
+namespace {
+
+/** Synthetic accumulator-row region (outer/Gustavson outputs). */
+constexpr Addr accRegion = 0x800000000ull;
+constexpr Addr accRowStride = 0x40000ull;
+
+Addr
+accKeyAddr(std::uint32_t row)
+{
+    return accRegion + row * accRowStride;
+}
+
+Addr
+accValAddr(std::uint32_t row)
+{
+    return accRegion + row * accRowStride + accRowStride / 2;
+}
+
+/** A growable functional (key,value) accumulator row. */
+struct AccRow
+{
+    std::vector<Key> keys;
+    std::vector<Value> vals;
+};
+
+/** Load a matrix row as a (key,value) backend stream. */
+BackendStream
+loadRow(const SparseMatrix &m, std::uint32_t r, unsigned priority,
+        backend::ExecBackend &backend)
+{
+    return backend.streamLoadKv(m.rowKeyAddr(r), m.rowValAddr(r),
+                                m.rowNnz(r), priority, m.rowKeys(r));
+}
+
+} // namespace
+
+const char *
+spmspmAlgorithmName(SpmspmAlgorithm algorithm)
+{
+    switch (algorithm) {
+      case SpmspmAlgorithm::Inner:
+        return "inner";
+      case SpmspmAlgorithm::Outer:
+        return "outer";
+      case SpmspmAlgorithm::Gustavson:
+        return "gustavson";
+      default:
+        panic("unknown spmspm algorithm");
+    }
+}
+
+namespace {
+
+TensorRunResult
+innerProduct(const SparseMatrix &a, const SparseMatrix &b,
+             backend::ExecBackend &backend, unsigned stride,
+             std::vector<Triplet> *out)
+{
+    const SparseMatrix bt = b.transpose();
+    TensorRunResult res;
+    std::vector<std::uint32_t> ma, mb;
+
+    for (std::uint32_t i = 0; i < a.rows(); i += stride) {
+        if (a.rowNnz(i) == 0)
+            continue;
+        const BackendStream ha = loadRow(a, i, 1, backend);
+        for (std::uint32_t j = 0; j < bt.rows(); ++j) {
+            backend.scalarOps(3); // j-loop control
+            if (bt.rowNnz(j) == 0)
+                continue;
+            const BackendStream hb = loadRow(bt, j, 1, backend);
+            ma.clear();
+            mb.clear();
+            streams::SetOpResult work;
+            const Value v = streams::valueIntersect(
+                a.rowKeys(i), a.rowVals(i), bt.rowKeys(j),
+                bt.rowVals(j), streams::ValueOp::Mac, &work, &ma,
+                &mb);
+            backend.valueIntersect(ha, hb, a.rowKeys(i),
+                                   bt.rowKeys(j), a.rowValAddr(i),
+                                   bt.rowValAddr(j), ma, mb);
+            backend.streamFree(hb);
+            res.valueOps += work.count;
+            if (out && v != 0.0 && !ma.empty())
+                out->push_back({i, j, v});
+        }
+        backend.streamFree(ha);
+    }
+    return res;
+}
+
+TensorRunResult
+outerProduct(const SparseMatrix &a, const SparseMatrix &b,
+             backend::ExecBackend &backend, unsigned stride,
+             std::vector<Triplet> *out)
+{
+    const SparseMatrix at = a.transpose();
+    TensorRunResult res;
+    std::vector<AccRow> acc(a.rows());
+    std::vector<Key> merged_keys;
+    std::vector<Value> merged_vals;
+
+    for (std::uint32_t k = 0; k < at.rows(); k += stride) {
+        if (at.rowNnz(k) == 0 || k >= b.rows() || b.rowNnz(k) == 0)
+            continue;
+        const BackendStream hb = loadRow(b, k, 1, backend);
+        auto acols = at.rowKeys(k); // rows i with A(i,k) != 0
+        auto avals = at.rowVals(k);
+        backend.iterateStream(backend::noStream, acols.size(), 3);
+        for (std::size_t p = 0; p < acols.size(); ++p) {
+            const std::uint32_t i = acols[p];
+            const Value aik = avals[p];
+            AccRow &row = acc[i];
+            // The accumulator row lives in memory between updates
+            // (outer product has no row reuse window): re-load it,
+            // merge, and write back.
+            const BackendStream hacc = backend.streamLoadKv(
+                accKeyAddr(i), accValAddr(i),
+                static_cast<std::uint32_t>(row.keys.size()), 0,
+                row.keys);
+            merged_keys.clear();
+            merged_vals.clear();
+            streams::valueMerge(row.keys, row.vals, b.rowKeys(k),
+                                b.rowVals(k), 1.0, aik, merged_keys,
+                                merged_vals);
+            const BackendStream hout = backend.valueMerge(
+                hacc, hb, row.keys, b.rowKeys(k), accValAddr(i),
+                b.rowValAddr(k), merged_keys.size(), accKeyAddr(i));
+            backend.streamFree(hacc);
+            backend.streamFree(hout);
+            row.keys = merged_keys;
+            row.vals = merged_vals;
+            res.valueOps += b.rowNnz(k);
+        }
+        backend.streamFree(hb);
+    }
+
+    if (out) {
+        for (std::uint32_t i = 0; i < a.rows(); ++i)
+            for (std::size_t p = 0; p < acc[i].keys.size(); ++p)
+                if (acc[i].vals[p] != 0.0)
+                    out->push_back(
+                        {i, acc[i].keys[p], acc[i].vals[p]});
+    }
+    return res;
+}
+
+TensorRunResult
+gustavson(const SparseMatrix &a, const SparseMatrix &b,
+          backend::ExecBackend &backend, unsigned stride,
+          std::vector<Triplet> *out)
+{
+    TensorRunResult res;
+    AccRow acc;
+    std::vector<Key> merged_keys;
+    std::vector<Value> merged_vals;
+
+    for (std::uint32_t i = 0; i < a.rows(); i += stride) {
+        if (a.rowNnz(i) == 0)
+            continue;
+        acc.keys.clear();
+        acc.vals.clear();
+        auto akeys = a.rowKeys(i);
+        auto avals = a.rowVals(i);
+        // The accumulator stays hot across the k loop: a produced
+        // stream chained through S_VMERGE (its values never re-cross
+        // the load queue, hence the zero value base below).
+        BackendStream hacc = backend.streamLoadKv(
+            accKeyAddr(i % 64), accValAddr(i % 64), 0, 1, {});
+        bool acc_in_memory = true;
+        backend.iterateStream(backend::noStream, akeys.size(), 3);
+        for (std::size_t p = 0; p < akeys.size(); ++p) {
+            const Key k = akeys[p];
+            const Value aik = avals[p];
+            if (k >= b.rows() || b.rowNnz(k) == 0)
+                continue;
+            const BackendStream hb = loadRow(b, k, 1, backend);
+            merged_keys.clear();
+            merged_vals.clear();
+            streams::valueMerge(acc.keys, acc.vals, b.rowKeys(k),
+                                b.rowVals(k), 1.0, aik, merged_keys,
+                                merged_vals);
+            const BackendStream hout = backend.valueMerge(
+                hacc, hb, acc.keys, b.rowKeys(k),
+                acc_in_memory ? accValAddr(i % 64) : 0,
+                b.rowValAddr(k), merged_keys.size(),
+                accKeyAddr(i % 64));
+            acc_in_memory = false;
+            backend.streamFree(hb);
+            backend.streamFree(hacc);
+            hacc = hout;
+            acc.keys = merged_keys;
+            acc.vals = merged_vals;
+            res.valueOps += b.rowNnz(k);
+        }
+        backend.consumeStream(hacc);
+        backend.streamFree(hacc);
+        if (out) {
+            for (std::size_t p = 0; p < acc.keys.size(); ++p)
+                if (acc.vals[p] != 0.0)
+                    out->push_back({i, acc.keys[p], acc.vals[p]});
+        }
+    }
+    return res;
+}
+
+} // namespace
+
+TensorRunResult
+runSpmspm(const SparseMatrix &a, const SparseMatrix &b,
+          SpmspmAlgorithm algorithm, backend::ExecBackend &backend,
+          unsigned stride, SparseMatrix *result)
+{
+    if (a.cols() != b.rows())
+        fatal("spmspm shape mismatch: %ux%u * %ux%u", a.rows(),
+              a.cols(), b.rows(), b.cols());
+    if (stride == 0)
+        fatal("stride must be positive");
+
+    backend.begin();
+    std::vector<Triplet> triplets;
+    std::vector<Triplet> *out = result ? &triplets : nullptr;
+
+    TensorRunResult res;
+    switch (algorithm) {
+      case SpmspmAlgorithm::Inner:
+        res = innerProduct(a, b, backend, stride, out);
+        break;
+      case SpmspmAlgorithm::Outer:
+        res = outerProduct(a, b, backend, stride, out);
+        break;
+      case SpmspmAlgorithm::Gustavson:
+        res = gustavson(a, b, backend, stride, out);
+        break;
+    }
+    res.cycles = backend.finish();
+    res.breakdown = backend.breakdown();
+    if (result)
+        *result = SparseMatrix::fromTriplets(
+            a.rows(), b.cols(), std::move(triplets), "spmspm");
+    return res;
+}
+
+} // namespace sc::kernels

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Sparse matrix-sparse matrix multiplication with the three §2.1
+ * dataflows — inner-product (S_VINTER per output), outer-product and
+ * Gustavson (S_VMERGE accumulation) — over any ExecBackend, mirroring
+ * the TACO-generated stream kernels of §5.3/Fig. 4.
+ */
+
+#ifndef SPARSECORE_KERNELS_SPMSPM_HH
+#define SPARSECORE_KERNELS_SPMSPM_HH
+
+#include "backend/exec_backend.hh"
+#include "sim/core_model.hh"
+#include "tensor/sparse_matrix.hh"
+
+namespace sc::kernels {
+
+/** spmspm dataflow choice. */
+enum class SpmspmAlgorithm : unsigned { Inner, Outer, Gustavson };
+
+const char *spmspmAlgorithmName(SpmspmAlgorithm algorithm);
+
+/** Outcome of one tensor kernel run. */
+struct TensorRunResult
+{
+    Cycles cycles = 0;
+    sim::CycleBreakdown breakdown;
+    std::uint64_t valueOps = 0; ///< multiply-accumulates performed
+};
+
+/**
+ * C = A * B with the chosen dataflow.
+ * @param stride process every stride-th row (inner/Gustavson) or
+ *        contraction column (outer); benchmarks sample huge inputs
+ * @param result optional functional output for validation
+ */
+TensorRunResult runSpmspm(const tensor::SparseMatrix &a,
+                          const tensor::SparseMatrix &b,
+                          SpmspmAlgorithm algorithm,
+                          backend::ExecBackend &backend,
+                          unsigned stride = 1,
+                          tensor::SparseMatrix *result = nullptr);
+
+} // namespace sc::kernels
+
+#endif // SPARSECORE_KERNELS_SPMSPM_HH

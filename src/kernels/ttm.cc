@@ -1,0 +1,71 @@
+#include "kernels/ttm.hh"
+
+#include "common/logging.hh"
+#include "streams/set_ops.hh"
+
+namespace sc::kernels {
+
+using backend::BackendStream;
+
+TensorRunResult
+runTtm(const tensor::CsfTensor &a, const tensor::SparseMatrix &b,
+       backend::ExecBackend &backend, unsigned stride,
+       tensor::CsfTensor *result)
+{
+    if (b.cols() != a.dimK())
+        fatal("TTM shape mismatch: tensor k-dim %u vs matrix cols %u",
+              a.dimK(), b.cols());
+    if (stride == 0)
+        fatal("stride must be positive");
+    backend.begin();
+
+    TensorRunResult res;
+    std::vector<tensor::TensorEntry> out;
+    std::vector<std::uint32_t> ma, mb;
+
+    for (std::uint32_t s = 0; s < a.numSlices(); s += stride) {
+        const std::uint32_t i = a.sliceRoot(s);
+        auto fiber_js = a.sliceFiberKeys(s);
+        backend.scalarLoad(0xa10000000ull + s * 8);
+        backend.scalarOps(3);
+        for (std::uint64_t f = a.fiberBegin(s); f < a.fiberEnd(s);
+             ++f) {
+            const Key j = fiber_js[f - a.fiberBegin(s)];
+            auto ks = a.fiberKeys(f);
+            auto vs = a.fiberVals(f);
+            const BackendStream hf = backend.streamLoadKv(
+                a.fiberKeyAddr(f), a.fiberValAddr(f),
+                static_cast<std::uint32_t>(ks.size()), 1, ks);
+            for (std::uint32_t k = 0; k < b.rows(); ++k) {
+                backend.scalarOps(3);
+                if (b.rowNnz(k) == 0)
+                    continue;
+                const BackendStream hb = backend.streamLoadKv(
+                    b.rowKeyAddr(k), b.rowValAddr(k), b.rowNnz(k), 1,
+                    b.rowKeys(k));
+                ma.clear();
+                mb.clear();
+                streams::SetOpResult work;
+                const Value z = streams::valueIntersect(
+                    ks, vs, b.rowKeys(k), b.rowVals(k),
+                    streams::ValueOp::Mac, &work, &ma, &mb);
+                backend.valueIntersect(hf, hb, ks, b.rowKeys(k),
+                                       a.fiberValAddr(f),
+                                       b.rowValAddr(k), ma, mb);
+                backend.streamFree(hb);
+                res.valueOps += work.count;
+                if (result && z != 0.0 && !ma.empty())
+                    out.push_back({i, j, k, z});
+            }
+            backend.streamFree(hf);
+        }
+    }
+    res.cycles = backend.finish();
+    res.breakdown = backend.breakdown();
+    if (result)
+        *result = tensor::CsfTensor::fromEntries(
+            a.dimI(), a.dimJ(), b.rows(), std::move(out), "ttm");
+    return res;
+}
+
+} // namespace sc::kernels

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * TTM: tensor-times-matrix, Z(i,j,k) = sum_l A(i,j,l) * B(k,l)
+ * (§6.2). Each sparse fiber is S_VINTER'ed against every row of B.
+ */
+
+#ifndef SPARSECORE_KERNELS_TTM_HH
+#define SPARSECORE_KERNELS_TTM_HH
+
+#include "backend/exec_backend.hh"
+#include "kernels/spmspm.hh"
+#include "tensor/csf_tensor.hh"
+#include "tensor/sparse_matrix.hh"
+
+namespace sc::kernels {
+
+/**
+ * Run TTM.
+ * @param stride process every stride-th slice
+ * @param result optional functional output for validation
+ */
+TensorRunResult runTtm(const tensor::CsfTensor &a,
+                       const tensor::SparseMatrix &b,
+                       backend::ExecBackend &backend,
+                       unsigned stride = 1,
+                       tensor::CsfTensor *result = nullptr);
+
+} // namespace sc::kernels
+
+#endif // SPARSECORE_KERNELS_TTM_HH

@@ -1,0 +1,77 @@
+#include "kernels/ttv.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+#include "streams/set_ops.hh"
+
+namespace sc::kernels {
+
+using backend::BackendStream;
+
+TensorRunResult
+runTtv(const tensor::CsfTensor &a, const std::vector<Value> &vec,
+       backend::ExecBackend &backend, unsigned stride,
+       tensor::SparseMatrix *result)
+{
+    if (vec.size() < a.dimK())
+        fatal("TTV vector too short");
+    if (stride == 0)
+        fatal("stride must be positive");
+    backend.begin();
+
+    // The dense vector as a (key,value) stream: keys 0..dimK-1.
+    std::vector<Key> vec_keys(a.dimK());
+    std::iota(vec_keys.begin(), vec_keys.end(), Key{0});
+    constexpr Addr vecKeyAddr = 0x900000000ull;
+    constexpr Addr vecValAddr = 0x910000000ull;
+
+    TensorRunResult res;
+    std::vector<tensor::Triplet> out;
+    std::vector<std::uint32_t> ma, mb;
+
+    for (std::uint32_t s = 0; s < a.numSlices(); s += stride) {
+        const std::uint32_t i = a.sliceRoot(s);
+        auto fiber_js = a.sliceFiberKeys(s);
+        backend.scalarLoad(0xa00000000ull + s * 8);
+        backend.scalarOps(3);
+        for (std::uint64_t f = a.fiberBegin(s); f < a.fiberEnd(s);
+             ++f) {
+            const Key j = fiber_js[f - a.fiberBegin(s)];
+            auto ks = a.fiberKeys(f);
+            auto vs = a.fiberVals(f);
+            const BackendStream hf = backend.streamLoadKv(
+                a.fiberKeyAddr(f), a.fiberValAddr(f),
+                static_cast<std::uint32_t>(ks.size()), 0, ks);
+            // The dense vector stream is reused by every fiber:
+            // highest priority, lives in the scratchpad.
+            const BackendStream hv = backend.streamLoadKv(
+                vecKeyAddr, vecValAddr,
+                static_cast<std::uint32_t>(vec_keys.size()), 1,
+                vec_keys);
+            ma.clear();
+            mb.clear();
+            streams::SetOpResult work;
+            const Value z = streams::valueIntersect(
+                ks, vs, vec_keys,
+                streams::ValueSpan{vec.data(), a.dimK()},
+                streams::ValueOp::Mac, &work, &ma, &mb);
+            backend.denseValueIntersect(hf, hv, ks, vec_keys,
+                                        a.fiberValAddr(f), vecValAddr,
+                                        ma, mb);
+            backend.streamFree(hv);
+            backend.streamFree(hf);
+            res.valueOps += work.count;
+            if (result && z != 0.0)
+                out.push_back({i, j, z});
+        }
+    }
+    res.cycles = backend.finish();
+    res.breakdown = backend.breakdown();
+    if (result)
+        *result = tensor::SparseMatrix::fromTriplets(
+            a.dimI(), a.dimJ(), std::move(out), "ttv");
+    return res;
+}
+
+} // namespace sc::kernels

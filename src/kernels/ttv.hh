@@ -1,0 +1,33 @@
+/**
+ * @file
+ * TTV: tensor-times-vector, Z(i,j) = sum_k A(i,j,k) * v(k) (§6.2).
+ * Each sparse fiber is S_VINTER'ed against the dense vector viewed as
+ * a (key,value) stream.
+ */
+
+#ifndef SPARSECORE_KERNELS_TTV_HH
+#define SPARSECORE_KERNELS_TTV_HH
+
+#include <vector>
+
+#include "backend/exec_backend.hh"
+#include "kernels/spmspm.hh"
+#include "tensor/csf_tensor.hh"
+#include "tensor/sparse_matrix.hh"
+
+namespace sc::kernels {
+
+/**
+ * Run TTV.
+ * @param stride process every stride-th slice
+ * @param result optional functional output for validation
+ */
+TensorRunResult runTtv(const tensor::CsfTensor &a,
+                       const std::vector<Value> &vec,
+                       backend::ExecBackend &backend,
+                       unsigned stride = 1,
+                       tensor::SparseMatrix *result = nullptr);
+
+} // namespace sc::kernels
+
+#endif // SPARSECORE_KERNELS_TTV_HH

@@ -1,0 +1,84 @@
+#include "sim/cache.hh"
+
+#include "common/logging.hh"
+
+namespace sc::sim {
+
+namespace {
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params)
+    : params_(params), stats_(params.name)
+{
+    if (params_.lineBytes == 0 || !isPowerOfTwo(params_.lineBytes))
+        fatal("cache %s: line size must be a power of two",
+              params_.name.c_str());
+    if (params_.ways == 0)
+        fatal("cache %s: needs at least one way", params_.name.c_str());
+    std::uint64_t lines = params_.sizeBytes / params_.lineBytes;
+    if (lines == 0 || lines % params_.ways != 0)
+        fatal("cache %s: size %llu not divisible into %u ways",
+              params_.name.c_str(),
+              static_cast<unsigned long long>(params_.sizeBytes),
+              params_.ways);
+    numSets_ = static_cast<std::uint32_t>(lines / params_.ways);
+    setsArePow2_ = isPowerOfTwo(numSets_);
+    ways_.resize(static_cast<std::size_t>(numSets_) * params_.ways);
+}
+
+bool
+Cache::access(Addr addr)
+{
+    const Addr line = lineAddr(addr);
+    const std::uint32_t set = setIndex(line);
+    Way *base = &ways_[static_cast<std::size_t>(set) * params_.ways];
+    ++useClock_;
+
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line) {
+            way.lastUse = useClock_;
+            ++stats_.counter("hits");
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    victim->valid = true;
+    victim->tag = line;
+    victim->lastUse = useClock_;
+    ++stats_.counter("misses");
+    return false;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr line = lineAddr(addr);
+    const std::uint32_t set = setIndex(line);
+    const Way *base = &ways_[static_cast<std::size_t>(set) * params_.ways];
+    for (std::uint32_t w = 0; w < params_.ways; ++w)
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &way : ways_)
+        way.valid = false;
+}
+
+} // namespace sc::sim

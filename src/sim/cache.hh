@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Set-associative cache tag model with LRU replacement.
+ *
+ * This is a functional tag array: it answers hit/miss per access and
+ * tracks occupancy; timing (latency composition across levels) is done
+ * by MemHierarchy. Matches the zSim-style modeling the paper relies on.
+ */
+
+#ifndef SPARSECORE_SIM_CACHE_HH
+#define SPARSECORE_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sc::sim {
+
+/** Geometry and behaviour of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 8;
+    std::uint32_t lineBytes = 64;
+};
+
+/** One level of set-associative cache with true-LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Access one line.
+     * @param addr byte address
+     * @return true on hit; on miss the line is installed.
+     */
+    bool access(Addr addr);
+
+    /** Probe without installing or touching LRU state. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate the whole cache. */
+    void flush();
+
+    const CacheParams &params() const { return params_; }
+    std::uint32_t numSets() const { return numSets_; }
+
+    std::uint64_t hits() const { return stats_.get("hits"); }
+    std::uint64_t misses() const { return stats_.get("misses"); }
+    const StatSet &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr / params_.lineBytes; }
+
+    /** Set index; power-of-two set counts use the fast mask path. */
+    std::uint32_t
+    setIndex(Addr line) const
+    {
+        return static_cast<std::uint32_t>(
+            setsArePow2_ ? line & (numSets_ - 1) : line % numSets_);
+    }
+
+    CacheParams params_;
+    std::uint32_t numSets_;
+    bool setsArePow2_ = true;
+    std::vector<Way> ways_; // numSets_ x params_.ways, row-major
+    std::uint64_t useClock_ = 0;
+    StatSet stats_;
+};
+
+} // namespace sc::sim
+
+#endif // SPARSECORE_SIM_CACHE_HH

@@ -1,0 +1,125 @@
+#include "sim/core_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sc::sim {
+
+const char *
+cycleClassName(CycleClass cls)
+{
+    switch (cls) {
+      case CycleClass::Cache:
+        return "Cache";
+      case CycleClass::Mispredict:
+        return "Mispred.";
+      case CycleClass::OtherCompute:
+        return "Other computation";
+      case CycleClass::Intersection:
+        return "Intersection";
+      default:
+        panic("unknown cycle class %u", static_cast<unsigned>(cls));
+    }
+}
+
+Cycles
+CycleBreakdown::total() const
+{
+    Cycles sum = 0;
+    for (Cycles c : cycles)
+        sum += c;
+    return sum;
+}
+
+double
+CycleBreakdown::fraction(CycleClass cls) const
+{
+    const Cycles sum = total();
+    return sum ? static_cast<double>((*this)[cls]) /
+                     static_cast<double>(sum)
+               : 0.0;
+}
+
+CycleBreakdown &
+CycleBreakdown::operator+=(const CycleBreakdown &other)
+{
+    for (unsigned i = 0; i < cycles.size(); ++i)
+        cycles[i] += other.cycles[i];
+    return *this;
+}
+
+CoreModel::CoreModel(const CoreParams &params, const MemParams &mem_params)
+    : params_(params),
+      predictor_(std::make_unique<GsharePredictor>()),
+      mem_(std::make_unique<MemHierarchy>(mem_params))
+{
+    if (params_.issueWidth == 0)
+        fatal("core issue width must be positive");
+}
+
+void
+CoreModel::executeOps(std::uint64_t n, CycleClass cls)
+{
+    // n ops at issueWidth per cycle; fractional remainders accumulate
+    // via integer rounding-up amortization kept simple here.
+    breakdown_[cls] += (n + params_.issueWidth - 1) / params_.issueWidth;
+}
+
+bool
+CoreModel::executeBranch(std::uint64_t pc, bool taken,
+                         CycleClass compute_cls)
+{
+    executeOps(1, compute_cls);
+    const bool correct = predictor_->predict(pc, taken);
+    if (!correct)
+        breakdown_[CycleClass::Mispredict] += params_.mispredictPenalty;
+    return !correct;
+}
+
+void
+CoreModel::load(Addr addr, CycleClass compute_cls)
+{
+    executeOps(1, compute_cls);
+    MemLevel level;
+    const Cycles latency = mem_->l1Access(addr, level);
+    if (level == MemLevel::L1)
+        return; // pipelined, address-generation charged above
+    const Cycles beyond_l1 = latency - mem_->params().l1Latency;
+    breakdown_[CycleClass::Cache] += static_cast<Cycles>(
+        std::llround(static_cast<double>(beyond_l1) *
+                     params_.missStallFraction));
+}
+
+void
+CoreModel::loadOverlapped(Addr addr, unsigned mlp,
+                          CycleClass compute_cls)
+{
+    if (mlp == 0)
+        fatal("load MLP must be positive");
+    executeOps(1, compute_cls);
+    MemLevel level;
+    const Cycles latency = mem_->l1Access(addr, level);
+    if (level == MemLevel::L1)
+        return;
+    const Cycles beyond_l1 = latency - mem_->params().l1Latency;
+    breakdown_[CycleClass::Cache] += static_cast<Cycles>(
+        std::llround(static_cast<double>(beyond_l1) *
+                     params_.missStallFraction / mlp));
+}
+
+void
+CoreModel::addCycles(CycleClass cls, Cycles n)
+{
+    breakdown_[cls] += n;
+}
+
+void
+CoreModel::reset()
+{
+    breakdown_ = CycleBreakdown{};
+    predictor_->resetStats();
+    mem_->resetStats();
+}
+
+} // namespace sc::sim

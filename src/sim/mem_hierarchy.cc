@@ -1,0 +1,62 @@
+#include "sim/mem_hierarchy.hh"
+
+namespace sc::sim {
+
+MemHierarchy::MemHierarchy(const MemParams &params)
+    : params_(params),
+      l1_(std::make_unique<Cache>(params.l1)),
+      l2_(std::make_unique<Cache>(params.l2)),
+      l3_(std::make_unique<Cache>(params.l3))
+{
+}
+
+Cycles
+MemHierarchy::l1Access(Addr addr)
+{
+    MemLevel level;
+    return l1Access(addr, level);
+}
+
+Cycles
+MemHierarchy::l1Access(Addr addr, MemLevel &level)
+{
+    if (l1_->access(addr)) {
+        level = MemLevel::L1;
+        return params_.l1Latency;
+    }
+    return params_.l1Latency + l2Access(addr, level);
+}
+
+Cycles
+MemHierarchy::l2Access(Addr addr)
+{
+    MemLevel level;
+    return l2Access(addr, level);
+}
+
+Cycles
+MemHierarchy::l2Access(Addr addr, MemLevel &level)
+{
+    if (l2_->access(addr)) {
+        level = MemLevel::L2;
+        return params_.l2Latency;
+    }
+    if (l3_->access(addr)) {
+        level = MemLevel::L3;
+        return params_.l2Latency + params_.l3Latency;
+    }
+    ++memAccesses_;
+    level = MemLevel::Memory;
+    return params_.l2Latency + params_.l3Latency + params_.memLatency;
+}
+
+void
+MemHierarchy::resetStats()
+{
+    l1_->resetStats();
+    l2_->resetStats();
+    l3_->resetStats();
+    memAccesses_ = 0;
+}
+
+} // namespace sc::sim

@@ -1,0 +1,105 @@
+#include "tensor/reference_kernels.hh"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace sc::tensor {
+
+SparseMatrix
+referenceSpmspm(const SparseMatrix &a, const SparseMatrix &b)
+{
+    if (a.cols() != b.rows())
+        fatal("spmspm shape mismatch: %ux%u * %ux%u", a.rows(), a.cols(),
+              b.rows(), b.cols());
+
+    std::vector<Triplet> out;
+    std::unordered_map<Key, Value> row_acc;
+    for (std::uint32_t i = 0; i < a.rows(); ++i) {
+        row_acc.clear();
+        auto a_keys = a.rowKeys(i);
+        auto a_vals = a.rowVals(i);
+        for (std::size_t p = 0; p < a_keys.size(); ++p) {
+            const Key k = a_keys[p];
+            const Value av = a_vals[p];
+            auto b_keys = b.rowKeys(k);
+            auto b_vals = b.rowVals(k);
+            for (std::size_t q = 0; q < b_keys.size(); ++q)
+                row_acc[b_keys[q]] += av * b_vals[q];
+        }
+        for (const auto &[col, val] : row_acc)
+            if (val != 0.0)
+                out.push_back({i, col, val});
+    }
+    return SparseMatrix::fromTriplets(a.rows(), b.cols(), std::move(out),
+                                      "reference");
+}
+
+SparseMatrix
+referenceTtv(const CsfTensor &a, const std::vector<Value> &vec)
+{
+    if (vec.size() < a.dimK())
+        fatal("TTV vector too short: %zu < %u", vec.size(), a.dimK());
+
+    std::vector<Triplet> out;
+    for (std::uint32_t s = 0; s < a.numSlices(); ++s) {
+        const std::uint32_t i = a.sliceRoot(s);
+        auto fiber_keys = a.sliceFiberKeys(s);
+        for (std::uint64_t f = a.fiberBegin(s); f < a.fiberEnd(s); ++f) {
+            const Key j = fiber_keys[f - a.fiberBegin(s)];
+            auto ks = a.fiberKeys(f);
+            auto vs = a.fiberVals(f);
+            Value acc = 0.0;
+            for (std::size_t p = 0; p < ks.size(); ++p)
+                acc += vs[p] * vec[ks[p]];
+            if (acc != 0.0)
+                out.push_back({i, j, acc});
+        }
+    }
+    return SparseMatrix::fromTriplets(a.dimI(), a.dimJ(), std::move(out),
+                                      "reference-ttv");
+}
+
+CsfTensor
+referenceTtm(const CsfTensor &a, const SparseMatrix &b)
+{
+    if (b.cols() != a.dimK())
+        fatal("TTM shape mismatch: tensor k-dim %u vs matrix cols %u",
+              a.dimK(), b.cols());
+
+    std::vector<TensorEntry> out;
+    for (std::uint32_t s = 0; s < a.numSlices(); ++s) {
+        const std::uint32_t i = a.sliceRoot(s);
+        auto fiber_keys = a.sliceFiberKeys(s);
+        for (std::uint64_t f = a.fiberBegin(s); f < a.fiberEnd(s); ++f) {
+            const Key j = fiber_keys[f - a.fiberBegin(s)];
+            auto ks = a.fiberKeys(f);
+            auto vs = a.fiberVals(f);
+            for (std::uint32_t k = 0; k < b.rows(); ++k) {
+                auto b_keys = b.rowKeys(k);
+                auto b_vals = b.rowVals(k);
+                // Dot of sparse fiber with sparse row of B.
+                Value acc = 0.0;
+                std::size_t p = 0, q = 0;
+                while (p < ks.size() && q < b_keys.size()) {
+                    if (ks[p] == b_keys[q]) {
+                        acc += vs[p] * b_vals[q];
+                        ++p;
+                        ++q;
+                    } else if (ks[p] < b_keys[q]) {
+                        ++p;
+                    } else {
+                        ++q;
+                    }
+                }
+                if (acc != 0.0)
+                    out.push_back({i, j, k, acc});
+            }
+        }
+    }
+    return CsfTensor::fromEntries(a.dimI(), a.dimJ(), b.rows(),
+                                  std::move(out), "reference-ttm");
+}
+
+} // namespace sc::tensor

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Golden reference tensor kernels. These compute spmspm / TTV / TTM
+ * with straightforward algorithms (no stream modeling) so the
+ * stream-kernel implementations in src/kernels can be validated
+ * bit-for-bit (modulo FP associativity, hence tolerance checks).
+ */
+
+#ifndef SPARSECORE_TENSOR_REFERENCE_KERNELS_HH
+#define SPARSECORE_TENSOR_REFERENCE_KERNELS_HH
+
+#include <vector>
+
+#include "tensor/csf_tensor.hh"
+#include "tensor/sparse_matrix.hh"
+
+namespace sc::tensor {
+
+/** C = A * B via dense accumulation per row (Gustavson order). */
+SparseMatrix referenceSpmspm(const SparseMatrix &a, const SparseMatrix &b);
+
+/** Z(i,j) = sum_k A(i,j,k) * v(k). Returns a sparse (i,j) matrix. */
+SparseMatrix referenceTtv(const CsfTensor &a,
+                          const std::vector<Value> &vec);
+
+/**
+ * Z(i,j,k) = sum_l A(i,j,l) * B(k,l). Returns entries of the result
+ * tensor in CSF form.
+ */
+CsfTensor referenceTtm(const CsfTensor &a, const SparseMatrix &b);
+
+} // namespace sc::tensor
+
+#endif // SPARSECORE_TENSOR_REFERENCE_KERNELS_HH

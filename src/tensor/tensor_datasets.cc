@@ -1,0 +1,123 @@
+#include "tensor/tensor_datasets.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace sc::tensor {
+
+namespace {
+
+std::uint64_t
+seedFromKey(const std::string &key, std::uint64_t base)
+{
+    std::uint64_t seed = base;
+    for (char c : key)
+        seed = seed * 131 + static_cast<unsigned char>(c);
+    return seed;
+}
+
+} // namespace
+
+const std::vector<MatrixDataset> &
+matrixDatasets()
+{
+    // Published statistics (Table 5). Structures chosen per family:
+    // circuit/FPGA/power matrices are uniform-ish, PDE meshes banded,
+    // TSOPF column-skewed (it has very dense columns, which the paper
+    // credits for its outsized inner/Gustavson speedups).
+    static const std::vector<MatrixDataset> datasets = {
+        {"CA", "California", 9664, 9664, 16150,
+         MatrixStructure::Uniform},
+        {"C", "Circuit204", 1020, 1020, 5883, MatrixStructure::Uniform},
+        {"E", "Email-Eu-core", 1005, 1005, 25571,
+         MatrixStructure::Uniform},
+        {"F", "Fpga_dcop_26", 1220, 1220, 5892,
+         MatrixStructure::Uniform},
+        {"G", "Grid2", 3296, 3296, 6432, MatrixStructure::Banded},
+        {"L", "Laser", 3002, 3002, 5000, MatrixStructure::Banded},
+        {"P", "Piston", 2025, 2025, 100015, MatrixStructure::Banded},
+        {"H", "Hydr1c", 5308, 5308, 23752, MatrixStructure::Banded},
+        {"EX", "ex19", 12005, 12005, 259577, MatrixStructure::Banded},
+        {"GR", "gridgena", 48962, 48962, 512084,
+         MatrixStructure::Banded},
+        {"T", "TSOPF", 18696, 18696, 4396289,
+         MatrixStructure::ColumnSkewed},
+    };
+    return datasets;
+}
+
+const MatrixDataset &
+matrixDataset(const std::string &key)
+{
+    for (const auto &dataset : matrixDatasets())
+        if (dataset.key == key)
+            return dataset;
+    fatal("unknown matrix dataset key '%s'", key.c_str());
+}
+
+const SparseMatrix &
+loadMatrix(const std::string &key)
+{
+    static std::map<std::string, SparseMatrix> cache;
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    const MatrixDataset &ds = matrixDataset(key);
+    SparseMatrix m = generateMatrix(ds.rows, ds.cols, ds.nnz,
+                                    ds.structure,
+                                    seedFromKey(key, 0x7e45045), ds.name);
+    auto [pos, inserted] = cache.emplace(key, std::move(m));
+    (void)inserted;
+    return pos->second;
+}
+
+const std::vector<TensorDataset> &
+tensorDatasets()
+{
+    // Chicago Crime 6.2K x 24 x 2.4K, 5.3M nnz; Uber Pickups
+    // 4.3K x 1.1K x 1.7K, 3.3M nnz. Scaled to 1/8 nnz (same dims /2).
+    static const std::vector<TensorDataset> datasets = {
+        {"Ch", "Chicago Crime", 3100, 24, 1200, 660000, 8.0},
+        {"U", "Uber Pickups", 2150, 550, 850, 410000, 8.0},
+    };
+    return datasets;
+}
+
+const TensorDataset &
+tensorDataset(const std::string &key)
+{
+    for (const auto &dataset : tensorDatasets())
+        if (dataset.key == key)
+            return dataset;
+    fatal("unknown tensor dataset key '%s'", key.c_str());
+}
+
+const CsfTensor &
+loadTensor(const std::string &key)
+{
+    static std::map<std::string, CsfTensor> cache;
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    const TensorDataset &ds = tensorDataset(key);
+    CsfTensor t = generateTensor(ds.dimI, ds.dimJ, ds.dimK, ds.nnz,
+                                 seedFromKey(key, 0x7e4503), ds.name);
+    auto [pos, inserted] = cache.emplace(key, std::move(t));
+    (void)inserted;
+    return pos->second;
+}
+
+std::vector<std::string>
+allMatrixKeys()
+{
+    return {"CA", "C", "E", "F", "G", "L", "P", "H", "EX", "GR", "T"};
+}
+
+std::vector<std::string>
+allTensorKeys()
+{
+    return {"Ch", "U"};
+}
+
+} // namespace sc::tensor

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table-5 dataset registry: eleven sparse matrices and two 3-order
+ * tensors, generated at the published dimension/nnz statistics (the
+ * tensors are scaled down; see DESIGN.md §5).
+ */
+
+#ifndef SPARSECORE_TENSOR_TENSOR_DATASETS_HH
+#define SPARSECORE_TENSOR_TENSOR_DATASETS_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/csf_tensor.hh"
+#include "tensor/sparse_matrix.hh"
+#include "tensor/tensor_gen.hh"
+
+namespace sc::tensor {
+
+/** Descriptor of one Table-5 matrix. */
+struct MatrixDataset
+{
+    std::string key;  ///< short code used by Fig. 15 (C, E, F, ...)
+    std::string name; ///< published dataset name
+    std::uint32_t rows;
+    std::uint32_t cols;
+    std::uint64_t nnz;
+    MatrixStructure structure;
+};
+
+/** Descriptor of one Table-5 tensor. */
+struct TensorDataset
+{
+    std::string key;
+    std::string name;
+    std::uint32_t dimI;
+    std::uint32_t dimJ;
+    std::uint32_t dimK;
+    std::uint64_t nnz;
+    double scale; ///< published-nnz / generated-nnz
+};
+
+/** The eleven Table-5 matrices in paper order. */
+const std::vector<MatrixDataset> &matrixDatasets();
+const MatrixDataset &matrixDataset(const std::string &key);
+/** Generate (and memoize) a matrix dataset. */
+const SparseMatrix &loadMatrix(const std::string &key);
+
+/** The two Table-5 tensors (Chicago Crime, Uber Pickups). */
+const std::vector<TensorDataset> &tensorDatasets();
+const TensorDataset &tensorDataset(const std::string &key);
+const CsfTensor &loadTensor(const std::string &key);
+
+/** Keys of all matrices in Fig. 15 order. */
+std::vector<std::string> allMatrixKeys();
+/** Keys of the two tensors. */
+std::vector<std::string> allTensorKeys();
+
+} // namespace sc::tensor
+
+#endif // SPARSECORE_TENSOR_TENSOR_DATASETS_HH

@@ -1,0 +1,114 @@
+#include "tensor/tensor_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sc::tensor {
+
+namespace {
+
+Value
+randomValue(Rng &rng)
+{
+    return 0.5 + rng.uniform();
+}
+
+} // namespace
+
+SparseMatrix
+generateMatrix(std::uint32_t rows, std::uint32_t cols, std::uint64_t nnz,
+               MatrixStructure structure, std::uint64_t seed,
+               std::string name)
+{
+    if (rows == 0 || cols == 0)
+        fatal("matrix dimensions must be positive");
+    Rng rng(seed);
+    std::vector<Triplet> triplets;
+    triplets.reserve(nnz + nnz / 8);
+
+    switch (structure) {
+      case MatrixStructure::Uniform:
+        for (std::uint64_t n = 0; n < nnz; ++n) {
+            triplets.push_back(
+                {static_cast<std::uint32_t>(rng.below(rows)),
+                 static_cast<std::uint32_t>(rng.below(cols)),
+                 randomValue(rng)});
+        }
+        break;
+
+      case MatrixStructure::Banded: {
+        // Bandwidth sized so the band holds ~6x the requested nnz
+        // (enough headroom that duplicate draws stay rare even for
+        // very sparse PDE meshes).
+        const std::uint64_t band = std::max<std::uint64_t>(
+            8, 6 * nnz / rows);
+        for (std::uint64_t n = 0; n < nnz; ++n) {
+            const auto r = static_cast<std::uint32_t>(rng.below(rows));
+            const std::int64_t offset =
+                static_cast<std::int64_t>(rng.below(band)) -
+                static_cast<std::int64_t>(band / 2);
+            std::int64_t c =
+                static_cast<std::int64_t>(
+                    static_cast<double>(r) * cols / rows) +
+                offset;
+            c = std::clamp<std::int64_t>(c, 0, cols - 1);
+            triplets.push_back({r, static_cast<std::uint32_t>(c),
+                                randomValue(rng)});
+        }
+        break;
+      }
+
+      case MatrixStructure::ColumnSkewed: {
+        // 5% of columns receive 60% of the non-zeros.
+        const std::uint32_t hot_cols =
+            std::max<std::uint32_t>(1, cols / 20);
+        for (std::uint64_t n = 0; n < nnz; ++n) {
+            const auto r = static_cast<std::uint32_t>(rng.below(rows));
+            std::uint32_t c;
+            if (rng.chance(0.6))
+                c = static_cast<std::uint32_t>(rng.below(hot_cols));
+            else
+                c = static_cast<std::uint32_t>(rng.below(cols));
+            triplets.push_back({r, c, randomValue(rng)});
+        }
+        break;
+      }
+    }
+    return SparseMatrix::fromTriplets(rows, cols, std::move(triplets),
+                                      std::move(name));
+}
+
+CsfTensor
+generateTensor(std::uint32_t dim_i, std::uint32_t dim_j,
+               std::uint32_t dim_k, std::uint64_t nnz, std::uint64_t seed,
+               std::string name)
+{
+    if (dim_i == 0 || dim_j == 0 || dim_k == 0)
+        fatal("tensor dimensions must be positive");
+    Rng rng(seed);
+    std::vector<TensorEntry> entries;
+    entries.reserve(nnz);
+    for (std::uint64_t n = 0; n < nnz; ++n) {
+        entries.push_back({static_cast<std::uint32_t>(rng.below(dim_i)),
+                           static_cast<std::uint32_t>(rng.below(dim_j)),
+                           static_cast<std::uint32_t>(rng.below(dim_k)),
+                           randomValue(rng)});
+    }
+    return CsfTensor::fromEntries(dim_i, dim_j, dim_k, std::move(entries),
+                                  std::move(name));
+}
+
+std::vector<Value>
+generateVector(std::uint32_t length, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> vec(length);
+    for (auto &v : vec)
+        v = randomValue(rng);
+    return vec;
+}
+
+} // namespace sc::tensor

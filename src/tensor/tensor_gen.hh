@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic sparse matrix / tensor generators. Structure families
+ * mimic the Table-5 collections: uniform-random (circuit-like),
+ * banded (PDE meshes like ex19/gridgena), and column-skewed
+ * (power-grid matrices like TSOPF with dense columns).
+ */
+
+#ifndef SPARSECORE_TENSOR_TENSOR_GEN_HH
+#define SPARSECORE_TENSOR_TENSOR_GEN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/csf_tensor.hh"
+#include "tensor/sparse_matrix.hh"
+
+namespace sc::tensor {
+
+/** Structure family of a generated matrix. */
+enum class MatrixStructure : unsigned
+{
+    Uniform,     ///< nnz scattered uniformly
+    Banded,      ///< nnz concentrated near the diagonal
+    ColumnSkewed ///< a few dense columns, rest sparse (TSOPF-like)
+};
+
+/** Generate an n x m matrix with the requested nnz and structure. */
+SparseMatrix generateMatrix(std::uint32_t rows, std::uint32_t cols,
+                            std::uint64_t nnz, MatrixStructure structure,
+                            std::uint64_t seed,
+                            std::string name = "matrix");
+
+/** Generate a 3-order tensor with the requested nnz (uniform). */
+CsfTensor generateTensor(std::uint32_t dim_i, std::uint32_t dim_j,
+                         std::uint32_t dim_k, std::uint64_t nnz,
+                         std::uint64_t seed,
+                         std::string name = "tensor");
+
+/** Generate a dense vector of the given length (values in [0.5,1.5)). */
+std::vector<Value> generateVector(std::uint32_t length,
+                                  std::uint64_t seed);
+
+} // namespace sc::tensor
+
+#endif // SPARSECORE_TENSOR_TENSOR_GEN_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Parameterized property sweeps over the SparseCore engine: resource
+ * monotonicity, determinism, and configuration sensitivity across
+ * random workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "backend/sparsecore_backend.hh"
+#include "common/rng.hh"
+#include "gpm/apps.hh"
+#include "gpm/executor.hh"
+#include "test_util.hh"
+
+using namespace sc;
+using namespace sc::arch;
+
+namespace {
+
+Cycles
+mineWith(const SparseCoreConfig &config, const graph::CsrGraph &g,
+         gpm::GpmApp app)
+{
+    backend::SparseCoreBackend be(config);
+    gpm::PlanExecutor executor(g, be);
+    return executor.runMany(gpm::gpmAppPlans(app)).cycles;
+}
+
+} // namespace
+
+class EngineProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    graph::CsrGraph
+    makeGraph() const
+    {
+        return test::randomTestGraph(200 + GetParam() % 100,
+                                     2500 + GetParam() % 1000,
+                                     GetParam() * 31);
+    }
+};
+
+TEST_P(EngineProperty, Deterministic)
+{
+    const auto g = makeGraph();
+    const SparseCoreConfig config;
+    EXPECT_EQ(mineWith(config, g, gpm::GpmApp::T),
+              mineWith(config, g, gpm::GpmApp::T));
+}
+
+TEST_P(EngineProperty, WiderComparatorNeverSlower)
+{
+    const auto g = makeGraph();
+    SparseCoreConfig narrow, wide;
+    narrow.suWindow = 2;
+    wide.suWindow = 32;
+    EXPECT_LE(mineWith(wide, g, gpm::GpmApp::TS),
+              mineWith(narrow, g, gpm::GpmApp::TS));
+}
+
+TEST_P(EngineProperty, NestedNeverSlowerThanExplicit)
+{
+    const auto g = makeGraph();
+    const SparseCoreConfig config;
+    EXPECT_LE(mineWith(config, g, gpm::GpmApp::T),
+              mineWith(config, g, gpm::GpmApp::TS));
+    EXPECT_LE(mineWith(config, g, gpm::GpmApp::C4),
+              mineWith(config, g, gpm::GpmApp::C4S));
+}
+
+TEST_P(EngineProperty, BiggerScratchpadNeverSlower)
+{
+    const auto g = makeGraph();
+    SparseCoreConfig tiny, big;
+    tiny.scratchpadBytes = 256;
+    big.scratchpadBytes = 64 * 1024;
+    EXPECT_LE(mineWith(big, g, gpm::GpmApp::TT),
+              mineWith(tiny, g, gpm::GpmApp::TT) +
+                  mineWith(tiny, g, gpm::GpmApp::TT) / 10);
+}
+
+TEST_P(EngineProperty, RootPartitionCountsSumExactly)
+{
+    const auto g = makeGraph();
+    backend::SparseCoreBackend whole_be;
+    gpm::PlanExecutor whole(g, whole_be);
+    const auto total =
+        whole.runMany(gpm::gpmAppPlans(gpm::GpmApp::TT)).embeddings;
+
+    std::uint64_t sum = 0;
+    for (unsigned offset = 0; offset < 3; ++offset) {
+        backend::SparseCoreBackend be;
+        gpm::PlanExecutor part(g, be);
+        part.setRootRange(offset, 3);
+        sum += part.runMany(gpm::gpmAppPlans(gpm::GpmApp::TT))
+                   .embeddings;
+    }
+    EXPECT_EQ(sum, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// ---------------- functional event-shape checks ----------------
+
+#include "backend/functional_backend.hh"
+
+TEST(ExecutorEvents, TriangleEventMixIsSane)
+{
+    const auto g = test::randomTestGraph(150, 1200, 606);
+    backend::FunctionalBackend be;
+    gpm::PlanExecutor executor(g, be);
+    executor.runMany(gpm::gpmAppPlans(gpm::GpmApp::T));
+    // Nested triangle counting: one nested intersect per root with
+    // candidates, no produced set ops, loads balanced by frees.
+    EXPECT_GT(be.stats().get("nestedIntersects"), 0u);
+    EXPECT_EQ(be.stats().get("setOp.intersect"), 0u);
+    EXPECT_EQ(be.liveStreams(), 0);
+    EXPECT_EQ(be.stats().get("streamLoads"),
+              be.stats().get("streamFrees"));
+}
+
+TEST(ExecutorEvents, ExplicitVariantReplacesNestedWithCounts)
+{
+    const auto g = test::randomTestGraph(150, 1200, 607);
+    backend::FunctionalBackend be;
+    gpm::PlanExecutor executor(g, be);
+    executor.runMany(gpm::gpmAppPlans(gpm::GpmApp::TS));
+    EXPECT_EQ(be.stats().get("nestedIntersects"), 0u);
+    EXPECT_GT(be.stats().get("setOpCount.intersect"), 0u);
+}
+
+TEST(ExecutorEvents, CountingRewriteAvoidsSubtractCounts)
+{
+    // The |A-B| = |A| - |A & B| rewrite: TC's final level must emit
+    // intersection counts, not subtraction counts.
+    const auto g = test::randomTestGraph(150, 1200, 608);
+    backend::FunctionalBackend be;
+    gpm::PlanExecutor executor(g, be);
+    executor.runMany(gpm::gpmAppPlans(gpm::GpmApp::TC));
+    EXPECT_EQ(be.stats().get("setOpCount.subtract"), 0u);
+    EXPECT_GT(be.stats().get("setOpCount.intersect"), 0u);
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for frequent subgraph mining: MNI support semantics,
+ * anti-monotone pruning, backend agreement and the paper's
+ * "FSM speedups are small" property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "backend/cpu_backend.hh"
+#include "backend/functional_backend.hh"
+#include "backend/sparsecore_backend.hh"
+#include "graph/graph_builder.hh"
+#include "gpm/apps.hh"
+#include "gpm/executor.hh"
+#include "gpm/fsm.hh"
+#include "test_util.hh"
+
+using namespace sc;
+using namespace sc::gpm;
+using graph::Label;
+using graph::LabeledGraph;
+
+namespace {
+
+/** A labeled path 0-1-2-3 with labels a,b,b,a. */
+LabeledGraph
+labeledPath()
+{
+    auto g = graph::buildCsr(4, {{0, 1}, {1, 2}, {2, 3}}, "path");
+    return LabeledGraph(std::move(g), {0, 1, 1, 0});
+}
+
+} // namespace
+
+TEST(Fsm, SingleEdgeSupport)
+{
+    // Path a-b-b-a: edges (a,b) x2 and (b,b) x1.
+    // MNI((a,b)): a-side {0,3}, b-side {1,2} -> support 2.
+    // MNI((b,b)): both positions {1,2} -> support 2.
+    backend::FunctionalBackend be;
+    const auto r1 = runFsm(labeledPath(), be, 2);
+    EXPECT_EQ(r1.frequentEdges, 2u);
+    const auto r3 = runFsm(labeledPath(), be, 3);
+    EXPECT_EQ(r3.frequentEdges, 0u);
+}
+
+TEST(Fsm, WedgeSupportOnStar)
+{
+    // Star with center label 9 and 4 leaves label 1: wedges
+    // (1,9,1): center set {0}, leaf sets {1..4}: support 1.
+    auto g = graph::buildCsr(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}},
+                             "star");
+    LabeledGraph lg(std::move(g), {9, 1, 1, 1, 1});
+    backend::FunctionalBackend be;
+    const auto r = runFsm(lg, be, 1);
+    EXPECT_EQ(r.frequentWedges, 1u);
+    // Support 2 kills the wedge (center set has one vertex).
+    const auto r2 = runFsm(lg, be, 2);
+    EXPECT_EQ(r2.frequentWedges, 0u);
+}
+
+TEST(Fsm, TriangleDetected)
+{
+    auto g = graph::buildCsr(3, {{0, 1}, {1, 2}, {0, 2}}, "k3");
+    LabeledGraph lg(std::move(g), {0, 0, 0});
+    backend::FunctionalBackend be;
+    const auto r = runFsm(lg, be, 1);
+    EXPECT_EQ(r.frequentTriangles, 1u);
+    EXPECT_EQ(r.frequentEdges, 1u);
+}
+
+TEST(Fsm, AntiMonotonePruning)
+{
+    // Total frequent patterns can only shrink as support rises.
+    const auto &g = test::randomTestGraph(200, 1200, 81);
+    LabeledGraph lg =
+        LabeledGraph::withRandomLabels(graph::CsrGraph(g), 3, 82);
+    backend::FunctionalBackend be;
+    unsigned prev = ~0u;
+    for (std::uint64_t support : {2, 5, 10, 30}) {
+        const auto r = runFsm(lg, be, support);
+        EXPECT_LE(r.totalFrequent(), prev);
+        prev = r.totalFrequent();
+    }
+}
+
+TEST(Fsm, BackendsAgree)
+{
+    const auto &g = test::randomTestGraph(150, 900, 83);
+    LabeledGraph lg =
+        LabeledGraph::withRandomLabels(graph::CsrGraph(g), 4, 84);
+    backend::FunctionalBackend functional;
+    backend::CpuBackend cpu;
+    backend::SparseCoreBackend sc_be;
+    const auto f = runFsm(lg, functional, 5);
+    const auto c = runFsm(lg, cpu, 5);
+    const auto s = runFsm(lg, sc_be, 5);
+    EXPECT_EQ(f.totalFrequent(), c.totalFrequent());
+    EXPECT_EQ(f.totalFrequent(), s.totalFrequent());
+    EXPECT_EQ(f.frequentPaths, s.frequentPaths);
+    EXPECT_EQ(f.frequentStars, s.frequentStars);
+}
+
+TEST(Fsm, SpeedupSmallerThanTriangleCounting)
+{
+    // §6.3.2: support computation dominates FSM, so SparseCore's
+    // speedup is much smaller than on intersection-heavy apps.
+    const auto &g = test::randomTestGraph(250, 2500, 85);
+    LabeledGraph lg =
+        LabeledGraph::withRandomLabels(graph::CsrGraph(g), 4, 86);
+
+    backend::CpuBackend cpu;
+    backend::SparseCoreBackend sc_be;
+    const auto fsm_cpu = runFsm(lg, cpu, 5);
+    const auto fsm_sc = runFsm(lg, sc_be, 5);
+    const double fsm_speedup =
+        static_cast<double>(fsm_cpu.cycles) /
+        static_cast<double>(fsm_sc.cycles);
+    EXPECT_GT(fsm_speedup, 0.8); // not slower
+
+    backend::CpuBackend cpu2;
+    backend::SparseCoreBackend sc2;
+    gpm::PlanExecutor e_cpu(lg.graph(), cpu2);
+    gpm::PlanExecutor e_sc(lg.graph(), sc2);
+    const auto t_cpu = e_cpu.runMany(gpmAppPlans(GpmApp::T));
+    const auto t_sc = e_sc.runMany(gpmAppPlans(GpmApp::T));
+    const double t_speedup = static_cast<double>(t_cpu.cycles) /
+                             static_cast<double>(t_sc.cycles);
+    EXPECT_LT(fsm_speedup, t_speedup);
+}

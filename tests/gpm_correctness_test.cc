@@ -1,0 +1,215 @@
+/**
+ * @file
+ * GPM correctness: every application's symmetry-broken embedding
+ * count must equal the brute-force count, on hand-built graphs and on
+ * random property-test graphs. Backends must agree with each other.
+ */
+
+#include <gtest/gtest.h>
+
+#include "backend/cpu_backend.hh"
+#include "backend/functional_backend.hh"
+#include "backend/sparsecore_backend.hh"
+#include "graph/graph_builder.hh"
+#include "gpm/apps.hh"
+#include "gpm/executor.hh"
+#include "gpm/planner.hh"
+#include "test_util.hh"
+
+using namespace sc;
+using namespace sc::gpm;
+
+namespace {
+
+std::uint64_t
+countWith(backend::ExecBackend &be, GpmApp app,
+          const graph::CsrGraph &g)
+{
+    PlanExecutor executor(g, be);
+    return executor.runMany(gpmAppPlans(app)).embeddings;
+}
+
+std::uint64_t
+functionalCount(GpmApp app, const graph::CsrGraph &g)
+{
+    backend::FunctionalBackend be;
+    return countWith(be, app, g);
+}
+
+} // namespace
+
+TEST(GpmCorrectness, TriangleOnFigureOneGraph)
+{
+    // Fig. 1: the example graph contains exactly one triangle.
+    const auto g = test::figureOneGraph();
+    EXPECT_EQ(functionalCount(GpmApp::T, g), 1u);
+    EXPECT_EQ(functionalCount(GpmApp::TS, g), 1u);
+}
+
+TEST(GpmCorrectness, CliqueOnCompleteGraph)
+{
+    // K6: C(6,3)=20 triangles, C(6,4)=15 4-cliques, C(6,5)=6.
+    std::vector<graph::Edge> edges;
+    for (VertexId u = 0; u < 6; ++u)
+        for (VertexId v = u + 1; v < 6; ++v)
+            edges.push_back({u, v});
+    const auto g = graph::buildCsr(6, edges, "k6");
+    EXPECT_EQ(functionalCount(GpmApp::T, g), 20u);
+    EXPECT_EQ(functionalCount(GpmApp::C4, g), 15u);
+    EXPECT_EQ(functionalCount(GpmApp::C5, g), 6u);
+    EXPECT_EQ(functionalCount(GpmApp::C4S, g), 15u);
+    EXPECT_EQ(functionalCount(GpmApp::C5S, g), 6u);
+}
+
+TEST(GpmCorrectness, ChainOnStarGraph)
+{
+    // A star with 4 leaves: C(4,2)=6 wedges, no triangles, and no
+    // tailed triangles.
+    const auto g = graph::buildCsr(
+        5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}}, "star4");
+    EXPECT_EQ(functionalCount(GpmApp::TC, g), 6u);
+    EXPECT_EQ(functionalCount(GpmApp::T, g), 0u);
+    EXPECT_EQ(functionalCount(GpmApp::TT, g), 0u);
+}
+
+TEST(GpmCorrectness, ChainIsVertexInduced)
+{
+    // A triangle has 0 vertex-induced 3-chains (the ends are always
+    // adjacent).
+    const auto g =
+        graph::buildCsr(3, {{0, 1}, {1, 2}, {0, 2}}, "k3");
+    EXPECT_EQ(functionalCount(GpmApp::TC, g), 0u);
+    EXPECT_EQ(functionalCount(GpmApp::T, g), 1u);
+}
+
+TEST(GpmCorrectness, TailedTriangleHandBuilt)
+{
+    // Triangle {0,1,2} with a tail 3 attached to vertex 1: exactly
+    // one tailed triangle.
+    const auto g = graph::buildCsr(
+        4, {{0, 1}, {1, 2}, {0, 2}, {1, 3}}, "tt");
+    EXPECT_EQ(functionalCount(GpmApp::TT, g), 1u);
+}
+
+TEST(GpmCorrectness, TailedTriangleAllAttachments)
+{
+    // Triangle {0,1,2}; tails on every triangle vertex: 3, 4, 5
+    // attached to 0, 1, 2 -> three tailed triangles.
+    const auto g = graph::buildCsr(6,
+                                   {{0, 1},
+                                    {1, 2},
+                                    {0, 2},
+                                    {0, 3},
+                                    {1, 4},
+                                    {2, 5}},
+                                   "tt3");
+    EXPECT_EQ(functionalCount(GpmApp::TT, g), 3u);
+}
+
+TEST(GpmCorrectness, MotifCombinesTriangleAndChain)
+{
+    const auto g = test::randomTestGraph(30, 90, 5);
+    const auto tm = functionalCount(GpmApp::TM, g);
+    const auto t = functionalCount(GpmApp::T, g);
+    const auto tc = functionalCount(GpmApp::TC, g);
+    EXPECT_EQ(tm, t + tc);
+}
+
+// ---------------- property tests against brute force ----------------
+
+class GpmBruteForce : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    graph::CsrGraph
+    makeGraph() const
+    {
+        // Dense-ish small graphs exercise every code path.
+        return test::randomTestGraph(16 + GetParam() % 7,
+                                     40 + GetParam() % 60,
+                                     GetParam() * 977);
+    }
+};
+
+TEST_P(GpmBruteForce, Triangle)
+{
+    const auto g = makeGraph();
+    const auto expect =
+        test::bruteForceCount(g, Pattern::triangle(), true);
+    EXPECT_EQ(functionalCount(GpmApp::T, g), expect);
+    EXPECT_EQ(functionalCount(GpmApp::TS, g), expect);
+}
+
+TEST_P(GpmBruteForce, ThreeChain)
+{
+    const auto g = makeGraph();
+    EXPECT_EQ(functionalCount(GpmApp::TC, g),
+              test::bruteForceCount(g, Pattern::threeChain(), true));
+}
+
+TEST_P(GpmBruteForce, TailedTriangle)
+{
+    const auto g = makeGraph();
+    EXPECT_EQ(
+        functionalCount(GpmApp::TT, g),
+        test::bruteForceCount(g, Pattern::tailedTriangle(), true));
+}
+
+TEST_P(GpmBruteForce, FourClique)
+{
+    const auto g = makeGraph();
+    const auto expect =
+        test::bruteForceCount(g, Pattern::clique(4), true);
+    EXPECT_EQ(functionalCount(GpmApp::C4, g), expect);
+    EXPECT_EQ(functionalCount(GpmApp::C4S, g), expect);
+}
+
+TEST_P(GpmBruteForce, FiveClique)
+{
+    const auto g = makeGraph();
+    const auto expect =
+        test::bruteForceCount(g, Pattern::clique(5), true);
+    EXPECT_EQ(functionalCount(GpmApp::C5, g), expect);
+    EXPECT_EQ(functionalCount(GpmApp::C5S, g), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpmBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------- cross-backend agreement ----------------
+
+class GpmBackendAgreement
+    : public ::testing::TestWithParam<GpmApp>
+{
+};
+
+TEST_P(GpmBackendAgreement, AllBackendsSameCount)
+{
+    const auto g = test::randomTestGraph(60, 400, 42);
+    backend::FunctionalBackend functional;
+    backend::CpuBackend cpu;
+    backend::SparseCoreBackend sparsecore;
+    const auto expect = countWith(functional, GetParam(), g);
+    EXPECT_EQ(countWith(cpu, GetParam(), g), expect);
+    EXPECT_EQ(countWith(sparsecore, GetParam(), g), expect);
+}
+
+TEST_P(GpmBackendAgreement, NoStreamLeaks)
+{
+    const auto g = test::randomTestGraph(40, 150, 7);
+    backend::FunctionalBackend be;
+    countWith(be, GetParam(), g);
+    EXPECT_EQ(be.liveStreams(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, GpmBackendAgreement,
+    ::testing::Values(GpmApp::T, GpmApp::TS, GpmApp::TC, GpmApp::TT,
+                      GpmApp::TM, GpmApp::C4, GpmApp::C4S, GpmApp::C5,
+                      GpmApp::C5S),
+    [](const ::testing::TestParamInfo<GpmApp> &info) {
+        std::string name = gpmAppName(info.param);
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });

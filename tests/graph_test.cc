@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the graph substrate: CSR construction, the symmetry-
+ * breaking offset array, builders, generators and dataset registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "graph/csr_graph.hh"
+#include "graph/datasets.hh"
+#include "graph/generators.hh"
+#include "graph/graph_builder.hh"
+#include "graph/labeled_graph.hh"
+
+using namespace sc;
+using namespace sc::graph;
+
+TEST(GraphBuilder, DedupAndSymmetrize)
+{
+    CsrGraph g = buildCsr(4, {{0, 1}, {1, 0}, {0, 1}, {2, 3}});
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_TRUE(g.hasEdge(3, 2));
+    EXPECT_FALSE(g.hasEdge(0, 2));
+}
+
+TEST(GraphBuilder, DropsSelfLoops)
+{
+    GraphBuilder b(3);
+    b.addEdge(1, 1);
+    b.addEdge(0, 2);
+    CsrGraph g = std::move(b).build();
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange)
+{
+    GraphBuilder b(3);
+    EXPECT_THROW(b.addEdge(0, 3), SimError);
+}
+
+TEST(CsrGraph, NeighborsSortedAndOffsets)
+{
+    CsrGraph g = buildCsr(5, {{2, 0}, {2, 4}, {2, 1}, {2, 3}});
+    auto n2 = g.neighbors(2);
+    EXPECT_TRUE(std::is_sorted(n2.begin(), n2.end()));
+    EXPECT_EQ(n2.size(), 4u);
+    // The CSR offset array (GFR2): first neighbor greater than 2.
+    EXPECT_EQ(g.aboveOffset(2), 2u); // neighbors 0,1 are below
+    auto below = g.neighborsBelow(2);
+    auto above = g.neighborsAbove(2);
+    EXPECT_EQ(below.size(), 2u);
+    EXPECT_EQ(above.size(), 2u);
+    EXPECT_EQ(below[0], 0u);
+    EXPECT_EQ(above[0], 3u);
+}
+
+TEST(CsrGraph, DegreeStats)
+{
+    CsrGraph g = buildCsr(4, {{0, 1}, {0, 2}, {0, 3}});
+    EXPECT_EQ(g.maxDegree(), 3u);
+    EXPECT_DOUBLE_EQ(g.avgDegree(), 6.0 / 4.0);
+}
+
+TEST(CsrGraph, EdgeListAddresses)
+{
+    CsrGraph g = buildCsr(4, {{0, 1}, {1, 2}, {2, 3}});
+    // Edge list addresses are contiguous in CSR order.
+    EXPECT_EQ(g.edgeListAddr(1) - g.edgeListAddr(0),
+              g.degree(0) * sizeof(VertexId));
+    // Vertex array and edge array do not overlap.
+    EXPECT_GE(g.edgeArrayBase(),
+              g.vertexArrayBase() + (g.numVertices() + 1) * 8);
+}
+
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GeneratorProperty, ErdosRenyiWellFormed)
+{
+    const auto g =
+        generateErdosRenyi(500, 2000, GetParam(), "er");
+    EXPECT_EQ(g.numVertices(), 500u);
+    EXPECT_GT(g.numEdges(), 1800u);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        auto n = g.neighbors(v);
+        EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+        EXPECT_TRUE(std::adjacent_find(n.begin(), n.end()) == n.end());
+        for (VertexId u : n) {
+            EXPECT_NE(u, v); // no self loops
+            EXPECT_TRUE(g.hasEdge(u, v)); // symmetric
+        }
+    }
+}
+
+TEST_P(GeneratorProperty, ChungLuMatchesShape)
+{
+    const auto g = generateChungLu(2000, 16000, 400, 2.0, GetParam());
+    EXPECT_EQ(g.numVertices(), 2000u);
+    // Edge count within 25% of target.
+    EXPECT_GT(g.numEdges(), 12000u);
+    EXPECT_LE(g.numEdges(), 16000u);
+    // Heavy tail: max degree well above the average.
+    EXPECT_GT(g.maxDegree(), 3 * g.avgDegree());
+}
+
+TEST_P(GeneratorProperty, RmatWellFormed)
+{
+    const auto g = generateRmat(1024, 4000, GetParam());
+    EXPECT_EQ(g.numVertices(), 1024u);
+    EXPECT_GT(g.numEdges(), 2000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Generators, Deterministic)
+{
+    const auto a = generateChungLu(500, 3000, 100, 2.0, 99);
+    const auto b = generateChungLu(500, 3000, 100, 2.0, 99);
+    EXPECT_EQ(a.edges(), b.edges());
+    EXPECT_EQ(a.offsets(), b.offsets());
+}
+
+TEST(Datasets, RegistryComplete)
+{
+    EXPECT_EQ(graphDatasets().size(), 10u);
+    for (const auto &key : allGraphKeys()) {
+        const GraphDataset &ds = graphDataset(key);
+        EXPECT_EQ(ds.key, key);
+    }
+    EXPECT_THROW(graphDataset("Z"), SimError);
+}
+
+TEST(Datasets, SmallGraphMatchesPublishedStats)
+{
+    const CsrGraph &e = loadGraph("E");
+    const GraphDataset &ds = graphDataset("E");
+    EXPECT_EQ(e.numVertices(), ds.numVertices);
+    // Within 25% of the published edge count.
+    EXPECT_GT(e.numEdges(), ds.numEdges * 3 / 4);
+    // Dense graph: average degree must be high (paper: 25.4).
+    EXPECT_GT(e.avgDegree(), 15.0);
+}
+
+TEST(Datasets, MemoizedLoads)
+{
+    const CsrGraph &a = loadGraph("C");
+    const CsrGraph &b = loadGraph("C");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(LabeledGraph, RandomLabelsInRange)
+{
+    auto lg = LabeledGraph::withRandomLabels(
+        buildCsr(100, {{0, 1}, {1, 2}}), 8, 42);
+    EXPECT_LE(lg.numLabels(), 8u);
+    for (VertexId v = 0; v < 100; ++v)
+        EXPECT_LT(lg.label(v), 8u);
+}
+
+TEST(LabeledGraph, SizeMismatchRejected)
+{
+    EXPECT_THROW(
+        LabeledGraph(buildCsr(3, {{0, 1}}), std::vector<Label>{1, 2}),
+        SimError);
+}

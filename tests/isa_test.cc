@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Tests for the stream ISA: instruction encoding/printing, the
+ * assembler, and functional interpreter semantics (SMT rules,
+ * exceptions, EOS, value ops, GFR-driven nested intersection,
+ * checkpoint rollback).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.hh"
+#include "isa/assembler.hh"
+#include "isa/interpreter.hh"
+#include "test_util.hh"
+
+using namespace sc;
+using namespace sc::isa;
+
+namespace {
+
+/** Fixture owning a memory image with two key streams. */
+class IsaFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        a = {1, 3, 5, 7, 9};
+        b = {2, 3, 4, 7, 8};
+        av = {1.0, 2.0, 3.0, 4.0, 5.0};
+        bv = {10.0, 20.0, 30.0, 40.0, 50.0};
+        mem.addSegment(0x1000, a.data(), a.size() * sizeof(Key));
+        mem.addSegment(0x2000, b.data(), b.size() * sizeof(Key));
+        mem.addSegment(0x3000, av.data(), av.size() * sizeof(Value));
+        mem.addSegment(0x4000, bv.data(), bv.size() * sizeof(Value));
+    }
+
+    std::vector<Key> a, b;
+    std::vector<Value> av, bv;
+    MemoryImage mem;
+};
+
+} // namespace
+
+TEST(StreamInst, Mnemonics)
+{
+    EXPECT_STREQ(opcodeName(Opcode::SInterC), "S_INTER.C");
+    EXPECT_EQ(opcodeFromName("S_NESTINTER"), Opcode::SNestInter);
+    EXPECT_EQ(opcodeFromName("bogus"), Opcode::NumOpcodes);
+    EXPECT_TRUE(isStreamOpcode(Opcode::SRead));
+    EXPECT_FALSE(isStreamOpcode(Opcode::Add));
+}
+
+TEST(StreamInst, ToStringRoundTrips)
+{
+    Inst inst;
+    inst.op = Opcode::SInter;
+    inst.r = {1, 2, 3, 4, 0};
+    EXPECT_EQ(inst.toString(), "S_INTER r1, r2, r3, r4");
+}
+
+TEST(Assembler, ParsesProgramWithLabels)
+{
+    const Program p = assemble(R"(
+        ; simple counted loop
+        LI r1, 0
+        LI r2, 5
+    loop:
+        ADDI r1, r1, 1
+        BLT r1, r2, loop
+        HALT
+    )");
+    ASSERT_EQ(p.size(), 5u);
+    EXPECT_EQ(p[3].op, Opcode::Blt);
+    EXPECT_EQ(p[3].imm, -1);
+}
+
+TEST(Assembler, RejectsBadInput)
+{
+    EXPECT_THROW(assemble("FROB r1"), AsmError);
+    EXPECT_THROW(assemble("LI r1"), AsmError);
+    EXPECT_THROW(assemble("LI r99, 0"), AsmError);
+    EXPECT_THROW(assemble("S_VINTER r1, r2, r3, NOPE"), AsmError);
+    EXPECT_THROW(assemble("x: x: LI r1, 0"), AsmError);
+}
+
+TEST(Assembler, DisassembleIsReadable)
+{
+    const Program p = assemble("LI r1, 7\nHALT");
+    const std::string text = disassemble(p);
+    EXPECT_NE(text.find("LI r1, 7"), std::string::npos);
+    EXPECT_NE(text.find("HALT"), std::string::npos);
+}
+
+TEST_F(IsaFixture, ScalarLoop)
+{
+    Interpreter interp(mem);
+    interp.run(assemble(R"(
+        LI r1, 0
+        LI r2, 10
+        LI r3, 0
+    loop:
+        ADDI r3, r3, 2
+        ADDI r1, r1, 1
+        BLT r1, r2, loop
+        HALT
+    )"));
+    EXPECT_EQ(interp.gpr(3), 20u);
+}
+
+TEST_F(IsaFixture, RegisterZeroIsHardwired)
+{
+    Interpreter interp(mem);
+    interp.run(assemble("LI r0, 42\nHALT"));
+    EXPECT_EQ(interp.gpr(0), 0u);
+}
+
+TEST_F(IsaFixture, IntersectCount)
+{
+    Interpreter interp(mem);
+    // Stream 1 = a at 0x1000 (5 keys), stream 2 = b at 0x2000.
+    interp.run(assemble(R"(
+        LI r1, 0x1000
+        LI r2, 5
+        LI r3, 1      ; stream id 1
+        LI r4, 0      ; priority
+        S_READ r1, r2, r3, r4
+        LI r5, 0x2000
+        LI r6, 5
+        LI r7, 2      ; stream id 2
+        S_READ r5, r6, r7, r4
+        LI r9, -1     ; unbounded
+        S_INTER.C r3, r7, r8, r9
+        S_FREE r3
+        S_FREE r7
+        HALT
+    )"));
+    EXPECT_EQ(interp.gpr(8), 2u); // {3, 7}
+    EXPECT_EQ(interp.streams().activeCount(), 0u);
+}
+
+TEST_F(IsaFixture, IntersectProducesStreamAndFetch)
+{
+    Interpreter interp(mem);
+    interp.run(assemble(R"(
+        LI r1, 0x1000
+        LI r2, 5
+        LI r3, 1
+        LI r4, 0
+        S_READ r1, r2, r3, r4
+        LI r5, 0x2000
+        LI r6, 5
+        LI r7, 2
+        S_READ r5, r6, r7, r4
+        LI r9, -1
+        LI r10, 3     ; output stream id
+        S_INTER r3, r7, r10, r9
+        LI r11, 0
+        S_FETCH r10, r11, r12   ; first element
+        LI r11, 1
+        S_FETCH r10, r11, r13   ; second element
+        LI r11, 2
+        S_FETCH r10, r11, r14   ; past the end -> EOS
+        HALT
+    )"));
+    EXPECT_EQ(interp.gpr(12), 3u);
+    EXPECT_EQ(interp.gpr(13), 7u);
+    EXPECT_EQ(interp.gpr(14), endOfStream);
+}
+
+TEST_F(IsaFixture, BoundedIntersectEarlyTermination)
+{
+    Interpreter interp(mem);
+    interp.run(assemble(R"(
+        LI r1, 0x1000
+        LI r2, 5
+        LI r3, 1
+        LI r4, 0
+        S_READ r1, r2, r3, r4
+        LI r5, 0x2000
+        LI r6, 5
+        LI r7, 2
+        S_READ r5, r6, r7, r4
+        LI r9, 5       ; bound: only keys < 5
+        S_INTER.C r3, r7, r8, r9
+        HALT
+    )"));
+    EXPECT_EQ(interp.gpr(8), 1u); // only {3}
+}
+
+TEST_F(IsaFixture, VInterMac)
+{
+    Interpreter interp(mem);
+    interp.run(assemble(R"(
+        LI r1, 0x1000
+        LI r2, 5
+        LI r3, 1
+        LI r11, 0x3000
+        LI r4, 0
+        S_VREAD r1, r2, r3, r11, r4
+        LI r5, 0x2000
+        LI r7, 2
+        LI r12, 0x4000
+        S_VREAD r5, r2, r7, r12, r4
+        S_VINTER r3, r7, r8, MAC
+        HALT
+    )"));
+    // Matches at keys 3 (2.0*20.0) and 7 (4.0*40.0) = 40 + 160.
+    EXPECT_DOUBLE_EQ(interp.gprAsDouble(8), 200.0);
+}
+
+TEST_F(IsaFixture, VMergeProducesScaledStream)
+{
+    Interpreter interp(mem);
+    interp.run(assemble(R"(
+        LI r1, 0x1000
+        LI r2, 5
+        LI r3, 1
+        LI r11, 0x3000
+        LI r4, 0
+        S_VREAD r1, r2, r3, r11, r4
+        LI r5, 0x2000
+        LI r7, 2
+        LI r12, 0x4000
+        S_VREAD r5, r2, r7, r12, r4
+        FLI f0, 2.0
+        FLI f1, 3.0
+        LI r10, 3
+        S_VMERGE f0, f1, r3, r7, r10
+        HALT
+    )"));
+    const auto &reg = interp.streams().lookup(3);
+    const auto keys = interp.streams().keys(reg);
+    const auto vals = interp.streams().values(reg);
+    ASSERT_EQ(keys.size(), 8u); // union of {1,3,5,7,9} and {2,3,4,7,8}
+    // Key 3 appears in both: 2*2.0 + 20*3.0 = 64.
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (keys[i] == 3) {
+            EXPECT_DOUBLE_EQ(vals[i], 64.0);
+        }
+    }
+}
+
+TEST_F(IsaFixture, FreeUnknownStreamRaises)
+{
+    Interpreter interp(mem);
+    EXPECT_THROW(interp.run(assemble("LI r1, 9\nS_FREE r1\nHALT")),
+                 StreamException);
+}
+
+TEST_F(IsaFixture, VInterOnKeyStreamRaises)
+{
+    Interpreter interp(mem);
+    EXPECT_THROW(interp.run(assemble(R"(
+        LI r1, 0x1000
+        LI r2, 5
+        LI r3, 1
+        LI r4, 0
+        S_READ r1, r2, r3, r4
+        S_READ r1, r2, r5, r4
+        LI r5, 0
+        S_VINTER r3, r5, r8, MAC
+        HALT
+    )")),
+                 StreamException);
+}
+
+TEST_F(IsaFixture, RedefiningActiveSidOverwrites)
+{
+    Interpreter interp(mem);
+    interp.run(assemble(R"(
+        LI r1, 0x1000
+        LI r2, 5
+        LI r3, 1
+        LI r4, 0
+        S_READ r1, r2, r3, r4   ; sid 1 = stream a
+        LI r1, 0x2000
+        S_READ r1, r2, r3, r4   ; sid 1 overwritten with stream b
+        LI r11, 0
+        S_FETCH r3, r11, r12
+        HALT
+    )"));
+    EXPECT_EQ(interp.gpr(12), 2u); // b[0]
+    EXPECT_EQ(interp.streams().activeCount(), 1u);
+}
+
+TEST_F(IsaFixture, StreamRegisterExhaustionRaises)
+{
+    Interpreter interp(mem);
+    Program p = assemble(R"(
+        LI r1, 0x1000
+        LI r2, 5
+        LI r4, 0
+        LI r3, 0
+        LI r5, 17
+    loop:
+        S_READ r1, r2, r3, r4
+        ADDI r3, r3, 1
+        BLT r3, r5, loop
+        HALT
+    )");
+    EXPECT_THROW(interp.run(p), StreamException);
+}
+
+TEST(IsaNested, NestedIntersectCountsTriangles)
+{
+    // Triangle counting entirely in assembly: per vertex v, stream =
+    // N(v) below v, then S_NESTINTER accumulates the count.
+    const auto g = test::randomTestGraph(40, 160, 3);
+    MemoryImage mem;
+    mem.addSegment(g.vertexArrayBase(), g.offsets().data(),
+                   g.offsets().size() * sizeof(std::uint64_t));
+    mem.addSegment(g.edgeArrayBase(), g.edges().data(),
+                   g.edges().size() * sizeof(VertexId));
+    // The CSR offset (above-offset) array for GFR2.
+    std::vector<std::uint32_t> above(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        above[v] = g.aboveOffset(v);
+    const Addr above_base = 0x7000000000ull;
+    mem.addSegment(above_base, above.data(),
+                   above.size() * sizeof(std::uint32_t));
+
+    Interpreter interp(mem);
+    std::uint64_t total = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        interp.setGpr(1, g.edgeListAddr(v));
+        interp.setGpr(2, g.aboveOffset(v)); // keys below v
+        interp.setGpr(3, 1);
+        interp.setGpr(4, 0);
+        interp.setGpr(20, g.vertexArrayBase());
+        interp.setGpr(21, g.edgeArrayBase());
+        interp.setGpr(22, above_base);
+        interp.run(assemble(R"(
+            S_LD_GFR r20, r21, r22
+            S_READ r1, r2, r3, r4
+            S_NESTINTER r3, r5
+            S_FREE r3
+            HALT
+        )"));
+        total += interp.gpr(5);
+    }
+    EXPECT_EQ(total,
+              test::bruteForceCount(g, gpm::Pattern::triangle(), true));
+}
+
+TEST_F(IsaFixture, NestedIntersectRollsBackOnException)
+{
+    Interpreter interp(mem);
+    // GFRs left unloaded: S_NESTINTER must raise and the stream
+    // state must roll back to the checkpoint (stream 1 still live).
+    Program p = assemble(R"(
+        LI r1, 0x1000
+        LI r2, 5
+        LI r3, 1
+        LI r4, 0
+        S_READ r1, r2, r3, r4
+        S_NESTINTER r3, r5
+        HALT
+    )");
+    EXPECT_THROW(interp.run(p), StreamException);
+    EXPECT_TRUE(interp.streams().isMapped(1));
+    EXPECT_EQ(interp.streams().activeCount(), 1u);
+}
+
+TEST_F(IsaFixture, InstructionCountsTracked)
+{
+    Interpreter interp(mem);
+    interp.run(assemble(R"(
+        LI r1, 0x1000
+        LI r2, 5
+        LI r3, 1
+        LI r4, 0
+        S_READ r1, r2, r3, r4
+        S_FREE r3
+        HALT
+    )"));
+    EXPECT_EQ(interp.streamInstructions(), 2u);
+    EXPECT_EQ(interp.opcodeCounts().get("S_READ"), 1u);
+    EXPECT_EQ(interp.opcodeCounts().get("LI"), 4u);
+}

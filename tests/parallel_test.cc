@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for multi-core mining (Table 2: six cores): count
+ * conservation across the root split, speedup over one core, load
+ * balance, and the 4-motif application added on top of the paper's
+ * app set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/machine.hh"
+#include "api/parallel.hh"
+#include "backend/functional_backend.hh"
+#include "gpm/executor.hh"
+#include "test_util.hh"
+
+using namespace sc;
+using namespace sc::api;
+
+TEST(Parallel, CountsConservedAcrossSplit)
+{
+    const auto g = test::randomTestGraph(300, 3000, 91);
+    Machine machine;
+    const auto serial = machine.mineSparseCore(gpm::GpmApp::T, g);
+    for (unsigned cores : {2u, 3u, 6u}) {
+        const auto par =
+            mineParallelSparseCore(gpm::GpmApp::T, g, cores);
+        EXPECT_EQ(par.embeddings, serial.embeddings)
+            << cores << " cores";
+        EXPECT_EQ(par.perCore.size(), cores);
+    }
+}
+
+TEST(Parallel, SixCoresFasterThanOne)
+{
+    const auto g = test::randomTestGraph(400, 6000, 92);
+    const auto one = mineParallelSparseCore(gpm::GpmApp::C4, g, 1);
+    const auto six = mineParallelSparseCore(gpm::GpmApp::C4, g, 6);
+    EXPECT_LT(six.cycles * 2, one.cycles); // at least 2x from 6 cores
+    EXPECT_GT(six.balance(), 0.3);         // interleaving balances
+}
+
+TEST(Parallel, CpuParallelMatchesCounts)
+{
+    const auto g = test::randomTestGraph(200, 1500, 93);
+    const auto sc_par =
+        mineParallelSparseCore(gpm::GpmApp::TC, g, 4);
+    const auto cpu_par = mineParallelCpu(gpm::GpmApp::TC, g, 4);
+    EXPECT_EQ(sc_par.embeddings, cpu_par.embeddings);
+    EXPECT_LT(sc_par.cycles, cpu_par.cycles);
+}
+
+TEST(Parallel, RootRangeValidation)
+{
+    const auto g = test::randomTestGraph(50, 100, 94);
+    backend::FunctionalBackend be;
+    gpm::PlanExecutor executor(g, be);
+    EXPECT_THROW(executor.setRootRange(4, 4), SimError);
+    EXPECT_THROW(executor.setRootRange(0, 0), SimError);
+}
+
+TEST(FourMotif, MatchesBruteForce)
+{
+    for (std::uint64_t seed : {5, 6}) {
+        const auto g = test::randomTestGraph(18, 60, seed);
+        backend::FunctionalBackend be;
+        gpm::PlanExecutor executor(g, be);
+        std::vector<std::uint64_t> counts;
+        executor.runMany(gpm::gpmAppPlans(gpm::GpmApp::M4), &counts);
+        ASSERT_EQ(counts.size(), 6u);
+        using gpm::Pattern;
+        const Pattern patterns[6] = {
+            Pattern::path(4),   Pattern::star(3),
+            Pattern::cycle(4),  Pattern::tailedTriangle(),
+            Pattern::diamond(), Pattern::clique(4)};
+        for (unsigned p = 0; p < 6; ++p)
+            EXPECT_EQ(counts[p],
+                      test::bruteForceCount(g, patterns[p], true))
+                << patterns[p].name() << " seed " << seed;
+    }
+}
+
+TEST(FourMotif, PartitionsAllFourSubsets)
+{
+    // Every connected 4-subset is exactly one of the six motifs, so
+    // the motif total equals the number of connected 4-subsets.
+    const auto g = test::randomTestGraph(16, 50, 7);
+    backend::FunctionalBackend be;
+    gpm::PlanExecutor executor(g, be);
+    const auto total =
+        executor.runMany(gpm::gpmAppPlans(gpm::GpmApp::M4))
+            .embeddings;
+
+    std::uint64_t connected = 0;
+    const VertexId n = g.numVertices();
+    for (VertexId a = 0; a < n; ++a)
+        for (VertexId b = a + 1; b < n; ++b)
+            for (VertexId c = b + 1; c < n; ++c)
+                for (VertexId d = c + 1; d < n; ++d) {
+                    gpm::Pattern induced(4);
+                    const VertexId verts[4] = {a, b, c, d};
+                    for (unsigned i = 0; i < 4; ++i)
+                        for (unsigned j = i + 1; j < 4; ++j)
+                            if (g.hasEdge(verts[i], verts[j]))
+                                induced.addEdge(i, j);
+                    if (induced.isConnected())
+                        ++connected;
+                }
+    EXPECT_EQ(total, connected);
+}

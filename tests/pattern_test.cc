@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for patterns, automorphisms, canonical codes, and symmetry-
+ * breaking restriction generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "gpm/isomorphism.hh"
+#include "gpm/pattern.hh"
+
+using namespace sc;
+using namespace sc::gpm;
+
+TEST(Pattern, Factories)
+{
+    EXPECT_EQ(Pattern::triangle().numEdges(), 3u);
+    EXPECT_EQ(Pattern::threeChain().numEdges(), 2u);
+    EXPECT_EQ(Pattern::tailedTriangle().numEdges(), 4u);
+    EXPECT_EQ(Pattern::clique(5).numEdges(), 10u);
+    EXPECT_EQ(Pattern::path(4).numEdges(), 3u);
+    EXPECT_EQ(Pattern::star(3).numEdges(), 3u);
+    EXPECT_EQ(Pattern::star(3).numVertices(), 4u);
+}
+
+TEST(Pattern, Connectivity)
+{
+    EXPECT_TRUE(Pattern::clique(4).isConnected());
+    Pattern disconnected(4);
+    disconnected.addEdge(0, 1);
+    disconnected.addEdge(2, 3);
+    EXPECT_FALSE(disconnected.isConnected());
+}
+
+TEST(Pattern, RejectsBadEdges)
+{
+    Pattern p(3);
+    EXPECT_THROW(p.addEdge(0, 0), SimError);
+    EXPECT_THROW(p.addEdge(0, 3), SimError);
+}
+
+TEST(Isomorphism, AutomorphismCounts)
+{
+    // The counts the paper quotes for TrieJax redundancy: 6/24/120.
+    EXPECT_EQ(automorphisms(Pattern::triangle()).size(), 6u);
+    EXPECT_EQ(automorphisms(Pattern::clique(4)).size(), 24u);
+    EXPECT_EQ(automorphisms(Pattern::clique(5)).size(), 120u);
+    EXPECT_EQ(automorphisms(Pattern::threeChain()).size(), 2u);
+    EXPECT_EQ(automorphisms(Pattern::tailedTriangle()).size(), 2u);
+    EXPECT_EQ(automorphisms(Pattern::star(3)).size(), 6u);
+    EXPECT_EQ(automorphisms(Pattern::path(4)).size(), 2u);
+}
+
+TEST(Isomorphism, IsomorphicDetectsRelabeling)
+{
+    Pattern a(4, "p1");
+    a.addEdge(0, 1);
+    a.addEdge(1, 2);
+    a.addEdge(2, 3);
+    Pattern b(4, "p2");
+    b.addEdge(3, 2);
+    b.addEdge(2, 0);
+    b.addEdge(0, 1);
+    EXPECT_TRUE(isomorphic(a, b)); // both are 4-paths
+    EXPECT_FALSE(isomorphic(a, Pattern::star(3)));
+    EXPECT_FALSE(isomorphic(a, Pattern::triangle()));
+}
+
+TEST(Isomorphism, CanonicalCodesAgree)
+{
+    Pattern a(4);
+    a.addEdge(0, 1);
+    a.addEdge(1, 2);
+    a.addEdge(2, 3);
+    EXPECT_EQ(canonicalCode(a), canonicalCode(Pattern::path(4)));
+    EXPECT_NE(canonicalCode(Pattern::path(4)),
+              canonicalCode(Pattern::star(3)));
+    EXPECT_NE(canonicalCode(Pattern::triangle()),
+              canonicalCode(Pattern::threeChain()));
+}
+
+TEST(Isomorphism, TriangleRestrictionsAreDescending)
+{
+    const auto r = symmetryRestrictions(Pattern::triangle());
+    // v0 > v1 > v2 (all pairs).
+    EXPECT_EQ(r.size(), 3u);
+    for (const auto &[a, b] : r)
+        EXPECT_LT(a, b); // earlier position dominates later
+}
+
+TEST(Isomorphism, TailedTriangleRestrictionMatchesPaper)
+{
+    // Fig. 2: the only restriction is v2 < v0 (pattern vertices 0 and
+    // 2 are the symmetric pair).
+    const auto r = symmetryRestrictions(Pattern::tailedTriangle());
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].first, 0u);
+    EXPECT_EQ(r[0].second, 2u);
+}
+
+TEST(Isomorphism, ChainRestriction)
+{
+    const auto r = symmetryRestrictions(Pattern::threeChain());
+    ASSERT_EQ(r.size(), 1u);
+    // Ends are pattern vertices 0 and 2.
+    EXPECT_EQ(r[0].first, 0u);
+    EXPECT_EQ(r[0].second, 2u);
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the plan generator: level structure, bounds, incremental
+ * detection, nested applicability, prior-exclusion analysis, and the
+ * textual plan description.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "gpm/planner.hh"
+
+using namespace sc;
+using namespace sc::gpm;
+
+TEST(Planner, TrianglePlanShape)
+{
+    const MiningPlan plan =
+        buildPlan(Pattern::triangle(), identityOrder(3), true, true);
+    ASSERT_EQ(plan.levels.size(), 2u);
+    // v1: adjacent to v0, bounded by v0.
+    EXPECT_EQ(plan.levels[0].connect, std::vector<unsigned>{0});
+    EXPECT_EQ(plan.levels[0].bounds, std::vector<unsigned>{0});
+    // v2: adjacent to both, bounded (at least) by v1, incremental.
+    EXPECT_EQ(plan.levels[1].connect.size(), 2u);
+    EXPECT_TRUE(plan.levels[1].incremental);
+    EXPECT_TRUE(plan.useNested);
+    EXPECT_TRUE(plan.levels[1].priorExclude.empty());
+}
+
+TEST(Planner, CliquePlansAreIncrementalChains)
+{
+    for (unsigned k : {4u, 5u}) {
+        const MiningPlan plan = buildPlan(Pattern::clique(k),
+                                          identityOrder(k), true, true);
+        ASSERT_EQ(plan.levels.size(), k - 1);
+        for (unsigned l = 1; l < k - 1; ++l)
+            EXPECT_TRUE(plan.levels[l].incremental) << "level " << l;
+        EXPECT_TRUE(plan.useNested);
+        for (const auto &level : plan.levels)
+            EXPECT_TRUE(level.priorExclude.empty());
+    }
+}
+
+TEST(Planner, TailedTrianglePlanMatchesFigureTwo)
+{
+    const MiningPlan plan = buildPlan(Pattern::tailedTriangle(),
+                                      identityOrder(4), true, false);
+    ASSERT_EQ(plan.levels.size(), 3u);
+    // Level 2 (the paper's v2): intersect N(v0), N(v1), bound v0.
+    EXPECT_EQ(plan.levels[1].connect.size(), 2u);
+    EXPECT_EQ(plan.levels[1].bounds, std::vector<unsigned>{0});
+    EXPECT_TRUE(plan.levels[1].incremental);
+    // Level 3 (the tail): attached to v1 only, subtracting the two
+    // triangle vertices' neighborhoods.
+    EXPECT_EQ(plan.levels[2].connect, std::vector<unsigned>{1});
+    EXPECT_EQ(plan.levels[2].disconnect,
+              (std::vector<unsigned>{0, 2}));
+    EXPECT_TRUE(plan.levels[2].priorExclude.empty());
+}
+
+TEST(Planner, ChainPlanIsVertexInduced)
+{
+    const MiningPlan plan = buildPlan(Pattern::threeChain(),
+                                      identityOrder(3), true, false);
+    EXPECT_EQ(plan.levels[1].disconnect, std::vector<unsigned>{0});
+    // Edge-induced drops the disconnect set.
+    const MiningPlan edge = buildPlan(Pattern::threeChain(),
+                                      identityOrder(3), false, false);
+    EXPECT_TRUE(edge.levels[1].disconnect.empty());
+}
+
+TEST(Planner, FourPathNeedsPriorExclusion)
+{
+    // Edge-induced 4-path: the second midpoint's candidates can
+    // contain the first midpoint; the planner must catch it.
+    const MiningPlan plan = buildPlan(Pattern::path(4),
+                                      identityOrder(4), false, false);
+    ASSERT_EQ(plan.levels.size(), 3u);
+    EXPECT_EQ(plan.levels[2].priorExclude, std::vector<unsigned>{1});
+}
+
+TEST(Planner, NestedRefusedWhenShapeWrong)
+{
+    // The chain's final level is not an incremental intersection, so
+    // nested lowering must be refused.
+    setVerbose(false);
+    const MiningPlan plan = buildPlan(Pattern::threeChain(),
+                                      identityOrder(3), true, true);
+    EXPECT_FALSE(plan.useNested);
+}
+
+TEST(Planner, RejectsDisconnectedOrder)
+{
+    // 4-path with order 0,3,1,2: position 1 (vertex 3) has no
+    // earlier neighbor.
+    EXPECT_THROW(
+        buildPlan(Pattern::path(4), {0, 3, 1, 2}, true, false),
+        SimError);
+}
+
+TEST(Planner, RejectsOrderAgainstRestrictions)
+{
+    // Triangle with reversed order would put the restriction's later
+    // side first.
+    EXPECT_THROW(
+        buildPlan(Pattern::triangle(), {2, 1, 0}, true, false),
+        SimError);
+}
+
+TEST(Planner, DescribeMentionsStructure)
+{
+    const MiningPlan plan = buildPlan(Pattern::tailedTriangle(),
+                                      identityOrder(4), true, false);
+    const std::string text = plan.describe();
+    EXPECT_NE(text.find("N(v0)"), std::string::npos);
+    EXPECT_NE(text.find("- N("), std::string::npos);
+    EXPECT_NE(text.find("count += |C3|"), std::string::npos);
+
+    const MiningPlan nested =
+        buildPlan(Pattern::clique(4), identityOrder(4), true, true);
+    EXPECT_NE(nested.describe().find("S_NESTINTER"),
+              std::string::npos);
+}

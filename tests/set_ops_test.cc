@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit and property tests for the stream set operations (S_INTER,
+ * S_SUB, S_MERGE semantics) and the Fig. 6 SU cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "streams/set_ops.hh"
+
+using namespace sc;
+using namespace sc::streams;
+
+namespace {
+
+std::vector<Key>
+sortedRandom(Rng &rng, std::size_t n, Key universe)
+{
+    std::set<Key> s;
+    while (s.size() < n)
+        s.insert(static_cast<Key>(rng.below(universe)));
+    return {s.begin(), s.end()};
+}
+
+} // namespace
+
+TEST(SetOps, IntersectBasic)
+{
+    const std::vector<Key> a = {1, 3, 5, 7, 9};
+    const std::vector<Key> b = {2, 3, 4, 7, 8};
+    std::vector<Key> out;
+    const auto res = intersect(a, b, noBound, &out);
+    EXPECT_EQ(out, (std::vector<Key>{3, 7}));
+    EXPECT_EQ(res.count, 2u);
+}
+
+TEST(SetOps, IntersectDisjoint)
+{
+    const std::vector<Key> a = {1, 2, 3};
+    const std::vector<Key> b = {10, 20};
+    const auto res = intersect(a, b);
+    EXPECT_EQ(res.count, 0u);
+}
+
+TEST(SetOps, IntersectEmptyOperand)
+{
+    const std::vector<Key> a = {1, 2, 3};
+    EXPECT_EQ(intersect(a, {}).count, 0u);
+    EXPECT_EQ(intersect({}, a).count, 0u);
+    EXPECT_EQ(intersect({}, {}).count, 0u);
+}
+
+TEST(SetOps, IntersectBoundTerminatesEarly)
+{
+    const std::vector<Key> a = {1, 3, 5, 7, 9};
+    const std::vector<Key> b = {3, 5, 7, 9};
+    std::vector<Key> out;
+    const auto res = intersect(a, b, 6, &out);
+    EXPECT_EQ(out, (std::vector<Key>{3, 5}));
+    // Early termination: fewer elements consumed than the full walk.
+    EXPECT_LT(res.aConsumed, a.size());
+}
+
+TEST(SetOps, IntersectBoundAtExactElement)
+{
+    const std::vector<Key> a = {1, 3, 5};
+    const std::vector<Key> b = {1, 3, 5};
+    std::vector<Key> out;
+    intersect(a, b, 5, &out);
+    // The bound is exclusive: 5 must not appear.
+    EXPECT_EQ(out, (std::vector<Key>{1, 3}));
+}
+
+TEST(SetOps, PaperVinterExample)
+{
+    // §3.3: keys [(1,45),(3,21),(7,13)] and [(2,14),(5,36),(7,2)]
+    // intersect at key 7; MAC gives 13 * 2 = 26.
+    const std::vector<Key> ak = {1, 3, 7};
+    const std::vector<Value> av = {45, 21, 13};
+    const std::vector<Key> bk = {2, 5, 7};
+    const std::vector<Value> bv = {14, 36, 2};
+    SetOpResult work;
+    const Value r =
+        valueIntersect(ak, av, bk, bv, ValueOp::Mac, &work);
+    EXPECT_DOUBLE_EQ(r, 26.0);
+    EXPECT_EQ(work.count, 1u);
+}
+
+TEST(SetOps, PaperVmergeExample)
+{
+    // §3.3: [(1,4),(3,21)] and [(1,1),(5,36)], scales 2 and 3 ->
+    // [(1,11),(3,42),(5,108)].
+    const std::vector<Key> ak = {1, 3};
+    const std::vector<Value> av = {4, 21};
+    const std::vector<Key> bk = {1, 5};
+    const std::vector<Value> bv = {1, 36};
+    std::vector<Key> keys;
+    std::vector<Value> vals;
+    valueMerge(ak, av, bk, bv, 2.0, 3.0, keys, vals);
+    EXPECT_EQ(keys, (std::vector<Key>{1, 3, 5}));
+    ASSERT_EQ(vals.size(), 3u);
+    EXPECT_DOUBLE_EQ(vals[0], 11.0);
+    EXPECT_DOUBLE_EQ(vals[1], 42.0);
+    EXPECT_DOUBLE_EQ(vals[2], 108.0);
+}
+
+TEST(SetOps, SubtractBasic)
+{
+    const std::vector<Key> a = {1, 2, 3, 4, 5};
+    const std::vector<Key> b = {2, 4, 6};
+    std::vector<Key> out;
+    subtract(a, b, noBound, &out);
+    EXPECT_EQ(out, (std::vector<Key>{1, 3, 5}));
+}
+
+TEST(SetOps, SubtractBound)
+{
+    const std::vector<Key> a = {1, 2, 3, 4, 5};
+    const std::vector<Key> b = {2};
+    std::vector<Key> out;
+    subtract(a, b, 4, &out);
+    EXPECT_EQ(out, (std::vector<Key>{1, 3}));
+}
+
+TEST(SetOps, MergeBasicWithTail)
+{
+    const std::vector<Key> a = {1, 5};
+    const std::vector<Key> b = {2, 5, 9, 12};
+    std::vector<Key> out;
+    const auto res = merge(a, b, &out);
+    EXPECT_EQ(out, (std::vector<Key>{1, 2, 5, 9, 12}));
+    EXPECT_EQ(res.count, 5u);
+}
+
+TEST(SetOps, ValueOpsMaxMin)
+{
+    const std::vector<Key> k = {1, 2, 3};
+    const std::vector<Value> av = {2, 5, 1};
+    const std::vector<Value> bv = {3, 1, 4};
+    EXPECT_DOUBLE_EQ(valueIntersect(k, av, k, bv, ValueOp::MaxAcc),
+                     6.0); // max(6, 5, 4)
+    EXPECT_DOUBLE_EQ(valueIntersect(k, av, k, bv, ValueOp::MinAcc),
+                     4.0); // min(6, 5, 4)
+}
+
+TEST(SetOps, StepVisitorSeesEveryStep)
+{
+    const std::vector<Key> a = {1, 3, 5};
+    const std::vector<Key> b = {2, 3, 6};
+    unsigned matches = 0, advances = 0;
+    const auto res = intersect(a, b, noBound, nullptr,
+                               [&](StepOutcome o) {
+                                   if (o == StepOutcome::Match)
+                                       ++matches;
+                                   else
+                                       ++advances;
+                               });
+    EXPECT_EQ(matches, 1u);
+    EXPECT_EQ(matches + advances, res.steps);
+}
+
+// ---------------- property tests ----------------
+
+class SetOpsProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SetOpsProperty, MatchesStdAlgorithms)
+{
+    Rng rng(GetParam());
+    const auto a = sortedRandom(rng, 20 + rng.below(200), 1000);
+    const auto b = sortedRandom(rng, 20 + rng.below(200), 1000);
+
+    std::vector<Key> expect;
+    std::vector<Key> got;
+
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expect));
+    intersect(a, b, noBound, &got);
+    EXPECT_EQ(got, expect);
+
+    expect.clear();
+    got.clear();
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(expect));
+    subtract(a, b, noBound, &got);
+    EXPECT_EQ(got, expect);
+
+    expect.clear();
+    got.clear();
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(expect));
+    merge(a, b, &got);
+    EXPECT_EQ(got, expect);
+}
+
+TEST_P(SetOpsProperty, BoundEquivalentToFilter)
+{
+    Rng rng(GetParam() ^ 0xb0d);
+    const auto a = sortedRandom(rng, 10 + rng.below(100), 500);
+    const auto b = sortedRandom(rng, 10 + rng.below(100), 500);
+    const Key bound = static_cast<Key>(rng.below(500));
+
+    std::vector<Key> full, bounded;
+    intersect(a, b, noBound, &full);
+    intersect(a, b, bound, &bounded);
+    std::vector<Key> filtered;
+    for (Key k : full)
+        if (k < bound)
+            filtered.push_back(k);
+    EXPECT_EQ(bounded, filtered);
+
+    full.clear();
+    bounded.clear();
+    filtered.clear();
+    subtract(a, b, noBound, &full);
+    subtract(a, b, bound, &bounded);
+    for (Key k : full)
+        if (k < bound)
+            filtered.push_back(k);
+    EXPECT_EQ(bounded, filtered);
+}
+
+TEST_P(SetOpsProperty, SuCostBoundsAndMonotonicity)
+{
+    Rng rng(GetParam() ^ 0x5c057);
+    const auto a = sortedRandom(rng, 10 + rng.below(300), 2000);
+    const auto b = sortedRandom(rng, 10 + rng.below(300), 2000);
+
+    for (auto kind : {SetOpKind::Intersect, SetOpKind::Subtract,
+                      SetOpKind::Merge}) {
+        const auto narrow = suCost(a, b, kind, noBound, 4);
+        const auto wide = suCost(a, b, kind, noBound, 32);
+        // Wider comparators can only help.
+        EXPECT_LE(wide.cycles, narrow.cycles);
+        // A width-1 window degenerates to the scalar walk: the cycle
+        // count can never exceed the total element count.
+        const auto scalar = suCost(a, b, kind, noBound, 1);
+        EXPECT_LE(scalar.cycles, a.size() + b.size() + 2);
+        // Consumed counts never exceed operand lengths.
+        EXPECT_LE(wide.aConsumed, a.size());
+        EXPECT_LE(wide.bConsumed, b.size());
+    }
+}
+
+TEST_P(SetOpsProperty, SuCostBoundedNeverSlower)
+{
+    Rng rng(GetParam() ^ 0xfeed);
+    const auto a = sortedRandom(rng, 10 + rng.below(300), 2000);
+    const auto b = sortedRandom(rng, 10 + rng.below(300), 2000);
+    const Key bound = static_cast<Key>(rng.below(2000));
+    for (auto kind : {SetOpKind::Intersect, SetOpKind::Subtract}) {
+        const auto bounded = suCost(a, b, kind, bound, 16);
+        const auto full = suCost(a, b, kind, noBound, 16);
+        EXPECT_LE(bounded.cycles, full.cycles)
+            << setOpName(kind) << " bound " << bound;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetOpsProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the tensor substrate: sparse matrices, CSF tensors,
+ * generators, dataset registry, and reference kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "tensor/csf_tensor.hh"
+#include "tensor/reference_kernels.hh"
+#include "tensor/sparse_matrix.hh"
+#include "tensor/tensor_datasets.hh"
+#include "tensor/tensor_gen.hh"
+
+using namespace sc;
+using namespace sc::tensor;
+
+TEST(SparseMatrix, TripletsSortedAndSummed)
+{
+    const SparseMatrix m = SparseMatrix::fromTriplets(
+        3, 3, {{1, 2, 1.0}, {1, 0, 2.0}, {1, 2, 3.0}, {0, 1, 5.0}});
+    EXPECT_EQ(m.nnz(), 3u); // duplicate (1,2) summed
+    auto keys = m.rowKeys(1);
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], 0u);
+    EXPECT_EQ(keys[1], 2u);
+    EXPECT_DOUBLE_EQ(m.rowVals(1)[1], 4.0);
+}
+
+TEST(SparseMatrix, RejectsOutOfRange)
+{
+    EXPECT_THROW(SparseMatrix::fromTriplets(2, 2, {{2, 0, 1.0}}),
+                 SimError);
+}
+
+TEST(SparseMatrix, TransposeRoundTrip)
+{
+    Rng rng(1);
+    std::vector<Triplet> trips;
+    for (int i = 0; i < 50; ++i)
+        trips.push_back({static_cast<std::uint32_t>(rng.below(10)),
+                         static_cast<std::uint32_t>(rng.below(12)),
+                         rng.uniform() + 0.1});
+    const SparseMatrix m =
+        SparseMatrix::fromTriplets(10, 12, trips);
+    const SparseMatrix mtt = m.transpose().transpose();
+    EXPECT_EQ(m.maxAbsDiff(mtt), 0.0);
+    EXPECT_EQ(m.transpose().rows(), 12u);
+}
+
+TEST(SparseMatrix, DenseExpansion)
+{
+    const SparseMatrix m =
+        SparseMatrix::fromTriplets(2, 2, {{0, 1, 3.0}, {1, 0, 4.0}});
+    const auto d = m.toDense();
+    EXPECT_DOUBLE_EQ(d[1], 3.0);
+    EXPECT_DOUBLE_EQ(d[2], 4.0);
+    EXPECT_DOUBLE_EQ(d[0], 0.0);
+}
+
+TEST(CsfTensor, FiberStructure)
+{
+    const CsfTensor t = CsfTensor::fromEntries(
+        3, 4, 5,
+        {{0, 1, 2, 1.0}, {0, 1, 4, 2.0}, {0, 3, 0, 3.0},
+         {2, 0, 1, 4.0}});
+    EXPECT_EQ(t.numSlices(), 2u); // i = 0 and i = 2
+    EXPECT_EQ(t.sliceRoot(0), 0u);
+    EXPECT_EQ(t.sliceRoot(1), 2u);
+    auto fibers0 = t.sliceFiberKeys(0);
+    ASSERT_EQ(fibers0.size(), 2u); // j = 1 and j = 3
+    auto fiber = t.fiberKeys(t.fiberBegin(0));
+    ASSERT_EQ(fiber.size(), 2u);
+    EXPECT_EQ(fiber[0], 2u);
+    EXPECT_EQ(fiber[1], 4u);
+    EXPECT_EQ(t.nnz(), 4u);
+}
+
+TEST(CsfTensor, DuplicatesSummed)
+{
+    const CsfTensor t = CsfTensor::fromEntries(
+        2, 2, 2, {{0, 0, 0, 1.0}, {0, 0, 0, 2.5}});
+    EXPECT_EQ(t.nnz(), 1u);
+    EXPECT_DOUBLE_EQ(t.fiberVals(0)[0], 3.5);
+}
+
+TEST(TensorGen, DensityAndDeterminism)
+{
+    const SparseMatrix a =
+        generateMatrix(500, 500, 5000, MatrixStructure::Uniform, 9);
+    EXPECT_GT(a.nnz(), 4500u);
+    EXPECT_LE(a.nnz(), 5000u);
+    const SparseMatrix b =
+        generateMatrix(500, 500, 5000, MatrixStructure::Uniform, 9);
+    EXPECT_EQ(a.maxAbsDiff(b), 0.0);
+}
+
+TEST(TensorGen, BandedStructureIsBanded)
+{
+    const SparseMatrix m =
+        generateMatrix(400, 400, 4000, MatrixStructure::Banded, 3);
+    // Every nnz lies within the generator's band (6x headroom plus
+    // the half-band offset) around the diagonal.
+    const std::int64_t band = 6 * 4000 / 400 + 8;
+    for (std::uint32_t r = 0; r < m.rows(); ++r)
+        for (Key c : m.rowKeys(r))
+            EXPECT_LE(std::abs(static_cast<std::int64_t>(c) -
+                               static_cast<std::int64_t>(r)),
+                      band);
+}
+
+TEST(TensorGen, ColumnSkewHasHotColumns)
+{
+    const SparseMatrix m = generateMatrix(
+        1000, 1000, 20000, MatrixStructure::ColumnSkewed, 5);
+    const SparseMatrix mt = m.transpose();
+    std::uint64_t hot = 0;
+    for (std::uint32_t c = 0; c < 50; ++c)
+        hot += mt.rowNnz(c);
+    // 5% of columns should hold well over a third of the non-zeros.
+    EXPECT_GT(hot * 3, m.nnz());
+}
+
+TEST(TensorDatasets, RegistryMatchesTableFive)
+{
+    EXPECT_EQ(matrixDatasets().size(), 11u);
+    EXPECT_EQ(tensorDatasets().size(), 2u);
+    const auto &t = matrixDataset("T");
+    EXPECT_EQ(t.rows, 18696u);
+    EXPECT_EQ(t.nnz, 4396289u);
+    EXPECT_THROW(matrixDataset("nope"), SimError);
+}
+
+TEST(TensorDatasets, LoadedMatrixMatchesSpec)
+{
+    const SparseMatrix &m = loadMatrix("C"); // Circuit204
+    EXPECT_EQ(m.rows(), 1020u);
+    EXPECT_GT(m.nnz(), 5000u);
+    // Memoized.
+    EXPECT_EQ(&loadMatrix("C"), &m);
+}
+
+TEST(ReferenceKernels, SpmspmMatchesDense)
+{
+    Rng rng(4);
+    const SparseMatrix a =
+        generateMatrix(30, 40, 200, MatrixStructure::Uniform, 10);
+    const SparseMatrix b =
+        generateMatrix(40, 25, 180, MatrixStructure::Uniform, 11);
+    const SparseMatrix c = referenceSpmspm(a, b);
+
+    const auto da = a.toDense();
+    const auto db = b.toDense();
+    const auto dc = c.toDense();
+    for (std::uint32_t i = 0; i < 30; ++i)
+        for (std::uint32_t j = 0; j < 25; ++j) {
+            double expect = 0;
+            for (std::uint32_t k = 0; k < 40; ++k)
+                expect += da[i * 40 + k] * db[k * 25 + j];
+            EXPECT_NEAR(dc[i * 25 + j], expect, 1e-9);
+        }
+}
+
+TEST(ReferenceKernels, SpmspmShapeMismatch)
+{
+    const SparseMatrix a =
+        generateMatrix(4, 5, 6, MatrixStructure::Uniform, 1);
+    const SparseMatrix b =
+        generateMatrix(4, 5, 6, MatrixStructure::Uniform, 2);
+    EXPECT_THROW(referenceSpmspm(a, b), SimError);
+}
+
+TEST(ReferenceKernels, TtvMatchesManual)
+{
+    const CsfTensor t = CsfTensor::fromEntries(
+        2, 2, 3,
+        {{0, 0, 0, 1.0}, {0, 0, 2, 2.0}, {1, 1, 1, 3.0}});
+    const std::vector<Value> v = {10.0, 20.0, 30.0};
+    const SparseMatrix z = referenceTtv(t, v);
+    const auto d = z.toDense();
+    EXPECT_DOUBLE_EQ(d[0], 1.0 * 10 + 2.0 * 30); // Z(0,0)
+    EXPECT_DOUBLE_EQ(d[3], 3.0 * 20);            // Z(1,1)
+}
+
+TEST(ReferenceKernels, TtmMatchesManual)
+{
+    const CsfTensor t =
+        CsfTensor::fromEntries(1, 1, 3, {{0, 0, 0, 2.0},
+                                         {0, 0, 2, 3.0}});
+    const SparseMatrix b = SparseMatrix::fromTriplets(
+        2, 3, {{0, 0, 1.0}, {0, 2, 1.0}, {1, 1, 5.0}});
+    const CsfTensor z = referenceTtm(t, b);
+    // Z(0,0,0) = 2*1 + 3*1 = 5; Z(0,0,1) = 0 (no overlap).
+    EXPECT_EQ(z.nnz(), 1u);
+    EXPECT_DOUBLE_EQ(z.fiberVals(0)[0], 5.0);
+}

@@ -1,0 +1,90 @@
+#include "test_util.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "graph/generators.hh"
+#include "graph/graph_builder.hh"
+#include "gpm/isomorphism.hh"
+
+namespace sc::test {
+
+std::uint64_t
+bruteForceCount(const graph::CsrGraph &g, const gpm::Pattern &p,
+                bool vertex_induced)
+{
+    const unsigned k = p.numVertices();
+    const VertexId n = g.numVertices();
+    if (n > 64)
+        fatal("brute force counting limited to 64 vertices");
+
+    // Count injective homomorphisms, then divide by |Aut(p)|: this
+    // equals the symmetry-broken embedding count for both semantics.
+    const std::uint64_t aut =
+        gpm::automorphisms(p).size();
+
+    std::uint64_t homomorphisms = 0;
+
+    // Iterate k-combinations of [0, n).
+    std::vector<VertexId> comb(k);
+    std::iota(comb.begin(), comb.end(), 0u);
+    if (n < k)
+        return 0;
+    while (true) {
+        // All permutations of this subset.
+        std::vector<unsigned> perm(k);
+        std::iota(perm.begin(), perm.end(), 0u);
+        do {
+            bool match = true;
+            for (unsigned u = 0; u < k && match; ++u) {
+                for (unsigned v = u + 1; v < k && match; ++v) {
+                    const bool pe = p.hasEdge(u, v);
+                    const bool ge =
+                        g.hasEdge(comb[perm[u]], comb[perm[v]]);
+                    if (vertex_induced ? pe != ge : (pe && !ge))
+                        match = false;
+                }
+            }
+            if (match)
+                ++homomorphisms;
+        } while (std::next_permutation(perm.begin(), perm.end()));
+
+        // next combination
+        int i = static_cast<int>(k) - 1;
+        while (i >= 0 && comb[i] == n - k + i)
+            --i;
+        if (i < 0)
+            break;
+        ++comb[i];
+        for (unsigned j = i + 1; j < k; ++j)
+            comb[j] = comb[j - 1] + 1;
+    }
+    return homomorphisms / aut;
+}
+
+graph::CsrGraph
+randomTestGraph(VertexId n, std::uint64_t edges, std::uint64_t seed)
+{
+    return graph::generateErdosRenyi(n, edges, seed, "test-graph");
+}
+
+graph::CsrGraph
+figureOneGraph()
+{
+    // An approximation of the paper's Fig. 1(b): seven vertices
+    // (paper's 1..7 are 0..6 here) with exactly one triangle
+    // {v1, v2, v6} (paper's {2, 3, 7}).
+    return graph::buildCsr(7,
+                           {{0, 1},
+                            {1, 2},
+                            {1, 6},
+                            {2, 6},
+                            {2, 3},
+                            {3, 4},
+                            {4, 5},
+                            {5, 6}},
+                           "fig1b");
+}
+
+} // namespace sc::test

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared helpers for the test suite: small deterministic graphs,
+ * brute-force embedding counting, and convenience builders.
+ */
+
+#ifndef SPARSECORE_TESTS_TEST_UTIL_HH
+#define SPARSECORE_TESTS_TEST_UTIL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hh"
+#include "gpm/pattern.hh"
+
+namespace sc::test {
+
+/** Brute-force count of pattern embeddings (distinct vertex sets
+ *  whose induced/edge-induced subgraph matches). Exponential; only
+ *  for graphs with <= ~40 vertices. */
+std::uint64_t bruteForceCount(const graph::CsrGraph &g,
+                              const gpm::Pattern &p,
+                              bool vertex_induced);
+
+/** A deterministic random graph for property tests. */
+graph::CsrGraph randomTestGraph(VertexId n, std::uint64_t edges,
+                                std::uint64_t seed);
+
+/** The 7-vertex example graph of the paper's Fig. 1(b). */
+graph::CsrGraph figureOneGraph();
+
+} // namespace sc::test
+
+#endif // SPARSECORE_TESTS_TEST_UTIL_HH
