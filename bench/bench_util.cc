@@ -59,4 +59,56 @@ emitTable(const Table &table)
     std::printf("-- csv --\n%s\n", table.csv().c_str());
 }
 
+BenchReport::BenchReport(std::string name) : name_(std::move(name))
+{
+}
+
+BenchReport::~BenchReport()
+{
+    finish();
+}
+
+void
+BenchReport::emit(const std::string &title, const Table &table)
+{
+    if (!title.empty())
+        std::printf("--- %s ---\n", title.c_str());
+    emitTable(table);
+    tables_.emplace_back(title, table.json());
+}
+
+void
+BenchReport::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    const double seconds = timer_.seconds();
+    const unsigned threads = ThreadPool::global().numThreads();
+    std::printf("host wall clock: %.3f s on %u host thread%s "
+                "(SC_HOST_THREADS to pin)\n",
+                seconds, threads, threads == 1 ? "" : "s");
+
+    const std::string path = "BENCH_" + name_ + ".json";
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\"bench\":\"%s\",\"host_threads\":%u,"
+                 "\"host_wall_seconds\":%.6f,\"tables\":[",
+                 name_.c_str(), threads, seconds);
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        if (t)
+            std::fputc(',', f);
+        std::fprintf(f, "{\"title\":\"%s\",\"table\":%s}",
+                     tables_[t].first.c_str(),
+                     tables_[t].second.c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+}
+
 } // namespace sc::bench

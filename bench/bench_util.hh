@@ -1,17 +1,23 @@
 /**
  * @file
  * Shared helpers for the benchmark binaries: configuration banner,
- * dataset sampling policy, and table emission. Every bench prints the
- * rows/series of one paper figure or table.
+ * dataset sampling policy, table emission, host wall-clock timing and
+ * host-parallel sweep execution. Every bench prints the rows/series
+ * of one paper figure or table; independent (dataset x config) points
+ * run concurrently on the host pool and are emitted in a fixed order.
  */
 
 #ifndef SPARSECORE_BENCH_BENCH_UTIL_HH
 #define SPARSECORE_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "arch/config.hh"
+#include "common/parallel_for.hh"
 #include "common/table.hh"
 #include "graph/datasets.hh"
 #include "gpm/apps.hh"
@@ -35,6 +41,63 @@ unsigned autoStride(const graph::CsrGraph &g, gpm::GpmApp app,
 
 /** Print the table plus a CSV block for downstream plotting. */
 void emitTable(const Table &table);
+
+/** steady_clock stopwatch for host wall-clock reporting. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Run n independent sweep points concurrently on the global host
+ * pool; results come back in point order, so the emitted tables are
+ * byte-identical to a sequential sweep. T must be
+ * default-constructible.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+runPoints(std::size_t n, Fn &&fn)
+{
+    return parallelMap<T>(ThreadPool::global(), n,
+                          std::forward<Fn>(fn));
+}
+
+/**
+ * Per-bench report: collects the figure's tables, then finish() (or
+ * the destructor) prints the host wall clock and writes
+ * BENCH_<name>.json — simulated cycles alongside host seconds, so
+ * harness speed is tracked across PRs.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name);
+    ~BenchReport();
+
+    /** emitTable() + record the table for the JSON dump. */
+    void emit(const std::string &title, const Table &table);
+
+    /** Print wall clock + thread count, write BENCH_<name>.json. */
+    void finish();
+
+  private:
+    std::string name_;
+    WallTimer timer_;
+    std::vector<std::pair<std::string, std::string>> tables_;
+    bool finished_ = false;
+};
 
 } // namespace sc::bench
 

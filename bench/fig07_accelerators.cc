@@ -6,6 +6,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "backend/cpu_backend.hh"
 #include "backend/sparsecore_backend.hh"
@@ -27,6 +29,7 @@ main()
                        "SparseCore vs FlexMiner / TrieJax / GRAMER "
                        "(1 SU vs 1 PE)",
                        config);
+    bench::BenchReport report("fig07");
 
     for (const GpmApp app : gpm::figureSevenApps()) {
         const auto plans = gpm::gpmAppPlans(app);
@@ -37,79 +40,90 @@ main()
         const bool triejax_supported =
             app == GpmApp::T || app == GpmApp::C4 || app == GpmApp::C5;
 
+        const auto keys = graph::mediumGraphKeys();
+        using Row = std::vector<std::string>;
+        const auto rows = bench::runPoints<Row>(
+            keys.size(), [&](std::size_t p) {
+                const std::string &key = keys[p];
+                const graph::CsrGraph &g = graph::loadGraph(key);
+                const unsigned stride = bench::autoStride(g, app);
+
+                backend::SparseCoreBackend sc_be(config);
+                gpm::PlanExecutor sc_exec(g, sc_be);
+                sc_exec.setRootStride(stride);
+                const auto sc_res = sc_exec.runMany(plans);
+
+                baselines::FlexMinerBackend fm;
+                gpm::PlanExecutor fm_exec(g, fm);
+                fm_exec.setRootStride(stride);
+                const auto fm_res = fm_exec.runMany(plans);
+
+                std::string tj_cell = "n/a (vertex-induced)";
+                if (triejax_supported) {
+                    baselines::TrieJaxBackend tj(redundancy,
+                                                 g.numEdgeSlots());
+                    gpm::PlanExecutor tj_exec(g, tj);
+                    tj_exec.setRootStride(stride);
+                    const auto tj_res = tj_exec.runMany(plans);
+                    tj_cell = Table::speedup(
+                        static_cast<double>(tj_res.cycles) /
+                        static_cast<double>(sc_res.cycles), 1);
+                }
+                return Row{
+                    key + (stride > 1 ? "*" : ""),
+                    std::to_string(sc_res.cycles),
+                    Table::speedup(static_cast<double>(fm_res.cycles) /
+                                   static_cast<double>(sc_res.cycles)),
+                    tj_cell};
+            });
         Table table({"graph", "sc cycles", "vs flexminer",
                      "vs triejax"});
-        for (const auto &key : graph::mediumGraphKeys()) {
-            const graph::CsrGraph &g = graph::loadGraph(key);
-            const unsigned stride = bench::autoStride(g, app);
-
-            backend::SparseCoreBackend sc_be(config);
-            gpm::PlanExecutor sc_exec(g, sc_be);
-            sc_exec.setRootStride(stride);
-            const auto sc_res = sc_exec.runMany(plans);
-
-            baselines::FlexMinerBackend fm;
-            gpm::PlanExecutor fm_exec(g, fm);
-            fm_exec.setRootStride(stride);
-            const auto fm_res = fm_exec.runMany(plans);
-
-            std::string tj_cell = "n/a (vertex-induced)";
-            if (triejax_supported) {
-                baselines::TrieJaxBackend tj(redundancy,
-                                             g.numEdgeSlots());
-                gpm::PlanExecutor tj_exec(g, tj);
-                tj_exec.setRootStride(stride);
-                const auto tj_res = tj_exec.runMany(plans);
-                tj_cell = Table::speedup(
-                    static_cast<double>(tj_res.cycles) /
-                    static_cast<double>(sc_res.cycles), 1);
-            }
-            table.addRow(
-                {key + (stride > 1 ? "*" : ""),
-                 std::to_string(sc_res.cycles),
-                 Table::speedup(static_cast<double>(fm_res.cycles) /
-                                static_cast<double>(sc_res.cycles)),
-                 tj_cell});
-        }
-        std::printf("--- %s ---\n", gpm::gpmAppName(app));
-        bench::emitTable(table);
+        for (const Row &row : rows)
+            table.addRow(row);
+        report.emit(gpm::gpmAppName(app), table);
     }
 
     // GRAMER (§6.3.1 text: avg 40.1x, up to 181.8x vs SparseCore;
     // slower than the CPU baseline).
-    std::printf("--- GRAMER (pattern-oblivious, size-3 mining) ---\n");
+    const auto gramer_keys = graph::mediumGraphKeys();
+    using Row = std::vector<std::string>;
+    const auto gramer_rows = bench::runPoints<Row>(
+        gramer_keys.size(), [&](std::size_t p) {
+            const std::string &key = gramer_keys[p];
+            const graph::CsrGraph &g = graph::loadGraph(key);
+            const unsigned stride =
+                bench::autoStride(g, gpm::GpmApp::TM);
+
+            backend::SparseCoreBackend sc_be(config);
+            gpm::PlanExecutor sc_exec(g, sc_be);
+            sc_exec.setRootStride(stride);
+            const auto sc_res =
+                sc_exec.runMany(gpm::gpmAppPlans(gpm::GpmApp::TM));
+
+            backend::CpuBackend cpu;
+            gpm::PlanExecutor cpu_exec(g, cpu);
+            cpu_exec.setRootStride(stride);
+            const auto cpu_res =
+                cpu_exec.runMany(gpm::gpmAppPlans(gpm::GpmApp::TM));
+
+            // GRAMER explores the whole graph; scale to the sampled
+            // fraction for a like-for-like ratio.
+            const auto gr = baselines::estimateGramer(g, 3);
+            const double scaled =
+                static_cast<double>(gr.cycles) / stride;
+            return Row{
+                key + (stride > 1 ? "*" : ""),
+                std::to_string(static_cast<std::uint64_t>(scaled)),
+                Table::speedup(
+                    scaled / static_cast<double>(sc_res.cycles), 1),
+                Table::speedup(
+                    scaled / static_cast<double>(cpu_res.cycles), 1)};
+        });
     Table gt({"graph", "gramer cycles", "vs sparsecore(TM)",
               "vs cpu(TM)"});
-    for (const auto &key : graph::mediumGraphKeys()) {
-        const graph::CsrGraph &g = graph::loadGraph(key);
-        const unsigned stride = bench::autoStride(g, gpm::GpmApp::TM);
-
-        backend::SparseCoreBackend sc_be(config);
-        gpm::PlanExecutor sc_exec(g, sc_be);
-        sc_exec.setRootStride(stride);
-        const auto sc_res =
-            sc_exec.runMany(gpm::gpmAppPlans(gpm::GpmApp::TM));
-
-        backend::CpuBackend cpu;
-        gpm::PlanExecutor cpu_exec(g, cpu);
-        cpu_exec.setRootStride(stride);
-        const auto cpu_res =
-            cpu_exec.runMany(gpm::gpmAppPlans(gpm::GpmApp::TM));
-
-        // GRAMER explores the whole graph; scale to the sampled
-        // fraction for a like-for-like ratio.
-        const auto gr = baselines::estimateGramer(g, 3);
-        const double scaled =
-            static_cast<double>(gr.cycles) / stride;
-        gt.addRow({key + (stride > 1 ? "*" : ""),
-                   std::to_string(static_cast<std::uint64_t>(scaled)),
-                   Table::speedup(
-                       scaled / static_cast<double>(sc_res.cycles), 1),
-                   Table::speedup(
-                       scaled / static_cast<double>(cpu_res.cycles),
-                       1)});
-    }
-    bench::emitTable(gt);
+    for (const Row &row : gramer_rows)
+        gt.addRow(row);
+    report.emit("GRAMER (pattern-oblivious, size-3 mining)", gt);
     std::printf("(* = root-sampled; TrieJax redundancy = |Aut|: "
                 "6/24/120 as §6.3.1)\n");
     return 0;

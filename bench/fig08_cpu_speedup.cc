@@ -2,10 +2,14 @@
  * @file
  * Figure 8: SparseCore speedup over the CPU baseline for every GPM
  * application (TC, TM, TS, T, TT, 4C, 5C, 4CS, 5CS) on all ten
- * graphs, plus FSM on mico at thresholds 1K and 2K.
+ * graphs, plus FSM on mico at thresholds 1K and 2K. The (app, graph)
+ * sweep points are independent, so they run concurrently on the host
+ * pool; rows are emitted in dataset order either way.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "api/machine.hh"
 #include "bench_util.hh"
@@ -18,39 +22,50 @@ main()
     api::Machine machine;
     bench::printHeader("Figure 8", "speedups over CPU",
                        machine.config());
+    bench::BenchReport report("fig08");
 
     for (const gpm::GpmApp app : gpm::allGpmApps()) {
+        const auto keys = graph::allGraphKeys();
+        using Row = std::vector<std::string>;
+        const auto rows = bench::runPoints<Row>(
+            keys.size(), [&](std::size_t p) {
+                const std::string &key = keys[p];
+                const graph::CsrGraph &g = graph::loadGraph(key);
+                const unsigned stride = bench::autoStride(g, app);
+                const api::Comparison cmp =
+                    machine.compareGpm(app, g, stride);
+                return Row{key + (stride > 1 ? "*" : ""),
+                           std::to_string(cmp.functionalResult),
+                           std::to_string(cmp.baseline.cycles),
+                           std::to_string(cmp.accelerated.cycles),
+                           Table::speedup(cmp.speedup())};
+            });
         Table table({"graph", "embeddings", "cpu cycles",
                      "sparsecore cycles", "speedup"});
-        for (const auto &key : graph::allGraphKeys()) {
-            const graph::CsrGraph &g = graph::loadGraph(key);
-            const unsigned stride = bench::autoStride(g, app);
-            const api::Comparison cmp =
-                machine.compareGpm(app, g, stride);
-            table.addRow({key + (stride > 1 ? "*" : ""),
-                          std::to_string(cmp.functionalResult),
-                          std::to_string(cmp.baseline.cycles),
-                          std::to_string(cmp.accelerated.cycles),
-                          Table::speedup(cmp.speedup())});
-        }
-        std::printf("--- %s ---\n", gpm::gpmAppName(app));
-        bench::emitTable(table);
+        for (const Row &row : rows)
+            table.addRow(row);
+        report.emit(gpm::gpmAppName(app), table);
     }
 
     // FSM on mico at the paper's two thresholds.
-    std::printf("--- FSM on M ---\n");
+    const std::vector<std::uint64_t> supports = {1000, 2000};
+    const graph::LabeledGraph &m = graph::loadLabeledGraph("M", 6);
+    using Row = std::vector<std::string>;
+    const auto fsm_rows = bench::runPoints<Row>(
+        supports.size(), [&](std::size_t p) {
+            const api::Comparison cmp =
+                machine.compareFsm(m, supports[p]);
+            return Row{std::to_string(supports[p]),
+                       std::to_string(cmp.functionalResult),
+                       std::to_string(cmp.baseline.cycles),
+                       std::to_string(cmp.accelerated.cycles),
+                       Table::speedup(cmp.speedup())};
+        });
     Table fsm_table({"threshold", "frequent patterns", "cpu cycles",
                      "sparsecore cycles", "speedup"});
-    const graph::LabeledGraph &m = graph::loadLabeledGraph("M", 6);
-    for (const std::uint64_t support : {1000ull, 2000ull}) {
-        const api::Comparison cmp = machine.compareFsm(m, support);
-        fsm_table.addRow({std::to_string(support),
-                          std::to_string(cmp.functionalResult),
-                          std::to_string(cmp.baseline.cycles),
-                          std::to_string(cmp.accelerated.cycles),
-                          Table::speedup(cmp.speedup())});
-    }
-    bench::emitTable(fsm_table);
+    for (const Row &row : fsm_rows)
+        fsm_table.addRow(row);
+    report.emit("FSM on M", fsm_table);
     std::printf("(* = root-sampled dataset, identical stride on both "
                 "substrates)\n");
     return 0;

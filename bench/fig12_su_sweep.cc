@@ -1,10 +1,13 @@
 /**
  * @file
  * Figure 12: SparseCore speedup (vs the 1-SU configuration) with 1,
- * 2, 4, 8, 16 SUs, for all nine GPM apps on B, E, F, W.
+ * 2, 4, 8, 16 SUs, for all nine GPM apps on B, E, F, W. Each (app,
+ * graph) point runs its SU ladder independently on the host pool.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "backend/sparsecore_backend.hh"
 #include "bench_util.hh"
@@ -16,35 +19,40 @@ main()
     arch::SparseCoreConfig base;
     bench::printHeader("Figure 12", "varying the number of SUs", base);
 
+    bench::BenchReport report("fig12");
     const std::vector<unsigned> su_counts = {1, 2, 4, 8, 16};
     for (const gpm::GpmApp app : gpm::allGpmApps()) {
         const auto plans = gpm::gpmAppPlans(app);
+        const auto keys = graph::smallGraphKeys();
+        using Row = std::vector<std::string>;
+        const auto rows = bench::runPoints<Row>(
+            keys.size(), [&](std::size_t p) {
+                const std::string &key = keys[p];
+                const graph::CsrGraph &g = graph::loadGraph(key);
+                const unsigned stride =
+                    bench::autoStride(g, app, 8'000'000);
+                Row row = {key + (stride > 1 ? "*" : "")};
+                Cycles one_su = 0;
+                for (const unsigned sus : su_counts) {
+                    arch::SparseCoreConfig config = base;
+                    config.numSus = sus;
+                    backend::SparseCoreBackend be(config);
+                    gpm::PlanExecutor exec(g, be);
+                    exec.setRootStride(stride);
+                    const auto res = exec.runMany(plans);
+                    if (sus == 1)
+                        one_su = res.cycles;
+                    row.push_back(Table::speedup(
+                        static_cast<double>(one_su) /
+                        static_cast<double>(res.cycles)));
+                }
+                return row;
+            });
         Table table({"graph", "1 SU", "2 SU", "4 SU", "8 SU",
                      "16 SU"});
-        for (const auto &key : graph::smallGraphKeys()) {
-            const graph::CsrGraph &g = graph::loadGraph(key);
-            const unsigned stride =
-                bench::autoStride(g, app, 8'000'000);
-            std::vector<std::string> row = {
-                key + (stride > 1 ? "*" : "")};
-            Cycles one_su = 0;
-            for (const unsigned sus : su_counts) {
-                arch::SparseCoreConfig config = base;
-                config.numSus = sus;
-                backend::SparseCoreBackend be(config);
-                gpm::PlanExecutor exec(g, be);
-                exec.setRootStride(stride);
-                const auto res = exec.runMany(plans);
-                if (sus == 1)
-                    one_su = res.cycles;
-                row.push_back(Table::speedup(
-                    static_cast<double>(one_su) /
-                    static_cast<double>(res.cycles)));
-            }
-            table.addRow(std::move(row));
-        }
-        std::printf("--- %s ---\n", gpm::gpmAppName(app));
-        bench::emitTable(table);
+        for (const Row &row : rows)
+            table.addRow(row);
+        report.emit(gpm::gpmAppName(app), table);
     }
     return 0;
 }

@@ -6,6 +6,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "api/machine.hh"
 #include "bench_util.hh"
@@ -54,63 +56,89 @@ main()
     api::Machine machine;
     bench::printHeader("Figure 15", "tensor computation speedup",
                        machine.config());
+    bench::BenchReport report("fig15");
+
+    struct Point
+    {
+        std::vector<std::string> row;
+        double speedup = 1.0;
+    };
 
     for (const auto algorithm :
          {SpmspmAlgorithm::Inner, SpmspmAlgorithm::Outer,
           SpmspmAlgorithm::Gustavson}) {
+        const auto keys = tensor::allMatrixKeys();
+        const auto points = bench::runPoints<Point>(
+            keys.size(), [&](std::size_t p) {
+                const std::string &key = keys[p];
+                const tensor::SparseMatrix &m =
+                    tensor::loadMatrix(key);
+                const unsigned stride = matrixStride(m, algorithm);
+                const auto cmp =
+                    machine.compareSpmspm(m, m, algorithm, stride);
+                return Point{
+                    {key + (stride > 1 ? "*" : ""),
+                     std::to_string(cmp.baseline.cycles),
+                     std::to_string(cmp.accelerated.cycles),
+                     Table::speedup(cmp.speedup())},
+                    cmp.speedup()};
+            });
         Table table({"matrix", "cpu cycles", "sc cycles", "speedup"});
         std::vector<double> speedups;
-        for (const auto &key : tensor::allMatrixKeys()) {
-            const tensor::SparseMatrix &m = tensor::loadMatrix(key);
-            const unsigned stride = matrixStride(m, algorithm);
-            const auto cmp =
-                machine.compareSpmspm(m, m, algorithm, stride);
-            speedups.push_back(cmp.speedup());
-            table.addRow({key + (stride > 1 ? "*" : ""),
-                          std::to_string(cmp.baseline.cycles),
-                          std::to_string(cmp.accelerated.cycles),
-                          Table::speedup(cmp.speedup())});
+        for (const Point &pt : points) {
+            table.addRow(pt.row);
+            speedups.push_back(pt.speedup);
         }
         table.addRow({"gmean", "", "",
                       Table::speedup(geomean(speedups))});
-        std::printf("--- spmspm %s (C = A*A) ---\n",
-                    kernels::spmspmAlgorithmName(algorithm));
-        bench::emitTable(table);
+        report.emit(std::string("spmspm ") +
+                        kernels::spmspmAlgorithmName(algorithm) +
+                        " (C = A*A)",
+                    table);
     }
 
     // TTV and TTM on the two FROSTT-like tensors.
-    std::printf("--- TTV (Z(i,j) = sum_k A(i,j,k) v(k)) ---\n");
+    using Row = std::vector<std::string>;
+    const auto tensor_keys = tensor::allTensorKeys();
+    const auto ttv_rows = bench::runPoints<Row>(
+        tensor_keys.size(), [&](std::size_t p) {
+            const std::string &key = tensor_keys[p];
+            const tensor::CsfTensor &t = tensor::loadTensor(key);
+            const auto vec = tensor::generateVector(t.dimK(), 0x77);
+            const unsigned stride =
+                static_cast<unsigned>(t.nnz() / 4'000'000 + 1);
+            const auto cmp = machine.compareTtv(t, vec, stride);
+            return Row{key + (stride > 1 ? "*" : ""),
+                       std::to_string(cmp.baseline.cycles),
+                       std::to_string(cmp.accelerated.cycles),
+                       Table::speedup(cmp.speedup())};
+        });
     Table ttv_table({"tensor", "cpu cycles", "sc cycles", "speedup"});
-    for (const auto &key : tensor::allTensorKeys()) {
-        const tensor::CsfTensor &t = tensor::loadTensor(key);
-        const auto vec = tensor::generateVector(t.dimK(), 0x77);
-        const unsigned stride =
-            static_cast<unsigned>(t.nnz() / 4'000'000 + 1);
-        const auto cmp = machine.compareTtv(t, vec, stride);
-        ttv_table.addRow({key + (stride > 1 ? "*" : ""),
-                          std::to_string(cmp.baseline.cycles),
-                          std::to_string(cmp.accelerated.cycles),
-                          Table::speedup(cmp.speedup())});
-    }
-    bench::emitTable(ttv_table);
+    for (const Row &row : ttv_rows)
+        ttv_table.addRow(row);
+    report.emit("TTV (Z(i,j) = sum_k A(i,j,k) v(k))", ttv_table);
 
-    std::printf("--- TTM (Z(i,j,k) = sum_l A(i,j,l) B(k,l)) ---\n");
+    const auto ttm_rows = bench::runPoints<Row>(
+        tensor_keys.size(), [&](std::size_t p) {
+            const std::string &key = tensor_keys[p];
+            const tensor::CsfTensor &t = tensor::loadTensor(key);
+            // B: a modest sparse matrix with the tensor's k-dim
+            // columns.
+            const auto b = tensor::generateMatrix(
+                64, t.dimK(), 16 * t.dimK(),
+                tensor::MatrixStructure::Uniform, 0x78, "B");
+            const unsigned stride =
+                static_cast<unsigned>(t.nnz() / 400'000 + 1);
+            const auto cmp = machine.compareTtm(t, b, stride);
+            return Row{key + (stride > 1 ? "*" : ""),
+                       std::to_string(cmp.baseline.cycles),
+                       std::to_string(cmp.accelerated.cycles),
+                       Table::speedup(cmp.speedup())};
+        });
     Table ttm_table({"tensor", "cpu cycles", "sc cycles", "speedup"});
-    for (const auto &key : tensor::allTensorKeys()) {
-        const tensor::CsfTensor &t = tensor::loadTensor(key);
-        // B: a modest sparse matrix with the tensor's k-dim columns.
-        const auto b = tensor::generateMatrix(
-            64, t.dimK(), 16 * t.dimK(),
-            tensor::MatrixStructure::Uniform, 0x78, "B");
-        const unsigned stride =
-            static_cast<unsigned>(t.nnz() / 400'000 + 1);
-        const auto cmp = machine.compareTtm(t, b, stride);
-        ttm_table.addRow({key + (stride > 1 ? "*" : ""),
-                          std::to_string(cmp.baseline.cycles),
-                          std::to_string(cmp.accelerated.cycles),
-                          Table::speedup(cmp.speedup())});
-    }
-    bench::emitTable(ttm_table);
+    for (const Row &row : ttm_rows)
+        ttm_table.addRow(row);
+    report.emit("TTM (Z(i,j,k) = sum_l A(i,j,l) B(k,l))", ttm_table);
     std::printf("(* = row/slice-sampled dataset, identical stride on "
                 "both substrates)\n");
     return 0;

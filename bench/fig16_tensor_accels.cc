@@ -7,6 +7,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "backend/sparsecore_backend.hh"
 #include "baselines/tensor_accels.hh"
@@ -29,41 +31,59 @@ main()
                        "(gmean over Table-5 matrices, normalized to "
                        "SparseCore inner-product)",
                        config);
+    bench::BenchReport report("fig16");
 
-    std::vector<double> sc_outer_s, sc_gus_s, ext_s, osp_s, gamma_s;
+    struct Point
+    {
+        double sc_outer = 1, sc_gus = 1, ext = 1, osp = 1, gamma = 1;
+    };
 
     // The gmean uses the small/medium matrices at full size; the two
-    // largest are row-sampled identically everywhere.
-    for (const auto &key : tensor::allMatrixKeys()) {
-        const tensor::SparseMatrix &m = tensor::loadMatrix(key);
-        const double pairs = static_cast<double>(m.rows()) * m.rows();
-        unsigned stride = 1;
-        if (m.nnz() > 400'000)
-            stride = static_cast<unsigned>(m.nnz() / 200'000);
-        if (pairs > 1.5e6)
-            stride = std::max(
-                stride, static_cast<unsigned>(pairs / 1.5e6 + 1.0));
+    // largest are row-sampled identically everywhere. Each matrix is
+    // an independent host-pool point.
+    const auto keys = tensor::allMatrixKeys();
+    const auto points = bench::runPoints<Point>(
+        keys.size(), [&](std::size_t p) {
+            const tensor::SparseMatrix &m =
+                tensor::loadMatrix(keys[p]);
+            const double pairs =
+                static_cast<double>(m.rows()) * m.rows();
+            unsigned stride = 1;
+            if (m.nnz() > 400'000)
+                stride = static_cast<unsigned>(m.nnz() / 200'000);
+            if (pairs > 1.5e6)
+                stride = std::max(
+                    stride,
+                    static_cast<unsigned>(pairs / 1.5e6 + 1.0));
 
-        backend::SparseCoreBackend inner_be(config);
-        const auto sc_inner = kernels::runSpmspm(
-            m, m, SpmspmAlgorithm::Inner, inner_be, stride);
-        backend::SparseCoreBackend outer_be(config);
-        const auto sc_outer = kernels::runSpmspm(
-            m, m, SpmspmAlgorithm::Outer, outer_be, stride);
-        backend::SparseCoreBackend gus_be(config);
-        const auto sc_gus = kernels::runSpmspm(
-            m, m, SpmspmAlgorithm::Gustavson, gus_be, stride);
+            backend::SparseCoreBackend inner_be(config);
+            const auto sc_inner = kernels::runSpmspm(
+                m, m, SpmspmAlgorithm::Inner, inner_be, stride);
+            backend::SparseCoreBackend outer_be(config);
+            const auto sc_outer = kernels::runSpmspm(
+                m, m, SpmspmAlgorithm::Outer, outer_be, stride);
+            backend::SparseCoreBackend gus_be(config);
+            const auto sc_gus = kernels::runSpmspm(
+                m, m, SpmspmAlgorithm::Gustavson, gus_be, stride);
 
-        const auto ext = baselines::extensorSpmspm(m, m, 16, stride);
-        const auto osp = baselines::outerspaceSpmspm(m, m, stride);
-        const auto gamma = baselines::gammaSpmspm(m, m, stride);
+            const auto ext =
+                baselines::extensorSpmspm(m, m, 16, stride);
+            const auto osp = baselines::outerspaceSpmspm(m, m, stride);
+            const auto gamma = baselines::gammaSpmspm(m, m, stride);
 
-        const double base = static_cast<double>(sc_inner.cycles);
-        sc_outer_s.push_back(base / sc_outer.cycles);
-        sc_gus_s.push_back(base / sc_gus.cycles);
-        ext_s.push_back(base / ext.cycles);
-        osp_s.push_back(base / osp.cycles);
-        gamma_s.push_back(base / gamma.cycles);
+            const double base = static_cast<double>(sc_inner.cycles);
+            return Point{base / sc_outer.cycles, base / sc_gus.cycles,
+                         base / ext.cycles, base / osp.cycles,
+                         base / gamma.cycles};
+        });
+
+    std::vector<double> sc_outer_s, sc_gus_s, ext_s, osp_s, gamma_s;
+    for (const Point &pt : points) {
+        sc_outer_s.push_back(pt.sc_outer);
+        sc_gus_s.push_back(pt.sc_gus);
+        ext_s.push_back(pt.ext);
+        osp_s.push_back(pt.osp);
+        gamma_s.push_back(pt.gamma);
     }
 
     Table table({"configuration", "gmean speedup over "
@@ -77,7 +97,7 @@ main()
     table.addRow(
         {"gustavson: SparseCore", Table::speedup(geomean(sc_gus_s))});
     table.addRow({"gustavson: Gamma", Table::speedup(geomean(gamma_s))});
-    bench::emitTable(table);
+    report.emit("tensor accelerators vs SparseCore dataflows", table);
 
     std::printf(
         "Expected shape (§6.9.2): specialized accelerators beat\n"

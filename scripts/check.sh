@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full local check: regular build + complete test suite, then a
+# ThreadSanitizer build running the concurrency-sensitive suites
+# (thread pool, host-parallel mining, machine comparisons).
+#
+# Usage: scripts/check.sh [build-dir-prefix]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+prefix="${1:-build}"
+
+echo "=== regular build + full ctest ==="
+cmake -B "${prefix}" -S . >/dev/null
+cmake --build "${prefix}" -j"$(nproc)"
+ctest --test-dir "${prefix}" --output-on-failure -j"$(nproc)"
+
+echo
+echo "=== TSan build + parallel suites ==="
+cmake -B "${prefix}-tsan" -S . -DSPARSECORE_SANITIZE=thread >/dev/null
+cmake --build "${prefix}-tsan" -j"$(nproc)" --target sparsecore_tests
+"${prefix}-tsan/tests/sparsecore_tests" \
+    --gtest_filter='ThreadPool.*:HostParallel.*:Parallel.*:Machine*.*'
+
+echo
+echo "All checks passed."

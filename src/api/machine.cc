@@ -2,9 +2,28 @@
 
 #include "backend/cpu_backend.hh"
 #include "backend/sparsecore_backend.hh"
+#include "common/parallel_for.hh"
 #include "gpm/executor.hh"
 
 namespace sc::api {
+
+namespace {
+
+/**
+ * Run the baseline and accelerated legs of a comparison concurrently
+ * on the host pool. Each leg owns its backend, so results are
+ * identical to running them back to back.
+ */
+template <typename FnA, typename FnB>
+void
+runBothSubstrates(FnA &&baseline, FnB &&accelerated)
+{
+    parallelInvoke(ThreadPool::global(),
+                   std::forward<FnA>(baseline),
+                   std::forward<FnB>(accelerated));
+}
+
+} // namespace
 
 Machine::Machine(const arch::SparseCoreConfig &config) : config_(config)
 {
@@ -34,8 +53,10 @@ Comparison
 Machine::compareGpm(gpm::GpmApp app, const graph::CsrGraph &g,
                     unsigned root_stride) const
 {
-    const auto cpu = mineCpu(app, g, root_stride);
-    const auto sc = mineSparseCore(app, g, root_stride);
+    gpm::GpmRunResult cpu, sc;
+    runBothSubstrates(
+        [&] { cpu = mineCpu(app, g, root_stride); },
+        [&] { sc = mineSparseCore(app, g, root_stride); });
     if (cpu.embeddings != sc.embeddings)
         panic("substrates disagree on the embedding count: "
               "%llu (cpu) vs %llu (sparsecore)",
@@ -52,10 +73,16 @@ Comparison
 Machine::compareFsm(const graph::LabeledGraph &g,
                     std::uint64_t min_support) const
 {
-    backend::CpuBackend cpu_be(config_.core, config_.mem);
-    const auto cpu = gpm::runFsm(g, cpu_be, min_support);
-    backend::SparseCoreBackend sc_be(config_);
-    const auto sc = gpm::runFsm(g, sc_be, min_support);
+    gpm::FsmResult cpu, sc;
+    runBothSubstrates(
+        [&] {
+            backend::CpuBackend be(config_.core, config_.mem);
+            cpu = gpm::runFsm(g, be, min_support);
+        },
+        [&] {
+            backend::SparseCoreBackend be(config_);
+            sc = gpm::runFsm(g, be, min_support);
+        });
     if (cpu.totalFrequent() != sc.totalFrequent())
         panic("substrates disagree on FSM results");
     Comparison cmp;
@@ -92,8 +119,10 @@ Machine::compareSpmspm(const tensor::SparseMatrix &a,
                        kernels::SpmspmAlgorithm algorithm,
                        unsigned stride) const
 {
-    const auto cpu = spmspmCpu(a, b, algorithm, stride);
-    const auto sc = spmspmSparseCore(a, b, algorithm, stride);
+    kernels::TensorRunResult cpu, sc;
+    runBothSubstrates(
+        [&] { cpu = spmspmCpu(a, b, algorithm, stride); },
+        [&] { sc = spmspmSparseCore(a, b, algorithm, stride); });
     Comparison cmp;
     cmp.functionalResult = sc.valueOps;
     cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
@@ -105,10 +134,16 @@ Comparison
 Machine::compareTtv(const tensor::CsfTensor &a,
                     const std::vector<Value> &vec, unsigned stride) const
 {
-    backend::CpuBackend cpu_be(config_.core, config_.mem);
-    const auto cpu = kernels::runTtv(a, vec, cpu_be, stride);
-    backend::SparseCoreBackend sc_be(config_);
-    const auto sc = kernels::runTtv(a, vec, sc_be, stride);
+    kernels::TensorRunResult cpu, sc;
+    runBothSubstrates(
+        [&] {
+            backend::CpuBackend be(config_.core, config_.mem);
+            cpu = kernels::runTtv(a, vec, be, stride);
+        },
+        [&] {
+            backend::SparseCoreBackend be(config_);
+            sc = kernels::runTtv(a, vec, be, stride);
+        });
     Comparison cmp;
     cmp.functionalResult = sc.valueOps;
     cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
@@ -120,10 +155,16 @@ Comparison
 Machine::compareTtm(const tensor::CsfTensor &a,
                     const tensor::SparseMatrix &b, unsigned stride) const
 {
-    backend::CpuBackend cpu_be(config_.core, config_.mem);
-    const auto cpu = kernels::runTtm(a, b, cpu_be, stride);
-    backend::SparseCoreBackend sc_be(config_);
-    const auto sc = kernels::runTtm(a, b, sc_be, stride);
+    kernels::TensorRunResult cpu, sc;
+    runBothSubstrates(
+        [&] {
+            backend::CpuBackend be(config_.core, config_.mem);
+            cpu = kernels::runTtm(a, b, be, stride);
+        },
+        [&] {
+            backend::SparseCoreBackend be(config_);
+            sc = kernels::runTtm(a, b, be, stride);
+        });
     Comparison cmp;
     cmp.functionalResult = sc.valueOps;
     cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};

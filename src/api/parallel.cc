@@ -6,34 +6,63 @@
 #include "backend/cpu_backend.hh"
 #include "backend/sparsecore_backend.hh"
 #include "common/logging.hh"
+#include "common/parallel_for.hh"
 #include "gpm/executor.hh"
 
 namespace sc::api {
 
 namespace {
 
+/** One root-loop chunk's contribution (per-task backend session). */
+struct ChunkRun
+{
+    std::uint64_t embeddings = 0;
+    Cycles cycles = 0;
+};
+
 template <typename MakeBackend>
 ParallelGpmResult
 mineParallel(gpm::GpmApp app, const graph::CsrGraph &g,
              unsigned num_cores, unsigned root_stride,
-             MakeBackend &&make_backend)
+             const HostOptions &host, MakeBackend &&make_backend)
 {
     if (num_cores == 0)
         fatal("need at least one core");
+    if (root_stride == 0)
+        fatal("root stride must be positive");
     const auto plans = gpm::gpmAppPlans(app);
+    ThreadPool &pool = host.pool ? *host.pool : ThreadPool::global();
 
+    // K * num_cores chunks, stolen dynamically by the host threads.
+    // Chunk m covers roots { (m + i*M) * root_stride } and is
+    // attributed to simulated core m % num_cores — the same
+    // interleaved split as the legacy per-core loop, just finer, so
+    // a heavy root region spreads over every simulated core AND over
+    // every host thread.
+    const unsigned k = std::max(1u, host.chunksPerCore);
+    const unsigned num_chunks = num_cores * k;
+
+    const auto runs = parallelMap<ChunkRun>(
+        pool, num_chunks, [&](std::size_t chunk) {
+            auto backend = make_backend();
+            gpm::PlanExecutor executor(g, *backend);
+            executor.setRootRange(
+                static_cast<unsigned>(chunk) * root_stride,
+                num_chunks * root_stride);
+            const auto run = executor.runMany(plans);
+            return ChunkRun{run.embeddings, run.cycles};
+        });
+
+    // Ordered reduction: chunk-index order, fixed chunk→core cycle
+    // attribution — bit-identical for any host thread count.
     ParallelGpmResult result;
-    result.perCore.reserve(num_cores);
-    for (unsigned core = 0; core < num_cores; ++core) {
-        auto backend = make_backend();
-        gpm::PlanExecutor executor(g, *backend);
-        executor.setRootRange(core * root_stride,
-                              num_cores * root_stride);
-        const auto run = executor.runMany(plans);
-        result.embeddings += run.embeddings;
-        result.perCore.push_back(run.cycles);
-        result.cycles = std::max(result.cycles, run.cycles);
+    result.perCore.assign(num_cores, 0);
+    for (unsigned chunk = 0; chunk < num_chunks; ++chunk) {
+        result.embeddings += runs[chunk].embeddings;
+        result.perCore[chunk % num_cores] += runs[chunk].cycles;
     }
+    for (Cycles c : result.perCore)
+        result.cycles = std::max(result.cycles, c);
     return result;
 }
 
@@ -43,9 +72,9 @@ ParallelGpmResult
 mineParallelSparseCore(gpm::GpmApp app, const graph::CsrGraph &g,
                        unsigned num_cores,
                        const arch::SparseCoreConfig &config,
-                       unsigned root_stride)
+                       unsigned root_stride, const HostOptions &host)
 {
-    return mineParallel(app, g, num_cores, root_stride, [&] {
+    return mineParallel(app, g, num_cores, root_stride, host, [&] {
         return std::make_unique<backend::SparseCoreBackend>(config);
     });
 }
@@ -54,9 +83,9 @@ ParallelGpmResult
 mineParallelCpu(gpm::GpmApp app, const graph::CsrGraph &g,
                 unsigned num_cores,
                 const arch::SparseCoreConfig &config,
-                unsigned root_stride)
+                unsigned root_stride, const HostOptions &host)
 {
-    return mineParallel(app, g, num_cores, root_stride, [&] {
+    return mineParallel(app, g, num_cores, root_stride, host, [&] {
         return std::make_unique<backend::CpuBackend>(config.core,
                                                      config.mem);
     });

@@ -1,12 +1,21 @@
 /**
  * @file
  * Multi-core mining (Table 2 configures six cores): the root-vertex
- * loop is split across cores by interleaving (core c takes vertices
- * c, c+N, c+2N, ...), each core owning a private SparseCore engine —
- * its own SUs, S-Cache, scratchpad and L1/L2 — exactly the
- * replication the paper's per-core extension implies. The parallel
- * runtime is the slowest core's cycle count; graph data is read-only,
- * so no coherence traffic is modeled (§5.1).
+ * loop is split across simulated cores by interleaving, each core
+ * owning a private SparseCore engine — its own SUs, S-Cache,
+ * scratchpad and L1/L2 — exactly the replication the paper's per-core
+ * extension implies. The parallel runtime is the slowest core's cycle
+ * count; graph data is read-only, so no coherence traffic is modeled
+ * (§5.1).
+ *
+ * Host execution: the simulation of the cores itself runs on the
+ * host work-stealing pool (common/thread_pool.hh). Each simulated
+ * core's root slice is further split into chunksPerCore chunks with a
+ * fixed chunk→core mapping, so a skewed degree distribution cannot
+ * serialize the host run behind one heavy simulated core. Chunk
+ * results are reduced in chunk-index order, making the returned
+ * ParallelGpmResult bit-identical for any host thread count (see
+ * DESIGN.md "Host execution model").
  */
 
 #ifndef SPARSECORE_API_PARALLEL_HH
@@ -16,6 +25,7 @@
 #include <vector>
 
 #include "arch/config.hh"
+#include "common/thread_pool.hh"
 #include "gpm/apps.hh"
 
 namespace sc::api {
@@ -40,20 +50,35 @@ struct ParallelGpmResult
     }
 };
 
+/** Host-side execution knobs for the multi-core runs. */
+struct HostOptions
+{
+    /** Pool to run on; nullptr = ThreadPool::global(). */
+    ThreadPool *pool = nullptr;
+    /**
+     * Root-loop chunks per simulated core (K): the run is split into
+     * K * num_cores dynamically-stolen chunks; chunk m is attributed
+     * to simulated core m % num_cores. K = 1 reproduces the legacy
+     * one-session-per-core split exactly.
+     */
+    unsigned chunksPerCore = 4;
+};
+
 /**
  * Run a GPM app across num_cores SparseCore cores.
  * @param root_stride extra sampling on top of the core split
+ * @param host host-parallelism knobs (pool, chunking)
  */
 ParallelGpmResult mineParallelSparseCore(
     gpm::GpmApp app, const graph::CsrGraph &g, unsigned num_cores,
     const arch::SparseCoreConfig &config = arch::SparseCoreConfig{},
-    unsigned root_stride = 1);
+    unsigned root_stride = 1, const HostOptions &host = HostOptions{});
 
 /** The CPU-baseline equivalent (one scalar core per slice). */
 ParallelGpmResult mineParallelCpu(
     gpm::GpmApp app, const graph::CsrGraph &g, unsigned num_cores,
     const arch::SparseCoreConfig &config = arch::SparseCoreConfig{},
-    unsigned root_stride = 1);
+    unsigned root_stride = 1, const HostOptions &host = HostOptions{});
 
 } // namespace sc::api
 

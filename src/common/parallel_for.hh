@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Header-only helpers over ThreadPool::forEach: index-space parallel
+ * loops and an ordered parallel map. Results are reduced in index
+ * order regardless of which host thread ran which iteration, so
+ * callers get deterministic (host-thread-count independent) output —
+ * the property the multi-core simulation API and the benchmark sweeps
+ * rely on.
+ */
+
+#ifndef SPARSECORE_COMMON_PARALLEL_FOR_HH
+#define SPARSECORE_COMMON_PARALLEL_FOR_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace sc {
+
+/** Run fn(i) for i in [0, n) on the pool; blocks until done. */
+template <typename Fn>
+void
+parallelFor(ThreadPool &pool, std::size_t n, Fn &&fn,
+            std::size_t grain = 1)
+{
+    const std::function<void(std::size_t)> body =
+        [&fn](std::size_t i) { fn(i); };
+    pool.forEach(n, grain, body);
+}
+
+/**
+ * Parallel map: out[i] = fn(i) for i in [0, n), results in index
+ * order. T must be default-constructible and movable.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(ThreadPool &pool, std::size_t n, Fn &&fn,
+            std::size_t grain = 1)
+{
+    std::vector<T> out(n);
+    parallelFor(
+        pool, n, [&out, &fn](std::size_t i) { out[i] = fn(i); },
+        grain);
+    return out;
+}
+
+/** Run two independent callables concurrently (both complete). */
+template <typename FnA, typename FnB>
+void
+parallelInvoke(ThreadPool &pool, FnA &&a, FnB &&b)
+{
+    parallelFor(pool, 2, [&](std::size_t i) {
+        if (i == 0)
+            a();
+        else
+            b();
+    });
+}
+
+} // namespace sc
+
+#endif // SPARSECORE_COMMON_PARALLEL_FOR_HH

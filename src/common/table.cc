@@ -82,6 +82,44 @@ Table::csv() const
     return os.str();
 }
 
+std::string
+Table::json() const
+{
+    auto escape = [](const std::string &s) {
+        std::string out;
+        out.reserve(s.size() + 2);
+        out += '"';
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    auto emitRow = [&](std::ostringstream &os,
+                       const std::vector<std::string> &row) {
+        os << '[';
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << escape(row[c]);
+        }
+        os << ']';
+    };
+    std::ostringstream os;
+    os << "{\"header\":";
+    emitRow(os, header_);
+    os << ",\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (r)
+            os << ',';
+        emitRow(os, rows_[r]);
+    }
+    os << "]}";
+    return os.str();
+}
+
 double
 geomean(const std::vector<double> &values)
 {

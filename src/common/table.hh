@@ -30,6 +30,8 @@ class Table
     std::string str() const;
     /** Render comma-separated values. */
     std::string csv() const;
+    /** Render as JSON: {"header": [...], "rows": [[...], ...]}. */
+    std::string json() const;
 
     std::size_t rows() const { return rows_.size(); }
 

@@ -1,0 +1,205 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace sc {
+
+struct ThreadPool::ForEachState
+{
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completedChunks{0};
+    std::atomic<bool> cancelled{false};
+    std::size_t totalChunks = 0;
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t errorChunk = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+};
+
+unsigned
+ThreadPool::defaultNumThreads()
+{
+    if (const char *env = std::getenv("SC_HOST_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v >= 1 && v <= 1024)
+            return static_cast<unsigned>(v);
+        warn("ignoring invalid SC_HOST_THREADS='%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(0);
+    return pool;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : numThreads_(num_threads ? num_threads : defaultNumThreads())
+{
+    const unsigned workers = numThreads_ - 1;
+    queues_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        queues_.push_back(std::make_unique<WorkQueue>());
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    if (queues_.empty()) {
+        task();
+        return;
+    }
+    const unsigned idx =
+        nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size();
+    {
+        std::lock_guard<std::mutex> lock(queues_[idx]->mutex);
+        queues_[idx]->tasks.push_back(std::move(task));
+    }
+    pendingTasks_.fetch_add(1, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        wake_.notify_one();
+    }
+}
+
+bool
+ThreadPool::tryDequeue(unsigned self, Task &out)
+{
+    const unsigned count = static_cast<unsigned>(queues_.size());
+    for (unsigned k = 0; k < count; ++k) {
+        WorkQueue &wq = *queues_[(self + k) % count];
+        std::lock_guard<std::mutex> lock(wq.mutex);
+        if (wq.tasks.empty())
+            continue;
+        if (k == 0) {
+            // Own queue: LIFO-ish front pop keeps locality.
+            out = std::move(wq.tasks.front());
+            wq.tasks.pop_front();
+        } else {
+            // Steal from the victim's back.
+            out = std::move(wq.tasks.back());
+            wq.tasks.pop_back();
+        }
+        pendingTasks_.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    while (true) {
+        Task task;
+        if (tryDequeue(self, task)) {
+            task();
+            task = Task{};
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(wakeMutex_);
+        if (pendingTasks_.load(std::memory_order_acquire) > 0)
+            continue; // raced with a submit: retry the dequeue
+        if (stop_)
+            return; // drained: queues are empty
+        wake_.wait(lock);
+    }
+}
+
+void
+ThreadPool::runChunks(const std::shared_ptr<ForEachState> &state)
+{
+    while (true) {
+        const std::size_t begin =
+            state->next.fetch_add(state->grain,
+                                  std::memory_order_relaxed);
+        if (begin >= state->n)
+            return;
+        const std::size_t end =
+            std::min(state->n, begin + state->grain);
+        const std::size_t chunk = begin / state->grain;
+
+        if (!state->cancelled.load(std::memory_order_acquire)) {
+            try {
+                for (std::size_t i = begin; i < end; ++i)
+                    (*state->fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (chunk < state->errorChunk) {
+                    state->errorChunk = chunk;
+                    state->error = std::current_exception();
+                }
+                state->cancelled.store(true, std::memory_order_release);
+            }
+        }
+
+        const std::size_t finished =
+            state->completedChunks.fetch_add(
+                1, std::memory_order_acq_rel) + 1;
+        if (finished == state->totalChunks) {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            state->done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::forEach(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (grain == 0)
+        grain = 1;
+
+    auto state = std::make_shared<ForEachState>();
+    state->n = n;
+    state->grain = grain;
+    state->fn = &fn;
+    state->totalChunks = (n + grain - 1) / grain;
+
+    // One helper task per worker (capped at the chunk count); the
+    // caller claims chunks too, so completion never depends on a
+    // worker being free — a task may itself be running this forEach.
+    const std::size_t helpers =
+        std::min<std::size_t>(workers_.size(), state->totalChunks);
+    for (std::size_t h = 0; h < helpers; ++h)
+        submit([state] { runChunks(state); });
+
+    runChunks(state);
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] {
+        return state->completedChunks.load(std::memory_order_acquire) ==
+               state->totalChunks;
+    });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace sc

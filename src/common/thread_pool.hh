@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Host-side work-stealing thread pool.
+ *
+ * The simulator models *simulated* cores (Table 2 configures six);
+ * this pool supplies *host* parallelism to run those per-core engine
+ * simulations — and independent benchmark sweep points — concurrently
+ * on the machine executing the simulator. The two axes are
+ * independent: a 6-simulated-core run produces identical results on a
+ * 1-thread or a 64-thread host (see DESIGN.md "Host execution
+ * model").
+ *
+ * Design: a fixed set of worker threads, each owning a deque of
+ * tasks. Submitted tasks are distributed round-robin; a worker pops
+ * from the front of its own deque and, when empty, steals from the
+ * back of another worker's. forEach() adds chunked dynamic
+ * scheduling on top: iterations are claimed in fixed-size chunks from
+ * a shared counter, the calling thread participates (so a pool of
+ * size 1 runs everything inline and nested forEach() calls cannot
+ * deadlock), and exceptions thrown by iterations are rethrown in the
+ * caller.
+ */
+
+#ifndef SPARSECORE_COMMON_THREAD_POOL_HH
+#define SPARSECORE_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sc {
+
+/** Fixed-size work-stealing host thread pool. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * @param num_threads total host threads used by forEach(),
+     *        including the calling thread; the pool spawns
+     *        num_threads - 1 workers. 0 means defaultNumThreads().
+     */
+    explicit ThreadPool(unsigned num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Host threads participating in forEach (workers + caller). */
+    unsigned numThreads() const { return numThreads_; }
+
+    /**
+     * The process-wide pool. Sized by the SC_HOST_THREADS environment
+     * variable when set, else std::thread::hardware_concurrency().
+     */
+    static ThreadPool &global();
+
+    /** SC_HOST_THREADS, or hardware_concurrency(), clamped to >= 1. */
+    static unsigned defaultNumThreads();
+
+    /**
+     * Enqueue one fire-and-forget task. With no workers (pool size 1)
+     * the task runs inline. Exceptions escaping a submitted task are
+     * fatal (std::terminate): use forEach() for work whose errors
+     * must propagate.
+     */
+    void submit(Task task);
+
+    /**
+     * Run fn(i) for every i in [0, n), blocking until all complete.
+     *
+     * Iterations are claimed in chunks of `grain` from a shared
+     * counter (chunked dynamic scheduling); chunks execute on the
+     * workers and on the calling thread. Reentrant: fn may itself
+     * call forEach on the same pool. If any iteration throws, further
+     * chunks are abandoned and the recorded exception (lowest chunk
+     * index among those that threw) is rethrown in the caller once
+     * every claimed chunk has finished.
+     */
+    void forEach(std::size_t n, std::size_t grain,
+                 const std::function<void(std::size_t)> &fn);
+
+  private:
+    struct WorkQueue
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    struct ForEachState;
+
+    void workerLoop(unsigned self);
+    bool tryDequeue(unsigned self, Task &out);
+    static void runChunks(const std::shared_ptr<ForEachState> &state);
+
+    unsigned numThreads_ = 1;
+    std::vector<std::unique_ptr<WorkQueue>> queues_;
+    std::vector<std::thread> workers_;
+    std::atomic<unsigned> nextQueue_{0};
+    std::atomic<int> pendingTasks_{0};
+    std::mutex wakeMutex_;
+    std::condition_variable wake_;
+    bool stop_ = false; ///< guarded by wakeMutex_
+};
+
+} // namespace sc
+
+#endif // SPARSECORE_COMMON_THREAD_POOL_HH

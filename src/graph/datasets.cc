@@ -1,11 +1,18 @@
 #include "graph/datasets.hh"
 
 #include <map>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "graph/generators.hh"
 
 namespace sc::graph {
+
+namespace {
+/** Guards the memoization caches: benchmark sweep points run on the
+ *  host pool and may load datasets concurrently. */
+std::mutex cacheMutex;
+} // namespace
 
 const std::vector<GraphDataset> &
 graphDatasets()
@@ -49,9 +56,12 @@ const CsrGraph &
 loadGraph(const std::string &key)
 {
     static std::map<std::string, CsrGraph> cache;
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
 
     const GraphDataset &ds = graphDataset(key);
     // Seed derived from the key so every dataset is distinct but
@@ -62,6 +72,9 @@ loadGraph(const std::string &key)
     CsrGraph graph = generateChungLu(ds.numVertices, ds.numEdges,
                                      ds.maxDegree, ds.alpha, seed,
                                      ds.name);
+    // Generation is deterministic, so a racing loser's copy is
+    // identical; emplace keeps the first and map nodes are stable.
+    std::lock_guard<std::mutex> lock(cacheMutex);
     auto [pos, inserted] = cache.emplace(key, std::move(graph));
     (void)inserted;
     return pos->second;
@@ -73,15 +86,19 @@ loadLabeledGraph(const std::string &key, std::uint32_t num_labels)
     static std::map<std::string, LabeledGraph> cache;
     const std::string cache_key =
         key + "/" + std::to_string(num_labels);
-    auto it = cache.find(cache_key);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = cache.find(cache_key);
+        if (it != cache.end())
+            return it->second;
+    }
 
     std::uint64_t seed = 0x1abe1ed;
     for (char c : key)
         seed = seed * 131 + static_cast<unsigned char>(c);
     LabeledGraph labeled = LabeledGraph::withRandomLabels(
         loadGraph(key), num_labels, seed);
+    std::lock_guard<std::mutex> lock(cacheMutex);
     auto [pos, inserted] = cache.emplace(cache_key, std::move(labeled));
     (void)inserted;
     return pos->second;

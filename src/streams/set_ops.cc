@@ -6,6 +6,35 @@
 
 namespace sc::streams {
 
+namespace {
+
+/**
+ * Length ratio above which the longer operand's pointer advances by
+ * galloping (exponential search + binary search) instead of one
+ * element per step. The fast paths below are exact-cost rewrites:
+ * they reproduce the reference two-pointer / windowed-skip results
+ * bit for bit, only faster on the host.
+ */
+constexpr std::size_t gallopRatio = 32;
+
+/** First index >= from with s[index] >= target (exponential probe,
+ *  then binary search — O(log distance) instead of O(distance)). */
+std::size_t
+gallopLowerBound(KeySpan s, std::size_t from, Key target)
+{
+    std::size_t step = 1;
+    std::size_t lo = from;
+    while (lo + step < s.size() && s[lo + step] < target) {
+        lo += step;
+        step <<= 1;
+    }
+    const std::size_t hi = std::min(s.size(), lo + step + 1);
+    auto it = std::lower_bound(s.begin() + lo, s.begin() + hi, target);
+    return static_cast<std::size_t>(it - s.begin());
+}
+
+} // namespace
+
 const char *
 setOpName(SetOpKind kind)
 {
@@ -50,6 +79,27 @@ valueIntersect(KeySpan ak, ValueSpan av, KeySpan bk, ValueSpan bv,
     std::size_t i = 0, j = 0;
     SetOpResult res;
     while (i < ak.size() && j < bk.size()) {
+        // Galloping fast path for skewed operands: advancing the long
+        // side's pointer to the first key >= the short side's head is
+        // exactly what the two-pointer loop does one AdvanceA/AdvanceB
+        // step at a time, so charging one step per skipped element
+        // keeps the modeled cost (and every output) identical.
+        if (ak[i] != bk[j]) {
+            if (ak[i] < bk[j] &&
+                ak.size() - i >= gallopRatio * (bk.size() - j)) {
+                const std::size_t ni = gallopLowerBound(ak, i, bk[j]);
+                res.steps += ni - i;
+                i = ni;
+                continue;
+            }
+            if (bk[j] < ak[i] &&
+                bk.size() - j >= gallopRatio * (ak.size() - i)) {
+                const std::size_t nj = gallopLowerBound(bk, j, ak[i]);
+                res.steps += nj - j;
+                j = nj;
+                continue;
+            }
+        }
         ++res.steps;
         if (ak[i] == bk[j]) {
             if (match_pos_a)
@@ -141,6 +191,28 @@ suCost(KeySpan a, KeySpan b, SetOpKind kind, Key bound, unsigned width)
         const Key ka = a[i], kb = b[j];
         if (kind != SetOpKind::Merge && (ka >= bound || kb >= bound))
             break;
+        // Galloping fast path for skewed remainders. While the long
+        // side catches up to the short side's head, the reference
+        // loop advances that one pointer by at most `width` per cycle
+        // and nothing can break mid-skip (every skipped key is below
+        // the other head, which itself is below the bound), so the
+        // whole phase costs exactly ceil(distance / width) cycles.
+        if (ka != kb) {
+            if (ka < kb &&
+                a.size() - i >= gallopRatio * (b.size() - j)) {
+                const std::size_t t = gallopLowerBound(a, i, kb);
+                cycles += (t - i + width - 1) / width;
+                i = t;
+                continue;
+            }
+            if (kb < ka &&
+                b.size() - j >= gallopRatio * (a.size() - i)) {
+                const std::size_t t = gallopLowerBound(b, j, ka);
+                cycles += (t - j + width - 1) / width;
+                j = t;
+                continue;
+            }
+        }
         ++cycles;
         if (ka == kb) {
             // A match retires one element of each stream this cycle.
@@ -173,12 +245,13 @@ suCost(KeySpan a, KeySpan b, SetOpKind kind, Key bound, unsigned width)
         j = b.size();
     } else if (kind == SetOpKind::Subtract) {
         // Remaining elements of A below the bound stream to the output
-        // at `width` per cycle.
-        std::size_t left = 0;
-        for (std::size_t k = i; k < a.size() && a[k] < bound; ++k)
-            ++left;
-        cycles += (left + width - 1) / width;
-        i += left;
+        // at `width` per cycle; keys are sorted, so the count is a
+        // binary search away.
+        const std::size_t stop = static_cast<std::size_t>(
+            std::lower_bound(a.begin() + i, a.end(), bound) -
+            a.begin());
+        cycles += (stop - i + width - 1) / width;
+        i = stop;
     }
     return SuCost{cycles, i, j};
 }

@@ -186,6 +186,9 @@ const char *valueOpName(ValueOp op);
 /**
  * S_VINTER semantics: intersect keys, combine matching values, and
  * accumulate (sum of products for Mac; running max/min otherwise).
+ * When one operand's remainder is >= 32x the other's, the long side
+ * advances by galloping search; the returned value, work summary and
+ * match positions are identical to the two-pointer reference.
  * @param match_pos_a optional matched element positions in stream A
  *        (drives VA_gen value-address generation in the SVPU model)
  * @param match_pos_b same for stream B
@@ -220,6 +223,11 @@ struct SuCost
  * the other stream; a pointer may skip up to `width` elements per
  * cycle. Intersection emits at most one result per cycle; subtraction
  * and merge may emit several.
+ *
+ * Host-side fast paths (identical returned costs, faster to compute):
+ * heavily skewed remainders (>= 32x) advance by galloping search and
+ * charge ceil(distance/width) cycles analytically, and the Subtract
+ * tail below the bound is counted with one binary search.
  *
  * @param width SU comparator window (the paper's buffer is 16)
  */

@@ -1,12 +1,17 @@
 #include "tensor/tensor_datasets.hh"
 
 #include <map>
+#include <mutex>
 
 #include "common/logging.hh"
 
 namespace sc::tensor {
 
 namespace {
+
+/** Guards the memoization caches: benchmark sweep points run on the
+ *  host pool and may load datasets concurrently. */
+std::mutex cacheMutex;
 
 std::uint64_t
 seedFromKey(const std::string &key, std::uint64_t base)
@@ -60,13 +65,19 @@ const SparseMatrix &
 loadMatrix(const std::string &key)
 {
     static std::map<std::string, SparseMatrix> cache;
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
     const MatrixDataset &ds = matrixDataset(key);
     SparseMatrix m = generateMatrix(ds.rows, ds.cols, ds.nnz,
                                     ds.structure,
                                     seedFromKey(key, 0x7e45045), ds.name);
+    // Deterministic generation: a racing loser's copy is identical;
+    // emplace keeps the first and map nodes are stable.
+    std::lock_guard<std::mutex> lock(cacheMutex);
     auto [pos, inserted] = cache.emplace(key, std::move(m));
     (void)inserted;
     return pos->second;
@@ -97,12 +108,16 @@ const CsfTensor &
 loadTensor(const std::string &key)
 {
     static std::map<std::string, CsfTensor> cache;
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
     const TensorDataset &ds = tensorDataset(key);
     CsfTensor t = generateTensor(ds.dimI, ds.dimJ, ds.dimK, ds.nnz,
                                  seedFromKey(key, 0x7e4503), ds.name);
+    std::lock_guard<std::mutex> lock(cacheMutex);
     auto [pos, inserted] = cache.emplace(key, std::move(t));
     (void)inserted;
     return pos->second;

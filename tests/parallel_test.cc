@@ -2,15 +2,22 @@
  * @file
  * Tests for multi-core mining (Table 2: six cores): count
  * conservation across the root split, speedup over one core, load
- * balance, and the 4-motif application added on top of the paper's
- * app set.
+ * balance, the 4-motif application added on top of the paper's app
+ * set, and the host-parallel runtime (determinism across host thread
+ * counts, exception propagation, chunked load balance, wall-clock
+ * speedup).
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "api/machine.hh"
 #include "api/parallel.hh"
 #include "backend/functional_backend.hh"
+#include "common/parallel_for.hh"
+#include "graph/generators.hh"
 #include "gpm/executor.hh"
 #include "test_util.hh"
 
@@ -57,6 +64,120 @@ TEST(Parallel, RootRangeValidation)
     gpm::PlanExecutor executor(g, be);
     EXPECT_THROW(executor.setRootRange(4, 4), SimError);
     EXPECT_THROW(executor.setRootRange(0, 0), SimError);
+}
+
+TEST(HostParallel, DeterministicAcrossHostThreadCounts)
+{
+    // Byte-identical ParallelGpmResult whether the host pool has one
+    // thread (pure inline execution) or several: fixed chunk→core
+    // cycle attribution + ordered reduction.
+    ThreadPool one(1), many(4);
+    for (std::uint64_t seed : {41ull, 42ull}) {
+        const auto g = test::randomTestGraph(250, 2500, seed);
+        for (const gpm::GpmApp app : {gpm::GpmApp::T, gpm::GpmApp::C4}) {
+            HostOptions h1, hN;
+            h1.pool = &one;
+            hN.pool = &many;
+            const auto r1 =
+                mineParallelSparseCore(app, g, 6, {}, 1, h1);
+            const auto rN =
+                mineParallelSparseCore(app, g, 6, {}, 1, hN);
+            EXPECT_EQ(r1.embeddings, rN.embeddings);
+            EXPECT_EQ(r1.cycles, rN.cycles);
+            ASSERT_EQ(r1.perCore.size(), rN.perCore.size());
+            for (std::size_t c = 0; c < r1.perCore.size(); ++c)
+                EXPECT_EQ(r1.perCore[c], rN.perCore[c])
+                    << "core " << c << " seed " << seed;
+        }
+    }
+}
+
+TEST(HostParallel, LegacyChunkingMatchesPerCoreSplit)
+{
+    // chunksPerCore = 1 is exactly the legacy one-session-per-core
+    // split, so chunked runs must conserve the embedding count.
+    const auto g = test::randomTestGraph(300, 3000, 91);
+    HostOptions legacy;
+    legacy.chunksPerCore = 1;
+    HostOptions chunked;
+    chunked.chunksPerCore = 4;
+    const auto a =
+        mineParallelSparseCore(gpm::GpmApp::T, g, 6, {}, 1, legacy);
+    const auto b =
+        mineParallelSparseCore(gpm::GpmApp::T, g, 6, {}, 1, chunked);
+    EXPECT_EQ(a.embeddings, b.embeddings);
+    EXPECT_EQ(a.perCore.size(), b.perCore.size());
+}
+
+TEST(HostParallel, ExceptionFromSimulationTaskPropagates)
+{
+    // A panic inside a pool task (here: a plan with too few
+    // positions) must surface in the calling thread as SimError.
+    const auto g = test::randomTestGraph(50, 200, 17);
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        parallelFor(pool, 8,
+                    [&](std::size_t) {
+                        backend::FunctionalBackend be;
+                        gpm::PlanExecutor executor(g, be);
+                        gpm::MiningPlan bad;
+                        executor.run(bad);
+                    }),
+        SimError);
+}
+
+TEST(HostParallel, ChunkingBalancesSkewedGraph)
+{
+    // Regression: on a heavily skewed degree distribution the chunked
+    // split must not leave the simulated-core balance worse than the
+    // legacy per-core split, and must keep it well above the
+    // serialized-behind-one-core regime.
+    const auto g = graph::generateChungLu(600, 6000, 580, 1.6, 1234,
+                                          "skewed");
+    HostOptions legacy;
+    legacy.chunksPerCore = 1;
+    HostOptions chunked; // default K = 4
+    const auto coarse =
+        mineParallelSparseCore(gpm::GpmApp::T, g, 6, {}, 1, legacy);
+    const auto fine =
+        mineParallelSparseCore(gpm::GpmApp::T, g, 6, {}, 1, chunked);
+    EXPECT_EQ(coarse.embeddings, fine.embeddings);
+    EXPECT_GE(fine.balance(), coarse.balance() * 0.95);
+    EXPECT_GT(fine.balance(), 0.5);
+}
+
+TEST(HostParallel, WallClockSpeedupWithFourThreads)
+{
+    // Acceptance: >= 2x host wall-clock speedup on a multi-core
+    // mining run with >= 4 host threads vs the 1-thread path. Only
+    // meaningful on hosts that actually have >= 4 hardware threads.
+    if (std::thread::hardware_concurrency() < 4)
+        GTEST_SKIP() << "needs >= 4 hardware threads, have "
+                     << std::thread::hardware_concurrency();
+
+    const auto g = test::randomTestGraph(500, 8000, 7);
+    ThreadPool one(1), four(4);
+    HostOptions h1, h4;
+    h1.pool = &one;
+    h4.pool = &four;
+    // Warm up caches / page in the graph.
+    mineParallelSparseCore(gpm::GpmApp::T, g, 6, {}, 1, h1);
+
+    const auto time_run = [&](const HostOptions &h) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto r =
+            mineParallelSparseCore(gpm::GpmApp::C4, g, 6, {}, 1, h);
+        const double s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        return std::make_pair(r, s);
+    };
+    const auto [r1, t1] = time_run(h1);
+    const auto [r4, t4] = time_run(h4);
+    EXPECT_EQ(r1.embeddings, r4.embeddings);
+    EXPECT_EQ(r1.cycles, r4.cycles);
+    EXPECT_GE(t1 / t4, 2.0)
+        << "1-thread " << t1 << " s vs 4-thread " << t4 << " s";
 }
 
 TEST(FourMotif, MatchesBruteForce)

@@ -262,6 +262,176 @@ TEST_P(SetOpsProperty, SuCostBoundedNeverSlower)
     }
 }
 
+namespace {
+
+/** Two-pointer reference for valueIntersect (no galloping). */
+Value
+valueIntersectReference(KeySpan ak, ValueSpan av, KeySpan bk,
+                        ValueSpan bv, ValueOp op, SetOpResult *work,
+                        std::vector<std::uint32_t> *pos_a,
+                        std::vector<std::uint32_t> *pos_b)
+{
+    Value acc = 0.0;
+    bool first = true;
+    std::size_t i = 0, j = 0;
+    SetOpResult res;
+    while (i < ak.size() && j < bk.size()) {
+        ++res.steps;
+        if (ak[i] == bk[j]) {
+            if (pos_a)
+                pos_a->push_back(static_cast<std::uint32_t>(i));
+            if (pos_b)
+                pos_b->push_back(static_cast<std::uint32_t>(j));
+            const Value product = av[i] * bv[j];
+            switch (op) {
+              case ValueOp::Mac:
+                acc += product;
+                break;
+              case ValueOp::MaxAcc:
+                acc = first ? product : std::max(acc, product);
+                break;
+              case ValueOp::MinAcc:
+                acc = first ? product : std::min(acc, product);
+                break;
+            }
+            first = false;
+            ++res.count;
+            ++i;
+            ++j;
+        } else if (ak[i] < bk[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    res.aConsumed = i;
+    res.bConsumed = j;
+    if (work)
+        *work = res;
+    return acc;
+}
+
+/** Windowed-skip reference for suCost (no galloping, linear tail). */
+SuCost
+suCostReference(KeySpan a, KeySpan b, SetOpKind kind, Key bound,
+                unsigned width)
+{
+    Cycles cycles = 0;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        const Key ka = a[i], kb = b[j];
+        if (kind != SetOpKind::Merge && (ka >= bound || kb >= bound))
+            break;
+        ++cycles;
+        if (ka == kb) {
+            ++i;
+            ++j;
+            continue;
+        }
+        if (ka < kb) {
+            const std::size_t limit = std::min(a.size(), i + width);
+            auto it = std::lower_bound(a.begin() + i,
+                                       a.begin() + limit, kb);
+            i = static_cast<std::size_t>(it - a.begin());
+        } else {
+            const std::size_t limit = std::min(b.size(), j + width);
+            auto it = std::lower_bound(b.begin() + j,
+                                       b.begin() + limit, ka);
+            j = static_cast<std::size_t>(it - b.begin());
+        }
+    }
+    if (kind == SetOpKind::Merge) {
+        const std::size_t left = (a.size() - i) + (b.size() - j);
+        cycles += (left + width - 1) / width;
+        i = a.size();
+        j = b.size();
+    } else if (kind == SetOpKind::Subtract) {
+        std::size_t left = 0;
+        for (std::size_t k = i; k < a.size() && a[k] < bound; ++k)
+            ++left;
+        cycles += (left + width - 1) / width;
+        i += left;
+    }
+    return SuCost{cycles, i, j};
+}
+
+std::vector<Value>
+randomValues(Rng &rng, std::size_t n)
+{
+    std::vector<Value> v(n);
+    for (auto &x : v)
+        x = static_cast<Value>(rng.below(1000)) / 10.0 + 0.5;
+    return v;
+}
+
+} // namespace
+
+TEST_P(SetOpsProperty, GallopingValueIntersectMatchesReference)
+{
+    Rng rng(GetParam() ^ 0x9a110);
+    // Skewed operands: the short side is >= 32x shorter, so the
+    // galloping fast path engages. Also mix in a balanced pair where
+    // it must not change anything.
+    const struct
+    {
+        std::size_t na, nb;
+    } shapes[] = {{5, 400}, {12, 3000}, {300, 9600}, {64, 64}};
+    for (const auto &shape : shapes) {
+        const auto ak = sortedRandom(rng, shape.na, 10'000);
+        const auto bk = sortedRandom(rng, shape.nb, 10'000);
+        const auto av = randomValues(rng, ak.size());
+        const auto bv = randomValues(rng, bk.size());
+        for (auto op :
+             {ValueOp::Mac, ValueOp::MaxAcc, ValueOp::MinAcc}) {
+            SetOpResult work, ref_work;
+            std::vector<std::uint32_t> pa, pb, ref_pa, ref_pb;
+            const Value got = valueIntersect(ak, av, bk, bv, op,
+                                             &work, &pa, &pb);
+            const Value want = valueIntersectReference(
+                ak, av, bk, bv, op, &ref_work, &ref_pa, &ref_pb);
+            EXPECT_EQ(got, want);
+            EXPECT_EQ(work.count, ref_work.count);
+            EXPECT_EQ(work.steps, ref_work.steps);
+            EXPECT_EQ(work.aConsumed, ref_work.aConsumed);
+            EXPECT_EQ(work.bConsumed, ref_work.bConsumed);
+            EXPECT_EQ(pa, ref_pa);
+            EXPECT_EQ(pb, ref_pb);
+        }
+    }
+}
+
+TEST_P(SetOpsProperty, GallopingSuCostMatchesReference)
+{
+    Rng rng(GetParam() ^ 0x5ca10);
+    const struct
+    {
+        std::size_t na, nb;
+    } shapes[] = {{4, 500}, {2000, 30}, {10, 2048}, {128, 96}};
+    for (const auto &shape : shapes) {
+        const auto a = sortedRandom(rng, shape.na, 20'000);
+        const auto b = sortedRandom(rng, shape.nb, 20'000);
+        const Key bounds[] = {noBound,
+                              static_cast<Key>(rng.below(20'000)),
+                              static_cast<Key>(rng.below(500))};
+        for (auto kind : {SetOpKind::Intersect, SetOpKind::Subtract,
+                          SetOpKind::Merge}) {
+            for (Key bound : bounds) {
+                for (unsigned width : {1u, 4u, 16u}) {
+                    const auto got =
+                        suCost(a, b, kind, bound, width);
+                    const auto want =
+                        suCostReference(a, b, kind, bound, width);
+                    EXPECT_EQ(got.cycles, want.cycles)
+                        << setOpName(kind) << " bound " << bound
+                        << " width " << width;
+                    EXPECT_EQ(got.aConsumed, want.aConsumed);
+                    EXPECT_EQ(got.bConsumed, want.bConsumed);
+                }
+            }
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SetOpsProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
                                            55, 89));

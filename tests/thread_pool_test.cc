@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the host work-stealing thread pool: full index coverage,
+ * ordered parallel map, inline execution on a 1-thread pool,
+ * reentrancy (nested forEach), exception propagation from tasks, and
+ * SC_HOST_THREADS parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/parallel_for.hh"
+#include "common/thread_pool.hh"
+
+using namespace sc;
+
+TEST(ThreadPool, ForEachCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 10'000;
+    std::vector<std::atomic<unsigned>> hits(n);
+    parallelFor(pool, n, [&](std::size_t i) { ++hits[i]; }, 64);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder)
+{
+    ThreadPool pool(3);
+    const auto out = parallelMap<std::size_t>(
+        pool, 500, [](std::size_t i) { return i * i; }, 7);
+    ASSERT_EQ(out.size(), 500u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.numThreads(), 1u);
+    const auto caller = std::this_thread::get_id();
+    parallelFor(pool, 32, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ThreadPool, NestedForEachDoesNotDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<std::uint64_t> sum{0};
+    parallelFor(pool, 8, [&](std::size_t i) {
+        parallelFor(pool, 16,
+                    [&](std::size_t j) { sum += i * 16 + j; });
+    });
+    // Sum over [0, 128).
+    EXPECT_EQ(sum.load(), 128u * 127u / 2);
+}
+
+TEST(ThreadPool, ExceptionFromTaskPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        parallelFor(pool, 100,
+                    [](std::size_t i) {
+                        if (i == 37)
+                            panic("task failure at %zu", i);
+                    }),
+        SimError);
+    // The pool survives a failed loop and runs the next one.
+    std::atomic<unsigned> ran{0};
+    parallelFor(pool, 10, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 10u);
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoop)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    parallelFor(pool, 0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvVar)
+{
+    const char *saved = std::getenv("SC_HOST_THREADS");
+    const std::string saved_value = saved ? saved : "";
+
+    setenv("SC_HOST_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultNumThreads(), 3u);
+    setenv("SC_HOST_THREADS", "bogus", 1);
+    EXPECT_GE(ThreadPool::defaultNumThreads(), 1u);
+
+    if (saved)
+        setenv("SC_HOST_THREADS", saved_value.c_str(), 1);
+    else
+        unsetenv("SC_HOST_THREADS");
+}
+
+TEST(ThreadPool, SubmittedTasksAllRun)
+{
+    std::atomic<unsigned> ran{0};
+    {
+        ThreadPool pool(4);
+        for (unsigned i = 0; i < 64; ++i)
+            pool.submit([&ran] { ++ran; });
+        // Destructor drains the queues before joining.
+    }
+    EXPECT_EQ(ran.load(), 64u);
+}
