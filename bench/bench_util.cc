@@ -6,6 +6,7 @@
 #include "backend/functional_backend.hh"
 #include "common/logging.hh"
 #include "gpm/executor.hh"
+#include "trace/recorder.hh"
 
 namespace sc::bench {
 
@@ -50,6 +51,20 @@ autoStride(const graph::CsrGraph &g, gpm::GpmApp app,
         full_work / static_cast<double>(target_elements);
     return static_cast<unsigned>(
         std::min<double>(stride + 1.0, g.numVertices() / 8.0 + 1.0));
+}
+
+trace::Trace
+captureGpmTrace(const graph::CsrGraph &g,
+                const std::vector<gpm::MiningPlan> &plans,
+                unsigned root_stride, std::uint64_t *embeddings)
+{
+    trace::TraceRecorder recorder;
+    gpm::PlanExecutor executor(g, recorder);
+    executor.setRootStride(root_stride);
+    const auto run = executor.runMany(plans);
+    if (embeddings)
+        *embeddings = run.embeddings;
+    return recorder.takeTrace();
 }
 
 void

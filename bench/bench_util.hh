@@ -21,6 +21,7 @@
 #include "common/table.hh"
 #include "graph/datasets.hh"
 #include "gpm/apps.hh"
+#include "trace/trace.hh"
 
 namespace sc::bench {
 
@@ -41,6 +42,17 @@ unsigned autoStride(const graph::CsrGraph &g, gpm::GpmApp app,
 
 /** Print the table plus a CSV block for downstream plotting. */
 void emitTable(const Table &table);
+
+/**
+ * Capture one (plans, graph, stride) GPM run's event trace. Sweep
+ * ladders (substrates, SU counts, bandwidths) replay the returned
+ * trace instead of re-executing the functional enumeration per
+ * configuration — the expensive part of a sweep point is paid once.
+ */
+trace::Trace captureGpmTrace(const graph::CsrGraph &g,
+                             const std::vector<gpm::MiningPlan> &plans,
+                             unsigned root_stride,
+                             std::uint64_t *embeddings = nullptr);
 
 /** steady_clock stopwatch for host wall-clock reporting. */
 class WallTimer

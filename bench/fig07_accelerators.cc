@@ -16,6 +16,7 @@
 #include "baselines/triejax.hh"
 #include "bench_util.hh"
 #include "gpm/isomorphism.hh"
+#include "trace/replay.hh"
 
 int
 main()
@@ -47,33 +48,31 @@ main()
                 const std::string &key = keys[p];
                 const graph::CsrGraph &g = graph::loadGraph(key);
                 const unsigned stride = bench::autoStride(g, app);
+                const trace::Trace tr =
+                    bench::captureGpmTrace(g, plans, stride);
 
                 backend::SparseCoreBackend sc_be(config);
-                gpm::PlanExecutor sc_exec(g, sc_be);
-                sc_exec.setRootStride(stride);
-                const auto sc_res = sc_exec.runMany(plans);
+                const Cycles sc_cycles =
+                    trace::replay(tr, sc_be).cycles;
 
                 baselines::FlexMinerBackend fm;
-                gpm::PlanExecutor fm_exec(g, fm);
-                fm_exec.setRootStride(stride);
-                const auto fm_res = fm_exec.runMany(plans);
+                const Cycles fm_cycles = trace::replay(tr, fm).cycles;
 
                 std::string tj_cell = "n/a (vertex-induced)";
                 if (triejax_supported) {
                     baselines::TrieJaxBackend tj(redundancy,
                                                  g.numEdgeSlots());
-                    gpm::PlanExecutor tj_exec(g, tj);
-                    tj_exec.setRootStride(stride);
-                    const auto tj_res = tj_exec.runMany(plans);
+                    const Cycles tj_cycles =
+                        trace::replay(tr, tj).cycles;
                     tj_cell = Table::speedup(
-                        static_cast<double>(tj_res.cycles) /
-                        static_cast<double>(sc_res.cycles), 1);
+                        static_cast<double>(tj_cycles) /
+                        static_cast<double>(sc_cycles), 1);
                 }
                 return Row{
                     key + (stride > 1 ? "*" : ""),
-                    std::to_string(sc_res.cycles),
-                    Table::speedup(static_cast<double>(fm_res.cycles) /
-                                   static_cast<double>(sc_res.cycles)),
+                    std::to_string(sc_cycles),
+                    Table::speedup(static_cast<double>(fm_cycles) /
+                                   static_cast<double>(sc_cycles)),
                     tj_cell};
             });
         Table table({"graph", "sc cycles", "vs flexminer",
@@ -93,18 +92,14 @@ main()
             const graph::CsrGraph &g = graph::loadGraph(key);
             const unsigned stride =
                 bench::autoStride(g, gpm::GpmApp::TM);
+            const trace::Trace tr = bench::captureGpmTrace(
+                g, gpm::gpmAppPlans(gpm::GpmApp::TM), stride);
 
             backend::SparseCoreBackend sc_be(config);
-            gpm::PlanExecutor sc_exec(g, sc_be);
-            sc_exec.setRootStride(stride);
-            const auto sc_res =
-                sc_exec.runMany(gpm::gpmAppPlans(gpm::GpmApp::TM));
+            const Cycles sc_cycles = trace::replay(tr, sc_be).cycles;
 
             backend::CpuBackend cpu;
-            gpm::PlanExecutor cpu_exec(g, cpu);
-            cpu_exec.setRootStride(stride);
-            const auto cpu_res =
-                cpu_exec.runMany(gpm::gpmAppPlans(gpm::GpmApp::TM));
+            const Cycles cpu_cycles = trace::replay(tr, cpu).cycles;
 
             // GRAMER explores the whole graph; scale to the sampled
             // fraction for a like-for-like ratio.
@@ -115,9 +110,9 @@ main()
                 key + (stride > 1 ? "*" : ""),
                 std::to_string(static_cast<std::uint64_t>(scaled)),
                 Table::speedup(
-                    scaled / static_cast<double>(sc_res.cycles), 1),
+                    scaled / static_cast<double>(sc_cycles), 1),
                 Table::speedup(
-                    scaled / static_cast<double>(cpu_res.cycles), 1)};
+                    scaled / static_cast<double>(cpu_cycles), 1)};
         });
     Table gt({"graph", "gramer cycles", "vs sparsecore(TM)",
               "vs cpu(TM)"});

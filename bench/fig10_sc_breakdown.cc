@@ -1,13 +1,31 @@
 /**
  * @file
  * Figure 10: SparseCore execution-cycle breakdown for TC, TM, TS, T,
- * 4C, 5C, 4CS, 5CS, TT on all ten graphs.
+ * 4C, 5C, 4CS, 5CS, TT on all ten graphs. The (app, graph) points are
+ * independent and run concurrently on the host pool.
  */
 
-#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "api/machine.hh"
 #include "bench_util.hh"
+
+namespace {
+
+std::vector<std::string>
+breakdownRow(const std::string &label, const sc::sim::CycleBreakdown &bd)
+{
+    using sc::Table;
+    using sc::sim::CycleClass;
+    return {label,
+            Table::num(100 * bd.fraction(CycleClass::Cache), 1),
+            Table::num(100 * bd.fraction(CycleClass::Mispredict), 1),
+            Table::num(100 * bd.fraction(CycleClass::OtherCompute), 1),
+            Table::num(100 * bd.fraction(CycleClass::Intersection), 1)};
+}
+
+} // namespace
 
 int
 main()
@@ -17,34 +35,28 @@ main()
     api::Machine machine;
     bench::printHeader("Figure 10", "SparseCore execution breakdown",
                        machine.config());
+    bench::BenchReport report("fig10");
 
     const std::vector<GpmApp> apps = {
         GpmApp::TC, GpmApp::TM, GpmApp::TS,  GpmApp::T,  GpmApp::C4,
         GpmApp::C5, GpmApp::C4S, GpmApp::C5S, GpmApp::TT};
     for (const GpmApp app : apps) {
+        const auto keys = graph::allGraphKeys();
+        using Row = std::vector<std::string>;
+        const auto rows = bench::runPoints<Row>(
+            keys.size(), [&](std::size_t p) {
+                const std::string &key = keys[p];
+                const graph::CsrGraph &g = graph::loadGraph(key);
+                const unsigned stride = bench::autoStride(g, app);
+                const auto res = machine.mineSparseCore(app, g, stride);
+                return breakdownRow(key + (stride > 1 ? "*" : ""),
+                                    res.breakdown);
+            });
         Table table({"graph", "Cache%", "Mispred%", "OtherComp%",
                      "Intersection%"});
-        for (const auto &key : graph::allGraphKeys()) {
-            const graph::CsrGraph &g = graph::loadGraph(key);
-            const unsigned stride = bench::autoStride(g, app);
-            const auto res = machine.mineSparseCore(app, g, stride);
-            const auto &bd = res.breakdown;
-            table.addRow(
-                {key + (stride > 1 ? "*" : ""),
-                 Table::num(100 * bd.fraction(sim::CycleClass::Cache),
-                            1),
-                 Table::num(
-                     100 * bd.fraction(sim::CycleClass::Mispredict),
-                     1),
-                 Table::num(
-                     100 * bd.fraction(sim::CycleClass::OtherCompute),
-                     1),
-                 Table::num(
-                     100 * bd.fraction(sim::CycleClass::Intersection),
-                     1)});
-        }
-        std::printf("--- %s ---\n", gpm::gpmAppName(app));
-        bench::emitTable(table);
+        for (const Row &row : rows)
+            table.addRow(row);
+        report.emit(gpm::gpmAppName(app), table);
     }
     return 0;
 }

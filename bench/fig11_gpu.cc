@@ -2,15 +2,21 @@
  * @file
  * Figure 11: SparseCore (with symmetry breaking) vs GPU
  * implementations with and without symmetry breaking, for T, 4C, 5C,
- * TT, TC, TM on B, E, F, W, M, Y (log scale in the paper).
+ * TT, TC, TM on B, E, F, W, M, Y (log scale in the paper). Each
+ * (app, graph) point captures its event trace once and replays it
+ * onto the three substrates; points run concurrently on the host
+ * pool.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "backend/sparsecore_backend.hh"
 #include "baselines/gpu_model.hh"
 #include "bench_util.hh"
 #include "gpm/isomorphism.hh"
+#include "trace/replay.hh"
 
 int
 main()
@@ -22,6 +28,7 @@ main()
     bench::printHeader(
         "Figure 11",
         "speedup vs GPU (K40m model; SparseCore at 1 GHz)", config);
+    bench::BenchReport report("fig11");
 
     const std::vector<GpmApp> apps = {GpmApp::T,  GpmApp::C4,
                                       GpmApp::C5, GpmApp::TT,
@@ -32,38 +39,38 @@ main()
         const auto plans = gpm::gpmAppPlans(app);
         const unsigned redundancy = static_cast<unsigned>(
             gpm::automorphisms(plans.front().pattern).size());
+        using Row = std::vector<std::string>;
+        const auto rows = bench::runPoints<Row>(
+            keys.size(), [&](std::size_t p) {
+                const std::string &key = keys[p];
+                const graph::CsrGraph &g = graph::loadGraph(key);
+                const unsigned stride = bench::autoStride(g, app);
+                const trace::Trace tr =
+                    bench::captureGpmTrace(g, plans, stride);
+
+                backend::SparseCoreBackend sc_be(config);
+                const Cycles sc_cycles =
+                    trace::replay(tr, sc_be).cycles;
+
+                baselines::GpuBackend gpu_with(true, redundancy);
+                const Cycles gw = trace::replay(tr, gpu_with).cycles;
+
+                baselines::GpuBackend gpu_without(false, redundancy);
+                const Cycles gwo =
+                    trace::replay(tr, gpu_without).cycles;
+
+                return Row{
+                    key + (stride > 1 ? "*" : ""),
+                    Table::speedup(static_cast<double>(gwo) /
+                                   static_cast<double>(sc_cycles), 1),
+                    Table::speedup(static_cast<double>(gw) /
+                                   static_cast<double>(sc_cycles), 1)};
+            });
         Table table({"graph", "vs GPU w/o breaking",
                      "vs GPU w. breaking"});
-        for (const auto &key : keys) {
-            const graph::CsrGraph &g = graph::loadGraph(key);
-            const unsigned stride = bench::autoStride(g, app);
-
-            backend::SparseCoreBackend sc_be(config);
-            gpm::PlanExecutor sc_exec(g, sc_be);
-            sc_exec.setRootStride(stride);
-            const auto sc_res = sc_exec.runMany(plans);
-
-            baselines::GpuBackend gpu_with(true, redundancy);
-            gpm::PlanExecutor gw_exec(g, gpu_with);
-            gw_exec.setRootStride(stride);
-            const auto gw = gw_exec.runMany(plans);
-
-            baselines::GpuBackend gpu_without(false, redundancy);
-            gpm::PlanExecutor gwo_exec(g, gpu_without);
-            gwo_exec.setRootStride(stride);
-            const auto gwo = gwo_exec.runMany(plans);
-
-            table.addRow(
-                {key + (stride > 1 ? "*" : ""),
-                 Table::speedup(static_cast<double>(gwo.cycles) /
-                                static_cast<double>(sc_res.cycles),
-                                1),
-                 Table::speedup(static_cast<double>(gw.cycles) /
-                                static_cast<double>(sc_res.cycles),
-                                1)});
-        }
-        std::printf("--- %s ---\n", gpm::gpmAppName(app));
-        bench::emitTable(table);
+        for (const Row &row : rows)
+            table.addRow(row);
+        report.emit(gpm::gpmAppName(app), table);
     }
     std::printf("GPU model calibrated to the paper's profiled 4.4%% "
                 "warp / 13%% bandwidth utilization (see "

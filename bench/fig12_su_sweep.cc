@@ -2,7 +2,8 @@
  * @file
  * Figure 12: SparseCore speedup (vs the 1-SU configuration) with 1,
  * 2, 4, 8, 16 SUs, for all nine GPM apps on B, E, F, W. Each (app,
- * graph) point runs its SU ladder independently on the host pool.
+ * graph) point captures its event trace once and replays it across
+ * the SU ladder independently on the host pool.
  */
 
 #include <cstdio>
@@ -11,6 +12,7 @@
 
 #include "backend/sparsecore_backend.hh"
 #include "bench_util.hh"
+#include "trace/replay.hh"
 
 int
 main()
@@ -31,20 +33,20 @@ main()
                 const graph::CsrGraph &g = graph::loadGraph(key);
                 const unsigned stride =
                     bench::autoStride(g, app, 8'000'000);
+                const trace::Trace tr =
+                    bench::captureGpmTrace(g, plans, stride);
                 Row row = {key + (stride > 1 ? "*" : "")};
                 Cycles one_su = 0;
                 for (const unsigned sus : su_counts) {
                     arch::SparseCoreConfig config = base;
                     config.numSus = sus;
                     backend::SparseCoreBackend be(config);
-                    gpm::PlanExecutor exec(g, be);
-                    exec.setRootStride(stride);
-                    const auto res = exec.runMany(plans);
+                    const Cycles cyc = trace::replay(tr, be).cycles;
                     if (sus == 1)
-                        one_su = res.cycles;
+                        one_su = cyc;
                     row.push_back(Table::speedup(
                         static_cast<double>(one_su) /
-                        static_cast<double>(res.cycles)));
+                        static_cast<double>(cyc)));
                 }
                 return row;
             });

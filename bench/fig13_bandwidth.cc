@@ -2,13 +2,17 @@
  * @file
  * Figure 13: SparseCore speedup (vs 2 elements/cycle) with aggregated
  * S-Cache + scratchpad bandwidth of 2, 4, 8, 16, 32, 64
- * elements/cycle, for all nine GPM apps on B, E, F, W.
+ * elements/cycle, for all nine GPM apps on B, E, F, W. Each (app,
+ * graph) point captures its event trace once and replays it across
+ * the bandwidth ladder; points run concurrently on the host pool.
  */
 
-#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "backend/sparsecore_backend.hh"
 #include "bench_util.hh"
+#include "trace/replay.hh"
 
 int
 main()
@@ -17,36 +21,41 @@ main()
     arch::SparseCoreConfig base;
     bench::printHeader("Figure 13",
                        "varying aggregated S-Cache bandwidth", base);
+    bench::BenchReport report("fig13");
 
     const std::vector<unsigned> bandwidths = {2, 4, 8, 16, 32, 64};
     for (const gpm::GpmApp app : gpm::allGpmApps()) {
         const auto plans = gpm::gpmAppPlans(app);
+        const auto keys = graph::smallGraphKeys();
+        using Row = std::vector<std::string>;
+        const auto rows = bench::runPoints<Row>(
+            keys.size(), [&](std::size_t p) {
+                const std::string &key = keys[p];
+                const graph::CsrGraph &g = graph::loadGraph(key);
+                const unsigned stride =
+                    bench::autoStride(g, app, 8'000'000);
+                const trace::Trace tr =
+                    bench::captureGpmTrace(g, plans, stride);
+                Row row = {key + (stride > 1 ? "*" : "")};
+                Cycles slowest = 0;
+                for (const unsigned bw : bandwidths) {
+                    arch::SparseCoreConfig config = base;
+                    config.aggregateBandwidth = bw;
+                    backend::SparseCoreBackend be(config);
+                    const Cycles cyc = trace::replay(tr, be).cycles;
+                    if (bw == 2)
+                        slowest = cyc;
+                    row.push_back(Table::speedup(
+                        static_cast<double>(slowest) /
+                        static_cast<double>(cyc)));
+                }
+                return row;
+            });
         Table table({"graph", "2/cyc", "4/cyc", "8/cyc", "16/cyc",
                      "32/cyc", "64/cyc"});
-        for (const auto &key : graph::smallGraphKeys()) {
-            const graph::CsrGraph &g = graph::loadGraph(key);
-            const unsigned stride =
-                bench::autoStride(g, app, 8'000'000);
-            std::vector<std::string> row = {
-                key + (stride > 1 ? "*" : "")};
-            Cycles slowest = 0;
-            for (const unsigned bw : bandwidths) {
-                arch::SparseCoreConfig config = base;
-                config.aggregateBandwidth = bw;
-                backend::SparseCoreBackend be(config);
-                gpm::PlanExecutor exec(g, be);
-                exec.setRootStride(stride);
-                const auto res = exec.runMany(plans);
-                if (bw == 2)
-                    slowest = res.cycles;
-                row.push_back(Table::speedup(
-                    static_cast<double>(slowest) /
-                    static_cast<double>(res.cycles)));
-            }
-            table.addRow(std::move(row));
-        }
-        std::printf("--- %s ---\n", gpm::gpmAppName(app));
-        bench::emitTable(table);
+        for (const Row &row : rows)
+            table.addRow(row);
+        report.emit(gpm::gpmAppName(app), table);
     }
     return 0;
 }

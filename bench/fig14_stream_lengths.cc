@@ -3,10 +3,12 @@
  * Figure 14: stream-length distributions. Left: CDF of operand
  * stream lengths per application on email-eu-core. Right: triangle
  * counting's stream-length CDF on every dataset (cut at 500, as in
- * the paper).
+ * the paper). Points are independent and run concurrently on the
+ * host pool.
  */
 
-#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "backend/functional_backend.hh"
 #include "bench_util.hh"
@@ -35,58 +37,68 @@ main()
     arch::SparseCoreConfig config;
     bench::printHeader("Figure 14", "stream length distributions",
                        config);
+    bench::BenchReport report("fig14");
 
     const std::vector<unsigned> points = {4,  8,  16,  32, 64,
                                           96, 128, 192, 256, 384};
+    using Row = std::vector<std::string>;
 
     // Left: apps on email-eu-core (E).
-    std::printf("--- CDF of stream lengths by app, graph E ---\n");
     {
+        const std::vector<GpmApp> apps = {GpmApp::T,  GpmApp::TM,
+                                          GpmApp::TC, GpmApp::C4,
+                                          GpmApp::C5, GpmApp::TT};
+        const graph::CsrGraph &e = graph::loadGraph("E");
+        const auto rows = bench::runPoints<Row>(
+            apps.size(), [&](std::size_t p) {
+                const GpmApp app = apps[p];
+                backend::FunctionalBackend be;
+                const auto &hist =
+                    collect(be, app, e, bench::autoStride(e, app));
+                Row row = {gpm::gpmAppName(app)};
+                for (unsigned cut : points)
+                    row.push_back(Table::num(hist.cdfAt(cut), 3));
+                return row;
+            });
         std::vector<std::string> header = {"app"};
         for (unsigned p : points)
             header.push_back("<=" + std::to_string(p));
         Table table(header);
-        const graph::CsrGraph &e = graph::loadGraph("E");
-        for (const GpmApp app :
-             {GpmApp::T, GpmApp::TM, GpmApp::TC, GpmApp::C4,
-              GpmApp::C5, GpmApp::TT}) {
-            backend::FunctionalBackend be;
-            const auto &hist =
-                collect(be, app, e, bench::autoStride(e, app));
-            std::vector<std::string> row = {gpm::gpmAppName(app)};
-            for (unsigned p : points)
-                row.push_back(Table::num(hist.cdfAt(p), 3));
-            table.addRow(std::move(row));
-        }
-        bench::emitTable(table);
+        for (const Row &row : rows)
+            table.addRow(row);
+        report.emit("CDF of stream lengths by app, graph E", table);
     }
 
     // Right: triangle counting across all datasets, cut at 500.
-    std::printf("--- CDF of stream lengths for T, all graphs "
-                "(cut at 500) ---\n");
     {
+        const auto keys = graph::allGraphKeys();
+        const auto rows = bench::runPoints<Row>(
+            keys.size(), [&](std::size_t p) {
+                const std::string &key = keys[p];
+                const graph::CsrGraph &g = graph::loadGraph(key);
+                const unsigned stride =
+                    bench::autoStride(g, GpmApp::T);
+                backend::FunctionalBackend be;
+                const auto &hist = collect(be, GpmApp::T, g, stride);
+                Row row = {key + (stride > 1 ? "*" : ""),
+                           Table::num(hist.mean(), 1),
+                           std::to_string(hist.percentile(0.5)),
+                           std::to_string(hist.percentile(0.9)),
+                           std::to_string(hist.percentile(0.99))};
+                for (unsigned cut : {16u, 64u, 256u, 500u})
+                    row.push_back(Table::num(hist.cdfAt(cut), 3));
+                return row;
+            });
         std::vector<std::string> header = {"graph", "mean", "p50",
                                            "p90", "p99"};
         for (unsigned p : {16u, 64u, 256u, 500u})
             header.push_back("<=" + std::to_string(p));
         Table table(header);
-        for (const auto &key : graph::allGraphKeys()) {
-            const graph::CsrGraph &g = graph::loadGraph(key);
-            const unsigned stride =
-                bench::autoStride(g, GpmApp::T);
-            backend::FunctionalBackend be;
-            const auto &hist = collect(be, GpmApp::T, g, stride);
-            std::vector<std::string> row = {
-                key + (stride > 1 ? "*" : ""),
-                Table::num(hist.mean(), 1),
-                std::to_string(hist.percentile(0.5)),
-                std::to_string(hist.percentile(0.9)),
-                std::to_string(hist.percentile(0.99))};
-            for (unsigned p : {16u, 64u, 256u, 500u})
-                row.push_back(Table::num(hist.cdfAt(p), 3));
-            table.addRow(std::move(row));
-        }
-        bench::emitTable(table);
+        for (const Row &row : rows)
+            table.addRow(row);
+        report.emit(
+            "CDF of stream lengths for T, all graphs (cut at 500)",
+            table);
     }
     return 0;
 }

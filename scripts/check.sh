@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full local check: regular build + complete test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive suites
-# (thread pool, host-parallel mining, machine comparisons).
+# (thread pool, host-parallel mining, machine comparisons), then an
+# ASan+UBSan build running the trace capture/replay/serialization
+# suites (arena ownership and event-decoding bugs show up here).
 #
 # Usage: scripts/check.sh [build-dir-prefix]
 set -euo pipefail
@@ -20,6 +22,14 @@ cmake -B "${prefix}-tsan" -S . -DSPARSECORE_SANITIZE=thread >/dev/null
 cmake --build "${prefix}-tsan" -j"$(nproc)" --target sparsecore_tests
 "${prefix}-tsan/tests/sparsecore_tests" \
     --gtest_filter='ThreadPool.*:HostParallel.*:Parallel.*:Machine*.*'
+
+echo
+echo "=== ASan+UBSan build + trace/replay suites ==="
+cmake -B "${prefix}-asan" -S . \
+    -DSPARSECORE_SANITIZE=address,undefined >/dev/null
+cmake --build "${prefix}-asan" -j"$(nproc)" --target sparsecore_tests
+"${prefix}-asan/tests/sparsecore_tests" \
+    --gtest_filter='Trace*:Seeds/TraceReplay*'
 
 echo
 echo "All checks passed."

@@ -1,9 +1,13 @@
 #include "api/machine.hh"
 
+#include <chrono>
+
 #include "backend/cpu_backend.hh"
 #include "backend/sparsecore_backend.hh"
 #include "common/parallel_for.hh"
 #include "gpm/executor.hh"
+#include "trace/recorder.hh"
+#include "trace/replay.hh"
 
 namespace sc::api {
 
@@ -21,6 +25,53 @@ runBothSubstrates(FnA &&baseline, FnB &&accelerated)
     parallelInvoke(ThreadPool::global(),
                    std::forward<FnA>(baseline),
                    std::forward<FnB>(accelerated));
+}
+
+double
+secondsBetween(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+/**
+ * The capture-once/replay-twice comparison core: `capture` runs the
+ * workload functionally against a TraceRecorder and returns the
+ * functional result; the captured trace is then replayed onto the
+ * CPU baseline and SparseCore concurrently. One functional execution
+ * serves both substrates — the timing is bit-identical to running
+ * the workload directly on each backend (see tests/trace_test.cc).
+ */
+template <typename CaptureFn>
+Comparison
+compareViaTrace(const arch::SparseCoreConfig &config, CaptureFn &&capture)
+{
+    Comparison cmp;
+    const auto t0 = std::chrono::steady_clock::now();
+    trace::TraceRecorder recorder;
+    cmp.functionalResult = capture(recorder);
+    const trace::Trace tr = recorder.takeTrace();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    trace::ReplayResult cpu, sc;
+    runBothSubstrates(
+        [&] {
+            backend::CpuBackend be(config.core, config.mem);
+            cpu = trace::replay(tr, be);
+        },
+        [&] {
+            backend::SparseCoreBackend be(config);
+            sc = trace::replay(tr, be);
+        });
+    const auto t2 = std::chrono::steady_clock::now();
+
+    cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
+    cmp.accelerated = {"sparsecore", sc.cycles, sc.breakdown};
+    cmp.trace.events = tr.numEvents();
+    cmp.trace.arenaBytes = tr.arenaBytes();
+    cmp.trace.captureSeconds = secondsBetween(t0, t1);
+    cmp.trace.replaySeconds = secondsBetween(t1, t2);
+    return cmp;
 }
 
 } // namespace
@@ -53,43 +104,20 @@ Comparison
 Machine::compareGpm(gpm::GpmApp app, const graph::CsrGraph &g,
                     unsigned root_stride) const
 {
-    gpm::GpmRunResult cpu, sc;
-    runBothSubstrates(
-        [&] { cpu = mineCpu(app, g, root_stride); },
-        [&] { sc = mineSparseCore(app, g, root_stride); });
-    if (cpu.embeddings != sc.embeddings)
-        panic("substrates disagree on the embedding count: "
-              "%llu (cpu) vs %llu (sparsecore)",
-              static_cast<unsigned long long>(cpu.embeddings),
-              static_cast<unsigned long long>(sc.embeddings));
-    Comparison cmp;
-    cmp.functionalResult = sc.embeddings;
-    cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
-    cmp.accelerated = {"sparsecore", sc.cycles, sc.breakdown};
-    return cmp;
+    return compareViaTrace(config_, [&](trace::TraceRecorder &rec) {
+        gpm::PlanExecutor executor(g, rec);
+        executor.setRootStride(root_stride);
+        return executor.runMany(gpm::gpmAppPlans(app)).embeddings;
+    });
 }
 
 Comparison
 Machine::compareFsm(const graph::LabeledGraph &g,
                     std::uint64_t min_support) const
 {
-    gpm::FsmResult cpu, sc;
-    runBothSubstrates(
-        [&] {
-            backend::CpuBackend be(config_.core, config_.mem);
-            cpu = gpm::runFsm(g, be, min_support);
-        },
-        [&] {
-            backend::SparseCoreBackend be(config_);
-            sc = gpm::runFsm(g, be, min_support);
-        });
-    if (cpu.totalFrequent() != sc.totalFrequent())
-        panic("substrates disagree on FSM results");
-    Comparison cmp;
-    cmp.functionalResult = sc.totalFrequent();
-    cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
-    cmp.accelerated = {"sparsecore", sc.cycles, sc.breakdown};
-    return cmp;
+    return compareViaTrace(config_, [&](trace::TraceRecorder &rec) {
+        return gpm::runFsm(g, rec, min_support).totalFrequent();
+    });
 }
 
 kernels::TensorRunResult
@@ -119,57 +147,28 @@ Machine::compareSpmspm(const tensor::SparseMatrix &a,
                        kernels::SpmspmAlgorithm algorithm,
                        unsigned stride) const
 {
-    kernels::TensorRunResult cpu, sc;
-    runBothSubstrates(
-        [&] { cpu = spmspmCpu(a, b, algorithm, stride); },
-        [&] { sc = spmspmSparseCore(a, b, algorithm, stride); });
-    Comparison cmp;
-    cmp.functionalResult = sc.valueOps;
-    cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
-    cmp.accelerated = {"sparsecore", sc.cycles, sc.breakdown};
-    return cmp;
+    return compareViaTrace(config_, [&](trace::TraceRecorder &rec) {
+        return kernels::runSpmspm(a, b, algorithm, rec, stride)
+            .valueOps;
+    });
 }
 
 Comparison
 Machine::compareTtv(const tensor::CsfTensor &a,
                     const std::vector<Value> &vec, unsigned stride) const
 {
-    kernels::TensorRunResult cpu, sc;
-    runBothSubstrates(
-        [&] {
-            backend::CpuBackend be(config_.core, config_.mem);
-            cpu = kernels::runTtv(a, vec, be, stride);
-        },
-        [&] {
-            backend::SparseCoreBackend be(config_);
-            sc = kernels::runTtv(a, vec, be, stride);
-        });
-    Comparison cmp;
-    cmp.functionalResult = sc.valueOps;
-    cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
-    cmp.accelerated = {"sparsecore", sc.cycles, sc.breakdown};
-    return cmp;
+    return compareViaTrace(config_, [&](trace::TraceRecorder &rec) {
+        return kernels::runTtv(a, vec, rec, stride).valueOps;
+    });
 }
 
 Comparison
 Machine::compareTtm(const tensor::CsfTensor &a,
                     const tensor::SparseMatrix &b, unsigned stride) const
 {
-    kernels::TensorRunResult cpu, sc;
-    runBothSubstrates(
-        [&] {
-            backend::CpuBackend be(config_.core, config_.mem);
-            cpu = kernels::runTtm(a, b, be, stride);
-        },
-        [&] {
-            backend::SparseCoreBackend be(config_);
-            sc = kernels::runTtm(a, b, be, stride);
-        });
-    Comparison cmp;
-    cmp.functionalResult = sc.valueOps;
-    cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
-    cmp.accelerated = {"sparsecore", sc.cycles, sc.breakdown};
-    return cmp;
+    return compareViaTrace(config_, [&](trace::TraceRecorder &rec) {
+        return kernels::runTtm(a, b, rec, stride).valueOps;
+    });
 }
 
 } // namespace sc::api

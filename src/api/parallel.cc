@@ -8,6 +8,8 @@
 #include "common/logging.hh"
 #include "common/parallel_for.hh"
 #include "gpm/executor.hh"
+#include "trace/recorder.hh"
+#include "trace/replay.hh"
 
 namespace sc::api {
 
@@ -20,37 +22,61 @@ struct ChunkRun
     Cycles cycles = 0;
 };
 
+void
+checkParallelArgs(unsigned num_cores, unsigned root_stride)
+{
+    if (num_cores == 0)
+        fatal("need at least one core");
+    if (root_stride == 0)
+        fatal("root stride must be positive");
+}
+
+/**
+ * Capture one root-loop chunk's event trace. Chunk m covers roots
+ * { (m + i*M) * root_stride } — the same interleaved split as the
+ * legacy per-core loop, just finer, so a heavy root region spreads
+ * over every simulated core AND over every host thread.
+ */
+gpm::GpmRunResult
+captureChunk(const std::vector<gpm::MiningPlan> &plans,
+             const graph::CsrGraph &g,
+             unsigned chunk, unsigned num_chunks, unsigned root_stride,
+             trace::TraceRecorder &recorder)
+{
+    gpm::PlanExecutor executor(g, recorder);
+    executor.setRootRange(chunk * root_stride,
+                          num_chunks * root_stride);
+    return executor.runMany(plans);
+}
+
 template <typename MakeBackend>
 ParallelGpmResult
 mineParallel(gpm::GpmApp app, const graph::CsrGraph &g,
              unsigned num_cores, unsigned root_stride,
              const HostOptions &host, MakeBackend &&make_backend)
 {
-    if (num_cores == 0)
-        fatal("need at least one core");
-    if (root_stride == 0)
-        fatal("root stride must be positive");
+    checkParallelArgs(num_cores, root_stride);
     const auto plans = gpm::gpmAppPlans(app);
     ThreadPool &pool = host.pool ? *host.pool : ThreadPool::global();
 
     // K * num_cores chunks, stolen dynamically by the host threads.
-    // Chunk m covers roots { (m + i*M) * root_stride } and is
-    // attributed to simulated core m % num_cores — the same
-    // interleaved split as the legacy per-core loop, just finer, so
-    // a heavy root region spreads over every simulated core AND over
-    // every host thread.
+    // Chunk m is attributed to simulated core m % num_cores. Each
+    // chunk captures its event trace once and replays it onto a
+    // private backend — the chunk outcome is a pure function of the
+    // chunk index, so the result is independent of host scheduling.
     const unsigned k = std::max(1u, host.chunksPerCore);
     const unsigned num_chunks = num_cores * k;
 
     const auto runs = parallelMap<ChunkRun>(
         pool, num_chunks, [&](std::size_t chunk) {
+            trace::TraceRecorder recorder;
+            const auto run =
+                captureChunk(plans, g, static_cast<unsigned>(chunk),
+                             num_chunks, root_stride, recorder);
+            const trace::Trace tr = recorder.takeTrace();
             auto backend = make_backend();
-            gpm::PlanExecutor executor(g, *backend);
-            executor.setRootRange(
-                static_cast<unsigned>(chunk) * root_stride,
-                num_chunks * root_stride);
-            const auto run = executor.runMany(plans);
-            return ChunkRun{run.embeddings, run.cycles};
+            const auto rep = trace::replay(tr, *backend);
+            return ChunkRun{run.embeddings, rep.cycles};
         });
 
     // Ordered reduction: chunk-index order, fixed chunk→core cycle
@@ -89,6 +115,63 @@ mineParallelCpu(gpm::GpmApp app, const graph::CsrGraph &g,
         return std::make_unique<backend::CpuBackend>(config.core,
                                                      config.mem);
     });
+}
+
+ParallelComparison
+compareParallelGpm(gpm::GpmApp app, const graph::CsrGraph &g,
+                   unsigned num_cores,
+                   const arch::SparseCoreConfig &config,
+                   unsigned root_stride, const HostOptions &host)
+{
+    checkParallelArgs(num_cores, root_stride);
+    const auto plans = gpm::gpmAppPlans(app);
+    ThreadPool &pool = host.pool ? *host.pool : ThreadPool::global();
+    const unsigned k = std::max(1u, host.chunksPerCore);
+    const unsigned num_chunks = num_cores * k;
+
+    struct ChunkCompare
+    {
+        std::uint64_t embeddings = 0;
+        Cycles cpuCycles = 0;
+        Cycles scCycles = 0;
+    };
+
+    // One capture per chunk; the trace replays onto both substrates
+    // within the same host task, so the chunk outcome stays a pure
+    // function of the chunk index.
+    const auto runs = parallelMap<ChunkCompare>(
+        pool, num_chunks, [&](std::size_t chunk) {
+            trace::TraceRecorder recorder;
+            const auto run =
+                captureChunk(plans, g, static_cast<unsigned>(chunk),
+                             num_chunks, root_stride, recorder);
+            const trace::Trace tr = recorder.takeTrace();
+            backend::CpuBackend cpu(config.core, config.mem);
+            backend::SparseCoreBackend sc(config);
+            return ChunkCompare{run.embeddings,
+                                trace::replay(tr, cpu).cycles,
+                                trace::replay(tr, sc).cycles};
+        });
+
+    ParallelComparison cmp;
+    cmp.baseline.perCore.assign(num_cores, 0);
+    cmp.accelerated.perCore.assign(num_cores, 0);
+    for (unsigned chunk = 0; chunk < num_chunks; ++chunk) {
+        cmp.functionalResult += runs[chunk].embeddings;
+        cmp.baseline.perCore[chunk % num_cores] +=
+            runs[chunk].cpuCycles;
+        cmp.accelerated.perCore[chunk % num_cores] +=
+            runs[chunk].scCycles;
+    }
+    cmp.baseline.embeddings = cmp.functionalResult;
+    cmp.accelerated.embeddings = cmp.functionalResult;
+    for (unsigned core = 0; core < num_cores; ++core) {
+        cmp.baseline.cycles =
+            std::max(cmp.baseline.cycles, cmp.baseline.perCore[core]);
+        cmp.accelerated.cycles = std::max(
+            cmp.accelerated.cycles, cmp.accelerated.perCore[core]);
+    }
+    return cmp;
 }
 
 } // namespace sc::api

@@ -80,6 +80,35 @@ ParallelGpmResult mineParallelCpu(
     const arch::SparseCoreConfig &config = arch::SparseCoreConfig{},
     unsigned root_stride = 1, const HostOptions &host = HostOptions{});
 
+/** Multi-core comparison sharing one capture per chunk. */
+struct ParallelComparison
+{
+    std::uint64_t functionalResult = 0; ///< total embeddings
+    ParallelGpmResult baseline;         ///< CPU cores
+    ParallelGpmResult accelerated;      ///< SparseCore cores
+
+    double
+    speedup() const
+    {
+        return accelerated.cycles
+                   ? static_cast<double>(baseline.cycles) /
+                         static_cast<double>(accelerated.cycles)
+                   : 0.0;
+    }
+};
+
+/**
+ * Run a GPM app across num_cores cores on BOTH substrates. Each
+ * root-loop chunk's event trace is captured once and replayed onto a
+ * private CPU and a private SparseCore backend, so the functional
+ * enumeration cost is paid once instead of per substrate. Both
+ * results are bit-identical to the corresponding mineParallel* call.
+ */
+ParallelComparison compareParallelGpm(
+    gpm::GpmApp app, const graph::CsrGraph &g, unsigned num_cores,
+    const arch::SparseCoreConfig &config = arch::SparseCoreConfig{},
+    unsigned root_stride = 1, const HostOptions &host = HostOptions{});
+
 } // namespace sc::api
 
 #endif // SPARSECORE_API_PARALLEL_HH

@@ -33,6 +33,13 @@ Comparison::str() const
     os << accelerated.substrate << ": " << accelerated.cycles
        << " cycles  [" << breakdownStr(accelerated.breakdown) << "]\n";
     os << "speedup: " << Table::speedup(speedup()) << "\n";
+    if (trace.events) {
+        os << "trace: " << trace.events << " events, "
+           << trace.arenaBytes << " arena bytes, capture "
+           << Table::num(trace.captureSeconds * 1e3, 1)
+           << " ms, replay "
+           << Table::num(trace.replaySeconds * 1e3, 1) << " ms\n";
+    }
     return os.str();
 }
 

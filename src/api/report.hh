@@ -22,12 +22,26 @@ struct SubstrateResult
     sim::CycleBreakdown breakdown;
 };
 
+/**
+ * Capture/replay statistics of a trace-driven comparison: the
+ * workload ran functionally once (capture) and each substrate was
+ * timed by replaying the shared trace.
+ */
+struct TraceStats
+{
+    std::size_t events = 0;     ///< captured events
+    std::size_t arenaBytes = 0; ///< interned key-arena bytes
+    double captureSeconds = 0;  ///< host wall-clock of the capture run
+    double replaySeconds = 0;   ///< host wall-clock of both replays
+};
+
 /** A two-substrate comparison (e.g. SparseCore vs CPU). */
 struct Comparison
 {
     std::uint64_t functionalResult = 0; ///< count / checksum
     SubstrateResult baseline;
     SubstrateResult accelerated;
+    TraceStats trace; ///< zeroed when the run was not trace-driven
 
     double
     speedup() const

@@ -1,19 +1,23 @@
 #include "backend/exec_backend.hh"
 
-#include "common/logging.hh"
-
 namespace sc::backend {
 
 void
 ExecBackend::nestedIntersect(BackendStream s, streams::KeySpan s_keys,
                              const std::vector<NestedItem> &elems)
 {
-    (void)s;
-    (void)s_keys;
-    (void)elems;
-    panic("backend '%s' does not implement nested intersection; the "
-          "plan executor must lower it to an explicit loop",
-          name().c_str());
+    // Lowered form: the explicit loop (TS/4CS/5CS and the CPU path).
+    iterateStream(s, s_keys.size(), 3);
+    for (const NestedItem &elem : elems) {
+        const BackendStream h = streamLoad(
+            elem.keyAddr,
+            static_cast<std::uint32_t>(elem.nested.size()), 0,
+            elem.nested);
+        setOpCount(streams::SetOpKind::Intersect, s, h, s_keys,
+                   elem.nested, elem.bound, elem.count);
+        streamFree(h);
+        scalarOps(1); // accumulate
+    }
 }
 
 } // namespace sc::backend

@@ -43,6 +43,7 @@ struct NestedItem
     Addr keyAddr;   ///< nested edge list base address
     streams::KeySpan nested; ///< nested edge list keys (pre-bounded)
     Key bound;      ///< intersection upper bound (element value)
+    std::uint64_t count = 0; ///< functional intersection count
 };
 
 /** The substrate interface. */
@@ -137,7 +138,13 @@ class ExecBackend
     // ---------------- nested intersection ----------------
     /** True when the substrate implements S_NESTINTER. */
     virtual bool supportsNested() const { return false; }
-    /** S_NESTINTER over stream s. */
+    /**
+     * S_NESTINTER over stream s. The default implementation lowers
+     * the group to the explicit per-element loop (iterate + load +
+     * setOpCount + free + accumulate), so algorithm code and trace
+     * replay issue one uniform call and the substrate decides the
+     * execution shape.
+     */
     virtual void nestedIntersect(BackendStream s, streams::KeySpan s_keys,
                                  const std::vector<NestedItem> &elems);
 

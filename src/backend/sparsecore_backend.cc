@@ -114,12 +114,19 @@ SparseCoreBackend::nestedIntersect(BackendStream s,
                                    streams::KeySpan s_keys,
                                    const std::vector<NestedItem> &elems)
 {
+    if (!supportsNested()) {
+        // Design without S_NESTINTER (TS/4CS/5CS): run the lowered
+        // per-element loop.
+        ExecBackend::nestedIntersect(s, s_keys, elems);
+        return;
+    }
     std::vector<arch::NestedElem> arch_elems;
     arch_elems.reserve(elems.size());
     for (const auto &elem : elems)
         arch_elems.push_back(
             {elem.infoAddr, elem.keyAddr, elem.nested, elem.bound});
     engine_->nestedIntersect(s, s_keys, arch_elems);
+    scalarOps(1); // copy acc_reg to the destination
 }
 
 void

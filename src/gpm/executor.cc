@@ -373,39 +373,24 @@ PlanExecutor::nestedTail(const MiningPlan &plan,
     if (set.keys.empty())
         return;
 
-    if (backend_.supportsNested()) {
-        std::vector<backend::NestedItem> items;
-        items.reserve(set.keys.size());
-        std::uint64_t total = 0;
-        for (const Key v : set.keys) {
-            auto below = graph_.neighborsBelow(v);
-            items.push_back({graph_.vertexEntryAddr(v),
-                             graph_.edgeListAddr(v), below,
-                             static_cast<Key>(v)});
-            total += streams::intersect(set.keys, below,
-                                        static_cast<Key>(v))
-                         .count;
-        }
-        backend_.nestedIntersect(set.handle, set.keys, items);
-        backend_.scalarOps(1); // copy acc_reg to the destination
-        count_ += total;
-        return;
-    }
-
-    // Lowered form: the explicit loop (TS/4CS/5CS and the CPU path).
-    backend_.iterateStream(set.handle, set.keys.size(), 3);
+    // Build the group once; the backend decides the execution shape
+    // (S_NESTINTER on nested-capable SparseCore designs, the explicit
+    // per-element loop everywhere else via the ExecBackend default).
+    std::vector<backend::NestedItem> items;
+    items.reserve(set.keys.size());
+    std::uint64_t total = 0;
     for (const Key v : set.keys) {
         auto below = graph_.neighborsBelow(v);
-        const BackendStream h = loadNeighborStream(v, below, 0);
         const std::uint64_t cnt =
             streams::intersect(set.keys, below, static_cast<Key>(v))
                 .count;
-        backend_.setOpCount(SetOpKind::Intersect, set.handle, h,
-                            set.keys, below, static_cast<Key>(v), cnt);
-        backend_.streamFree(h);
-        backend_.scalarOps(1); // accumulate
-        count_ += cnt;
+        items.push_back({graph_.vertexEntryAddr(v),
+                         graph_.edgeListAddr(v), below,
+                         static_cast<Key>(v), cnt});
+        total += cnt;
     }
+    backend_.nestedIntersect(set.handle, set.keys, items);
+    count_ += total;
 }
 
 } // namespace sc::gpm

@@ -1,0 +1,223 @@
+#include "trace/recorder.hh"
+
+namespace sc::trace {
+
+using backend::BackendStream;
+
+void
+TraceRecorder::begin()
+{
+    trace_.clear();
+    next_ = 0;
+}
+
+Cycles
+TraceRecorder::finish()
+{
+    trace_.setHandleCount(next_);
+    return 0;
+}
+
+Trace
+TraceRecorder::takeTrace()
+{
+    trace_.setHandleCount(next_);
+    Trace out = std::move(trace_);
+    trace_.clear();
+    next_ = 0;
+    return out;
+}
+
+Event &
+TraceRecorder::push(EventKind kind)
+{
+    Event e;
+    e.kind = kind;
+    // Valid until the next append; callers fill fields immediately.
+    return trace_.append(e);
+}
+
+void
+TraceRecorder::scalarOps(std::uint64_t n)
+{
+    push(EventKind::ScalarOps).n = n;
+}
+
+void
+TraceRecorder::scalarBranch(std::uint64_t pc, bool taken)
+{
+    Event &e = push(EventKind::ScalarBranch);
+    e.addr0 = pc;
+    e.aux = taken ? 1 : 0;
+}
+
+void
+TraceRecorder::scalarLoad(Addr addr)
+{
+    push(EventKind::ScalarLoad).addr0 = addr;
+}
+
+BackendStream
+TraceRecorder::streamLoad(Addr key_addr, std::uint32_t length,
+                          unsigned priority, streams::KeySpan keys)
+{
+    Event &e = push(EventKind::StreamLoad);
+    e.addr0 = key_addr;
+    e.n = length;
+    e.aux = static_cast<std::uint8_t>(priority);
+    e.s0 = trace_.intern(keys);
+    e.result = nextHandle();
+    return e.result;
+}
+
+BackendStream
+TraceRecorder::streamLoadKv(Addr key_addr, Addr val_addr,
+                            std::uint32_t length, unsigned priority,
+                            streams::KeySpan keys)
+{
+    Event &e = push(EventKind::StreamLoadKv);
+    e.addr0 = key_addr;
+    e.addr1 = val_addr;
+    e.n = length;
+    e.aux = static_cast<std::uint8_t>(priority);
+    e.s0 = trace_.intern(keys);
+    e.result = nextHandle();
+    return e.result;
+}
+
+void
+TraceRecorder::streamFree(BackendStream handle)
+{
+    push(EventKind::StreamFree).a = handle;
+}
+
+BackendStream
+TraceRecorder::setOp(streams::SetOpKind kind, BackendStream a,
+                     BackendStream b, streams::KeySpan ak,
+                     streams::KeySpan bk, Key bound,
+                     streams::KeySpan result, Addr out_addr)
+{
+    Event &e = push(EventKind::SetOp);
+    e.aux = static_cast<std::uint8_t>(kind);
+    e.a = a;
+    e.b = b;
+    e.s0 = trace_.intern(ak);
+    e.s1 = trace_.intern(bk);
+    e.bound = bound;
+    e.s2 = trace_.intern(result);
+    e.addr0 = out_addr;
+    e.result = nextHandle();
+    return e.result;
+}
+
+void
+TraceRecorder::setOpCount(streams::SetOpKind kind, BackendStream a,
+                          BackendStream b, streams::KeySpan ak,
+                          streams::KeySpan bk, Key bound,
+                          std::uint64_t count)
+{
+    Event &e = push(EventKind::SetOpCount);
+    e.aux = static_cast<std::uint8_t>(kind);
+    e.a = a;
+    e.b = b;
+    e.s0 = trace_.intern(ak);
+    e.s1 = trace_.intern(bk);
+    e.bound = bound;
+    e.n = count;
+}
+
+void
+TraceRecorder::recordValueIntersect(
+    EventKind kind, BackendStream a, BackendStream b,
+    streams::KeySpan ak, streams::KeySpan bk, Addr a_val_base,
+    Addr b_val_base, std::span<const std::uint32_t> match_a,
+    std::span<const std::uint32_t> match_b)
+{
+    Event &e = push(kind);
+    e.a = a;
+    e.b = b;
+    e.s0 = trace_.intern(ak);
+    e.s1 = trace_.intern(bk);
+    e.addr0 = a_val_base;
+    e.addr1 = b_val_base;
+    e.s2 = trace_.intern({match_a.data(), match_a.size()});
+    e.s3 = trace_.intern({match_b.data(), match_b.size()});
+}
+
+void
+TraceRecorder::valueIntersect(BackendStream a, BackendStream b,
+                              streams::KeySpan ak, streams::KeySpan bk,
+                              Addr a_val_base, Addr b_val_base,
+                              std::span<const std::uint32_t> match_a,
+                              std::span<const std::uint32_t> match_b)
+{
+    recordValueIntersect(EventKind::ValueIntersect, a, b, ak, bk,
+                         a_val_base, b_val_base, match_a, match_b);
+}
+
+void
+TraceRecorder::denseValueIntersect(
+    BackendStream a, BackendStream b, streams::KeySpan ak,
+    streams::KeySpan bk, Addr a_val_base, Addr b_val_base,
+    std::span<const std::uint32_t> match_a,
+    std::span<const std::uint32_t> match_b)
+{
+    recordValueIntersect(EventKind::DenseValueIntersect, a, b, ak, bk,
+                         a_val_base, b_val_base, match_a, match_b);
+}
+
+BackendStream
+TraceRecorder::valueMerge(BackendStream a, BackendStream b,
+                          streams::KeySpan ak, streams::KeySpan bk,
+                          Addr a_val_base, Addr b_val_base,
+                          std::uint64_t result_len, Addr out_addr)
+{
+    Event &e = push(EventKind::ValueMerge);
+    e.a = a;
+    e.b = b;
+    e.s0 = trace_.intern(ak);
+    e.s1 = trace_.intern(bk);
+    e.addr0 = a_val_base;
+    e.addr1 = b_val_base;
+    e.n = result_len;
+    e.addr2 = out_addr;
+    e.result = nextHandle();
+    return e.result;
+}
+
+void
+TraceRecorder::nestedIntersect(
+    BackendStream s, streams::KeySpan s_keys,
+    const std::vector<backend::NestedItem> &elems)
+{
+    std::vector<NestedEntry> entries;
+    entries.reserve(elems.size());
+    for (const auto &elem : elems)
+        entries.push_back({elem.infoAddr, elem.keyAddr,
+                           trace_.intern(elem.nested), elem.bound,
+                           elem.count});
+    const std::uint32_t off = trace_.appendNested(entries);
+    Event &e = push(EventKind::NestedGroup);
+    e.a = s;
+    e.s0 = trace_.intern(s_keys);
+    e.n = off;
+    e.aux2 = static_cast<std::uint32_t>(entries.size());
+}
+
+void
+TraceRecorder::consumeStream(BackendStream handle)
+{
+    push(EventKind::ConsumeStream).a = handle;
+}
+
+void
+TraceRecorder::iterateStream(BackendStream handle, std::uint64_t n,
+                             unsigned ops_per_element)
+{
+    Event &e = push(EventKind::IterateStream);
+    e.a = handle;
+    e.n = n;
+    e.aux = static_cast<std::uint8_t>(ops_per_element);
+}
+
+} // namespace sc::trace

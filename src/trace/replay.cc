@@ -1,0 +1,123 @@
+#include "trace/replay.hh"
+
+#include "common/logging.hh"
+
+namespace sc::trace {
+
+using backend::BackendStream;
+
+namespace {
+
+/** Translate a trace handle through the replay map. */
+BackendStream
+mapHandle(const std::vector<BackendStream> &map, TraceStream h)
+{
+    if (h == noTraceStream)
+        return backend::noStream;
+    if (h >= map.size())
+        panic("trace replay: handle %u out of range (%zu created)",
+              h, map.size());
+    return map[h];
+}
+
+} // namespace
+
+ReplayResult
+replay(const Trace &trace, backend::ExecBackend &backend)
+{
+    backend.begin();
+
+    // Trace handles are dense and assigned in creation order; the map
+    // fills in the same order during replay, so backend-side handle
+    // numbering matches the original capture run exactly.
+    std::vector<BackendStream> map(trace.handleCount(),
+                                   backend::noStream);
+
+    for (const Event &e : trace.events()) {
+        switch (e.kind) {
+        case EventKind::ScalarOps:
+            backend.scalarOps(e.n);
+            break;
+        case EventKind::ScalarBranch:
+            backend.scalarBranch(e.addr0, e.aux != 0);
+            break;
+        case EventKind::ScalarLoad:
+            backend.scalarLoad(e.addr0);
+            break;
+        case EventKind::StreamLoad:
+            map[e.result] = backend.streamLoad(
+                e.addr0, static_cast<std::uint32_t>(e.n), e.aux,
+                trace.span(e.s0));
+            break;
+        case EventKind::StreamLoadKv:
+            map[e.result] = backend.streamLoadKv(
+                e.addr0, e.addr1, static_cast<std::uint32_t>(e.n),
+                e.aux, trace.span(e.s0));
+            break;
+        case EventKind::StreamFree:
+            backend.streamFree(mapHandle(map, e.a));
+            break;
+        case EventKind::SetOp:
+            map[e.result] = backend.setOp(
+                static_cast<streams::SetOpKind>(e.aux),
+                mapHandle(map, e.a), mapHandle(map, e.b),
+                trace.span(e.s0), trace.span(e.s1), e.bound,
+                trace.span(e.s2), e.addr0);
+            break;
+        case EventKind::SetOpCount:
+            backend.setOpCount(static_cast<streams::SetOpKind>(e.aux),
+                               mapHandle(map, e.a), mapHandle(map, e.b),
+                               trace.span(e.s0), trace.span(e.s1),
+                               e.bound, e.n);
+            break;
+        case EventKind::ValueIntersect:
+            backend.valueIntersect(
+                mapHandle(map, e.a), mapHandle(map, e.b),
+                trace.span(e.s0), trace.span(e.s1), e.addr0, e.addr1,
+                trace.span(e.s2), trace.span(e.s3));
+            break;
+        case EventKind::DenseValueIntersect:
+            backend.denseValueIntersect(
+                mapHandle(map, e.a), mapHandle(map, e.b),
+                trace.span(e.s0), trace.span(e.s1), e.addr0, e.addr1,
+                trace.span(e.s2), trace.span(e.s3));
+            break;
+        case EventKind::ValueMerge:
+            map[e.result] = backend.valueMerge(
+                mapHandle(map, e.a), mapHandle(map, e.b),
+                trace.span(e.s0), trace.span(e.s1), e.addr0, e.addr1,
+                e.n, e.addr2);
+            break;
+        case EventKind::NestedGroup: {
+            std::vector<backend::NestedItem> items;
+            items.reserve(e.aux2);
+            for (std::uint32_t i = 0; i < e.aux2; ++i) {
+                const NestedEntry &entry = trace.nestedEntry(e.n + i);
+                items.push_back({entry.infoAddr, entry.keyAddr,
+                                 trace.span(entry.nested), entry.bound,
+                                 entry.count});
+            }
+            // Virtual dispatch lowers the group to the explicit loop
+            // on substrates without S_NESTINTER.
+            backend.nestedIntersect(mapHandle(map, e.a),
+                                    trace.span(e.s0), items);
+            break;
+        }
+        case EventKind::ConsumeStream:
+            backend.consumeStream(mapHandle(map, e.a));
+            break;
+        case EventKind::IterateStream:
+            backend.iterateStream(mapHandle(map, e.a), e.n, e.aux);
+            break;
+        case EventKind::NumKinds:
+            panic("trace replay: corrupt event kind");
+        }
+    }
+
+    ReplayResult out;
+    out.cycles = backend.finish();
+    out.breakdown = backend.breakdown();
+    return out;
+}
+
+} // namespace sc::trace

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * replay(): drive any ExecBackend with a captured Trace. The replay
+ * issues exactly the call sequence the capture run issued — stream
+ * handles are remapped through a dense table in creation order, so
+ * backends that key costs off handle values (e.g. the CPU baseline's
+ * per-site branch pcs) see identical numbering — making replayed
+ * cycles and breakdowns bit-identical to direct execution.
+ */
+
+#ifndef SPARSECORE_TRACE_REPLAY_HH
+#define SPARSECORE_TRACE_REPLAY_HH
+
+#include "backend/exec_backend.hh"
+#include "trace/trace.hh"
+
+namespace sc::trace {
+
+/** Timing outcome of one replay. */
+struct ReplayResult
+{
+    Cycles cycles = 0;
+    sim::CycleBreakdown breakdown;
+};
+
+/**
+ * Replay the trace onto a backend (begin() .. finish()). Nested
+ * groups re-dispatch through the backend's nestedIntersect, which
+ * lowers to the explicit loop on substrates without S_NESTINTER —
+ * one trace serves both classes of hardware.
+ *
+ * Thread safety: the trace is only read; concurrent replays of one
+ * trace onto distinct backends are safe.
+ */
+ReplayResult replay(const Trace &trace, backend::ExecBackend &backend);
+
+} // namespace sc::trace
+
+#endif // SPARSECORE_TRACE_REPLAY_HH

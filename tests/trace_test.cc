@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Tests for the execution-event trace IR: replayed cycles and
+ * breakdowns are bit-identical to direct execution for every backend
+ * x app x graph x tensor-kernel combination covered here, traces
+ * survive a byte-stable serialization round trip, the committed
+ * golden trace stays byte-stable, and the capture-once api paths
+ * (compareGpm / compareParallelGpm) match their direct equivalents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "api/machine.hh"
+#include "api/parallel.hh"
+#include "backend/cpu_backend.hh"
+#include "backend/functional_backend.hh"
+#include "backend/sparsecore_backend.hh"
+#include "baselines/flexminer.hh"
+#include "baselines/gpu_model.hh"
+#include "baselines/triejax.hh"
+#include "gpm/executor.hh"
+#include "gpm/fsm.hh"
+#include "gpm/isomorphism.hh"
+#include "kernels/spmspm.hh"
+#include "kernels/ttm.hh"
+#include "kernels/ttv.hh"
+#include "tensor/tensor_gen.hh"
+#include "test_util.hh"
+#include "trace/recorder.hh"
+#include "trace/replay.hh"
+
+using namespace sc;
+
+namespace {
+
+/** Capture one GPM run's trace (and its functional result). */
+trace::Trace
+captureGpm(const graph::CsrGraph &g, gpm::GpmApp app,
+           std::uint64_t *embeddings = nullptr)
+{
+    trace::TraceRecorder recorder;
+    gpm::PlanExecutor executor(g, recorder);
+    const auto run = executor.runMany(gpm::gpmAppPlans(app));
+    if (embeddings)
+        *embeddings = run.embeddings;
+    return recorder.takeTrace();
+}
+
+/**
+ * The core property: direct execution and trace replay must agree
+ * bit-for-bit on cycles AND on the full breakdown.
+ */
+template <typename MakeBackend>
+void
+expectReplayEquivalence(const graph::CsrGraph &g, gpm::GpmApp app,
+                        MakeBackend make, const char *label)
+{
+    auto direct_be = make();
+    gpm::PlanExecutor direct(g, *direct_be);
+    const auto d = direct.runMany(gpm::gpmAppPlans(app));
+
+    const trace::Trace tr = captureGpm(g, app);
+    auto replay_be = make();
+    const auto r = trace::replay(tr, *replay_be);
+
+    EXPECT_EQ(d.cycles, r.cycles)
+        << label << " " << gpm::gpmAppName(app) << " on " << g.name();
+    EXPECT_EQ(d.breakdown.cycles, r.breakdown.cycles)
+        << label << " " << gpm::gpmAppName(app) << " on " << g.name();
+}
+
+} // namespace
+
+// ---------------- GPM replay equivalence ----------------
+
+class TraceReplay : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceReplay, GpmBitIdenticalAcrossBackends)
+{
+    const auto g =
+        test::randomTestGraph(120, 900, GetParam());
+    const arch::SparseCoreConfig config;
+    arch::SparseCoreConfig no_nested = config;
+    no_nested.nestedIntersection = false;
+
+    for (const gpm::GpmApp app :
+         {gpm::GpmApp::T, gpm::GpmApp::TC, gpm::GpmApp::C4}) {
+        expectReplayEquivalence(
+            g, app,
+            [&] {
+                return std::make_unique<backend::CpuBackend>(
+                    config.core, config.mem);
+            },
+            "cpu");
+        expectReplayEquivalence(
+            g, app,
+            [&] {
+                return std::make_unique<backend::SparseCoreBackend>(
+                    config);
+            },
+            "sparsecore");
+        expectReplayEquivalence(
+            g, app,
+            [&] {
+                return std::make_unique<backend::SparseCoreBackend>(
+                    no_nested);
+            },
+            "sparsecore-no-nested");
+        expectReplayEquivalence(
+            g, app,
+            [&] {
+                return std::make_unique<baselines::FlexMinerBackend>();
+            },
+            "flexminer");
+
+        const auto plans = gpm::gpmAppPlans(app);
+        const unsigned redundancy = static_cast<unsigned>(
+            gpm::automorphisms(plans.front().pattern).size());
+        expectReplayEquivalence(
+            g, app,
+            [&] {
+                return std::make_unique<baselines::GpuBackend>(
+                    true, redundancy);
+            },
+            "gpu");
+        if (app == gpm::GpmApp::T || app == gpm::GpmApp::C4)
+            expectReplayEquivalence(
+                g, app,
+                [&] {
+                    return std::make_unique<baselines::TrieJaxBackend>(
+                        redundancy, g.numEdgeSlots());
+                },
+                "triejax");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceReplay,
+                         ::testing::Values(11, 22, 33));
+
+TEST(TraceReplayFsm, BitIdenticalOnLabeledGraph)
+{
+    auto base = test::randomTestGraph(80, 500, 77);
+    std::vector<graph::Label> labels(base.numVertices());
+    for (VertexId v = 0; v < base.numVertices(); ++v)
+        labels[v] = static_cast<graph::Label>(v % 3);
+    const graph::LabeledGraph lg(std::move(base), labels);
+
+    trace::TraceRecorder recorder;
+    const auto functional = gpm::runFsm(lg, recorder, 2);
+    const trace::Trace tr = recorder.takeTrace();
+
+    for (const bool sparse : {false, true}) {
+        const arch::SparseCoreConfig config;
+        std::unique_ptr<backend::ExecBackend> direct_be, replay_be;
+        if (sparse) {
+            direct_be =
+                std::make_unique<backend::SparseCoreBackend>(config);
+            replay_be =
+                std::make_unique<backend::SparseCoreBackend>(config);
+        } else {
+            direct_be = std::make_unique<backend::CpuBackend>(
+                config.core, config.mem);
+            replay_be = std::make_unique<backend::CpuBackend>(
+                config.core, config.mem);
+        }
+        const auto direct = gpm::runFsm(lg, *direct_be, 2);
+        const auto replayed = trace::replay(tr, *replay_be);
+        EXPECT_EQ(direct.cycles, replayed.cycles);
+        EXPECT_EQ(direct.totalFrequent(), functional.totalFrequent());
+    }
+}
+
+// ---------------- tensor-kernel replay equivalence ----------------
+
+TEST(TraceReplayTensor, SpmspmAllAlgorithms)
+{
+    const auto a = tensor::generateMatrix(
+        40, 50, 300, tensor::MatrixStructure::Uniform, 21, "A");
+    const auto b = tensor::generateMatrix(
+        50, 35, 280, tensor::MatrixStructure::Uniform, 22, "B");
+    const arch::SparseCoreConfig config;
+
+    for (const auto algorithm : {kernels::SpmspmAlgorithm::Inner,
+                                 kernels::SpmspmAlgorithm::Outer,
+                                 kernels::SpmspmAlgorithm::Gustavson}) {
+        trace::TraceRecorder recorder;
+        kernels::runSpmspm(a, b, algorithm, recorder);
+        const trace::Trace tr = recorder.takeTrace();
+
+        backend::CpuBackend cpu_direct(config.core, config.mem);
+        const auto cd = kernels::runSpmspm(a, b, algorithm, cpu_direct);
+        backend::CpuBackend cpu_replay(config.core, config.mem);
+        const auto cr = trace::replay(tr, cpu_replay);
+        EXPECT_EQ(cd.cycles, cr.cycles);
+        EXPECT_EQ(cpu_direct.breakdown().cycles, cr.breakdown.cycles);
+
+        backend::SparseCoreBackend sc_direct(config);
+        const auto sd = kernels::runSpmspm(a, b, algorithm, sc_direct);
+        backend::SparseCoreBackend sc_replay(config);
+        const auto sr = trace::replay(tr, sc_replay);
+        EXPECT_EQ(sd.cycles, sr.cycles);
+        EXPECT_EQ(sc_direct.breakdown().cycles, sr.breakdown.cycles);
+    }
+}
+
+TEST(TraceReplayTensor, TtvAndTtm)
+{
+    const auto t = tensor::generateTensor(20, 15, 30, 400, 41, "T");
+    const std::vector<Value> vec(30, 1.5);
+    const auto b = tensor::generateMatrix(
+        12, 30, 140, tensor::MatrixStructure::Uniform, 42, "B");
+    const arch::SparseCoreConfig config;
+
+    {
+        trace::TraceRecorder recorder;
+        kernels::runTtv(t, vec, recorder);
+        const trace::Trace tr = recorder.takeTrace();
+        backend::CpuBackend direct(config.core, config.mem);
+        const auto d = kernels::runTtv(t, vec, direct);
+        backend::CpuBackend rep(config.core, config.mem);
+        EXPECT_EQ(d.cycles, trace::replay(tr, rep).cycles);
+        backend::SparseCoreBackend sc_direct(config);
+        const auto ds = kernels::runTtv(t, vec, sc_direct);
+        backend::SparseCoreBackend sc_rep(config);
+        EXPECT_EQ(ds.cycles, trace::replay(tr, sc_rep).cycles);
+    }
+    {
+        trace::TraceRecorder recorder;
+        kernels::runTtm(t, b, recorder);
+        const trace::Trace tr = recorder.takeTrace();
+        backend::CpuBackend direct(config.core, config.mem);
+        const auto d = kernels::runTtm(t, b, direct);
+        backend::CpuBackend rep(config.core, config.mem);
+        EXPECT_EQ(d.cycles, trace::replay(tr, rep).cycles);
+        backend::SparseCoreBackend sc_direct(config);
+        const auto ds = kernels::runTtm(t, b, sc_direct);
+        backend::SparseCoreBackend sc_rep(config);
+        EXPECT_EQ(ds.cycles, trace::replay(tr, sc_rep).cycles);
+    }
+}
+
+// ---------------- serialization ----------------
+
+TEST(TraceSerialization, RoundTripIsByteStable)
+{
+    const auto g = test::randomTestGraph(60, 400, 55);
+    const trace::Trace tr = captureGpm(g, gpm::GpmApp::T);
+    ASSERT_GT(tr.numEvents(), 0u);
+
+    const std::string bytes = tr.serialize();
+    const trace::Trace back = trace::Trace::deserialize(bytes);
+    EXPECT_EQ(back.numEvents(), tr.numEvents());
+    EXPECT_EQ(back.arenaKeys(), tr.arenaKeys());
+    EXPECT_EQ(back.handleCount(), tr.handleCount());
+    EXPECT_EQ(back.serialize(), bytes);
+
+    // The deserialized trace replays identically.
+    backend::SparseCoreBackend be_a, be_b;
+    EXPECT_EQ(trace::replay(tr, be_a).cycles,
+              trace::replay(back, be_b).cycles);
+}
+
+TEST(TraceSerialization, RejectsCorruptInput)
+{
+    const auto g = test::randomTestGraph(30, 120, 56);
+    const trace::Trace tr = captureGpm(g, gpm::GpmApp::TC);
+    std::string bytes = tr.serialize();
+
+    EXPECT_THROW(trace::Trace::deserialize("bogus"), SimError);
+    EXPECT_THROW(trace::Trace::deserialize(
+                     std::string_view(bytes.data(), bytes.size() / 2)),
+                 SimError);
+    std::string wrong_magic = bytes;
+    wrong_magic[0] = 'X';
+    EXPECT_THROW(trace::Trace::deserialize(wrong_magic), SimError);
+}
+
+TEST(TraceSerialization, GoldenTraceStaysByteStable)
+{
+    // The committed golden trace pins the serialized format: a layout
+    // change must bump traceFormatVersion and regenerate the file
+    // (SPARSECORE_REGEN_GOLDEN=1 ./sparsecore_tests).
+    const std::string path =
+        std::string(SPARSECORE_TEST_DATA_DIR) + "/golden_trace.bin";
+    const trace::Trace tr =
+        captureGpm(test::figureOneGraph(), gpm::GpmApp::T);
+    const std::string bytes = tr.serialize();
+
+    if (std::getenv("SPARSECORE_REGEN_GOLDEN")) {
+        tr.saveFile(path);
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing " << path;
+    std::ostringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), bytes)
+        << "serialized trace diverged from the golden file";
+
+    const trace::Trace golden = trace::Trace::loadFile(path);
+    backend::SparseCoreBackend be_a, be_b;
+    EXPECT_EQ(trace::replay(golden, be_a).cycles,
+              trace::replay(tr, be_b).cycles);
+}
+
+// ---------------- statistics & text dump ----------------
+
+TEST(TraceStats, CountersAndDump)
+{
+    std::uint64_t embeddings = 0;
+    const auto g = test::randomTestGraph(60, 400, 57);
+    const trace::Trace tr = captureGpm(g, gpm::GpmApp::T, &embeddings);
+    EXPECT_GT(embeddings, 0u);
+
+    const StatSet stats = tr.statSet();
+    EXPECT_EQ(stats.get("events"), tr.numEvents());
+    EXPECT_EQ(stats.get("arenaKeys"), tr.arenaKeys());
+    EXPECT_GT(stats.get("events.streamLoad"), 0u);
+    EXPECT_GT(tr.memoryBytes(), 0u);
+
+    const std::string dump = tr.dumpText(64);
+    EXPECT_NE(dump.find("streamLoad"), std::string::npos);
+}
+
+TEST(TraceStats, InterningDeduplicatesSpans)
+{
+    // Neighbor lists recur across recursion levels; the interned
+    // arena must stay well below the total referenced key volume.
+    const auto g = test::randomTestGraph(100, 1200, 58);
+    const trace::Trace tr = captureGpm(g, gpm::GpmApp::C4);
+    std::uint64_t referenced = 0;
+    for (const auto &e : tr.events())
+        referenced += e.s0.len + e.s1.len + e.s2.len + e.s3.len;
+    ASSERT_GT(referenced, 0u);
+    EXPECT_LT(tr.arenaKeys(), referenced / 2)
+        << "interning should deduplicate repeated neighbor lists";
+}
+
+// ---------------- api capture-once paths ----------------
+
+TEST(TraceApi, CompareGpmMatchesDirectRuns)
+{
+    const auto g = test::randomTestGraph(100, 800, 59);
+    api::Machine machine;
+    for (const gpm::GpmApp app : {gpm::GpmApp::T, gpm::GpmApp::TC}) {
+        const auto cmp = machine.compareGpm(app, g);
+        const auto cpu = machine.mineCpu(app, g);
+        const auto sc = machine.mineSparseCore(app, g);
+        EXPECT_EQ(cmp.baseline.cycles, cpu.cycles);
+        EXPECT_EQ(cmp.accelerated.cycles, sc.cycles);
+        EXPECT_EQ(cmp.baseline.breakdown.cycles, cpu.breakdown.cycles);
+        EXPECT_EQ(cmp.accelerated.breakdown.cycles,
+                  sc.breakdown.cycles);
+        EXPECT_EQ(cmp.functionalResult, sc.embeddings);
+        EXPECT_GT(cmp.trace.events, 0u);
+        EXPECT_GT(cmp.trace.arenaBytes, 0u);
+        EXPECT_NE(cmp.str().find("trace:"), std::string::npos);
+    }
+}
+
+TEST(TraceApi, CompareParallelGpmMatchesMineParallel)
+{
+    const auto g = test::randomTestGraph(200, 1800, 60);
+    const auto cmp = api::compareParallelGpm(gpm::GpmApp::T, g, 6);
+    const auto cpu = api::mineParallelCpu(gpm::GpmApp::T, g, 6);
+    const auto sc = api::mineParallelSparseCore(gpm::GpmApp::T, g, 6);
+    EXPECT_EQ(cmp.functionalResult, sc.embeddings);
+    EXPECT_EQ(cmp.baseline.cycles, cpu.cycles);
+    EXPECT_EQ(cmp.accelerated.cycles, sc.cycles);
+    ASSERT_EQ(cmp.baseline.perCore.size(), cpu.perCore.size());
+    for (std::size_t c = 0; c < cpu.perCore.size(); ++c) {
+        EXPECT_EQ(cmp.baseline.perCore[c], cpu.perCore[c]);
+        EXPECT_EQ(cmp.accelerated.perCore[c], sc.perCore[c]);
+    }
+    EXPECT_GT(cmp.speedup(), 1.0);
+}
+
+TEST(TraceApi, CompareParallelGpmDeterministicAcrossPools)
+{
+    const auto g = test::randomTestGraph(150, 1200, 61);
+    ThreadPool one(1), four(4);
+    api::HostOptions h1, h4;
+    h1.pool = &one;
+    h4.pool = &four;
+    const auto r1 =
+        api::compareParallelGpm(gpm::GpmApp::C4, g, 6, {}, 1, h1);
+    const auto r4 =
+        api::compareParallelGpm(gpm::GpmApp::C4, g, 6, {}, 1, h4);
+    EXPECT_EQ(r1.functionalResult, r4.functionalResult);
+    EXPECT_EQ(r1.baseline.cycles, r4.baseline.cycles);
+    EXPECT_EQ(r1.accelerated.cycles, r4.accelerated.cycles);
+    ASSERT_EQ(r1.baseline.perCore.size(), r4.baseline.perCore.size());
+    for (std::size_t c = 0; c < r1.baseline.perCore.size(); ++c) {
+        EXPECT_EQ(r1.baseline.perCore[c], r4.baseline.perCore[c]);
+        EXPECT_EQ(r1.accelerated.perCore[c],
+                  r4.accelerated.perCore[c]);
+    }
+}
