@@ -32,8 +32,10 @@ main()
                 const std::string &key = keys[p];
                 const graph::CsrGraph &g = graph::loadGraph(key);
                 const unsigned stride = bench::autoStride(g, app);
-                const api::Comparison cmp =
-                    machine.compareGpm(app, g, stride);
+                api::RunOptions options;
+                options.rootStride = stride;
+                const api::Comparison cmp = machine.compare(
+                    api::RunRequest::gpm(app, g, options));
                 return Row{key + (stride > 1 ? "*" : ""),
                            std::to_string(cmp.functionalResult),
                            std::to_string(cmp.baseline.cycles),
@@ -53,8 +55,8 @@ main()
     using Row = std::vector<std::string>;
     const auto fsm_rows = bench::runPoints<Row>(
         supports.size(), [&](std::size_t p) {
-            const api::Comparison cmp =
-                machine.compareFsm(m, supports[p]);
+            const api::Comparison cmp = machine.compare(
+                api::RunRequest::fsm(m, supports[p]));
             return Row{std::to_string(supports[p]),
                        std::to_string(cmp.functionalResult),
                        std::to_string(cmp.baseline.cycles),

@@ -49,7 +49,11 @@ main()
                 const std::string &key = keys[p];
                 const graph::CsrGraph &g = graph::loadGraph(key);
                 const unsigned stride = bench::autoStride(g, app);
-                const auto res = machine.mineCpu(app, g, stride);
+                api::RunOptions options;
+                options.rootStride = stride;
+                const auto res =
+                    machine.run(api::RunRequest::gpm(app, g, options),
+                                api::Substrate::Cpu);
                 return breakdownRow(key + (stride > 1 ? "*" : ""),
                                     res.breakdown);
             });

@@ -48,7 +48,11 @@ main()
                 const std::string &key = keys[p];
                 const graph::CsrGraph &g = graph::loadGraph(key);
                 const unsigned stride = bench::autoStride(g, app);
-                const auto res = machine.mineSparseCore(app, g, stride);
+                api::RunOptions options;
+                options.rootStride = stride;
+                const auto res =
+                    machine.run(api::RunRequest::gpm(app, g, options),
+                                api::Substrate::SparseCore);
                 return breakdownRow(key + (stride > 1 ? "*" : ""),
                                     res.breakdown);
             });

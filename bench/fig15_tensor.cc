@@ -74,8 +74,10 @@ main()
                 const tensor::SparseMatrix &m =
                     tensor::loadMatrix(key);
                 const unsigned stride = matrixStride(m, algorithm);
-                const auto cmp =
-                    machine.compareSpmspm(m, m, algorithm, stride);
+                api::RunOptions options;
+                options.stride = stride;
+                const auto cmp = machine.compare(
+                    api::RunRequest::spmspm(m, m, algorithm, options));
                 return Point{
                     {key + (stride > 1 ? "*" : ""),
                      std::to_string(cmp.baseline.cycles),
@@ -107,7 +109,10 @@ main()
             const auto vec = tensor::generateVector(t.dimK(), 0x77);
             const unsigned stride =
                 static_cast<unsigned>(t.nnz() / 4'000'000 + 1);
-            const auto cmp = machine.compareTtv(t, vec, stride);
+            api::RunOptions options;
+            options.stride = stride;
+            const auto cmp = machine.compare(
+                api::RunRequest::ttv(t, vec, options));
             return Row{key + (stride > 1 ? "*" : ""),
                        std::to_string(cmp.baseline.cycles),
                        std::to_string(cmp.accelerated.cycles),
@@ -129,7 +134,10 @@ main()
                 tensor::MatrixStructure::Uniform, 0x78, "B");
             const unsigned stride =
                 static_cast<unsigned>(t.nnz() / 400'000 + 1);
-            const auto cmp = machine.compareTtm(t, b, stride);
+            api::RunOptions options;
+            options.stride = stride;
+            const auto cmp = machine.compare(
+                api::RunRequest::ttm(t, b, options));
             return Row{key + (stride > 1 ? "*" : ""),
                        std::to_string(cmp.baseline.cycles),
                        std::to_string(cmp.accelerated.cycles),

@@ -55,7 +55,10 @@ main()
                  "speedup", "sparsecore breakdown"});
     for (const gpm::GpmApp app : gpm::allGpmApps()) {
         const unsigned stride = strideFor(g, app);
-        const api::Comparison cmp = machine.compareGpm(app, g, stride);
+        api::RunOptions options;
+        options.rootStride = stride;
+        const api::Comparison cmp =
+            machine.compare(api::RunRequest::gpm(app, g, options));
         table.addRow(
             {std::string(gpm::gpmAppName(app)) +
                  (stride > 1 ? "*" : ""),
@@ -68,8 +71,10 @@ main()
     std::printf("%s\n", table.str().c_str());
 
     // The nested-intersection instruction's contribution (§6.3.2).
-    const auto t = machine.compareGpm(gpm::GpmApp::T, g);
-    const auto ts = machine.compareGpm(gpm::GpmApp::TS, g);
+    const auto t =
+        machine.compare(api::RunRequest::gpm(gpm::GpmApp::T, g));
+    const auto ts =
+        machine.compare(api::RunRequest::gpm(gpm::GpmApp::TS, g));
     std::printf("(* = root-sampled app)\n");
     std::printf("nested intersection gain on T: %.2fx\n",
                 static_cast<double>(ts.accelerated.cycles) /
@@ -77,7 +82,7 @@ main()
 
     // FSM with labels.
     const graph::LabeledGraph &lw = graph::loadLabeledGraph("W", 6);
-    const auto fsm = machine.compareFsm(lw, 500);
+    const auto fsm = machine.compare(api::RunRequest::fsm(lw, 500));
     std::printf("\nFSM (support 500): %llu frequent patterns, "
                 "speedup %.2fx\n",
                 static_cast<unsigned long long>(fsm.functionalResult),

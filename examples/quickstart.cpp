@@ -37,13 +37,13 @@ main()
     //    symmetry breaking and nested intersection) runs on each;
     //    only the timing model differs.
     const api::Comparison cmp =
-        machine.compareGpm(gpm::GpmApp::T, g);
+        machine.compare(api::RunRequest::gpm(gpm::GpmApp::T, g));
     std::printf("triangle counting\n%s\n", cmp.str().c_str());
 
     // 4. The stream ISA also accelerates bounded set operations in
     //    deeper patterns: 4-cliques.
     const api::Comparison c4 =
-        machine.compareGpm(gpm::GpmApp::C4, g);
+        machine.compare(api::RunRequest::gpm(gpm::GpmApp::C4, g));
     std::printf("4-clique counting\n%s", c4.str().c_str());
     return 0;
 }

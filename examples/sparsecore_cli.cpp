@@ -140,16 +140,19 @@ main(int argc, char **argv)
         }
 
         api::Machine machine(config);
+        api::RunOptions options;
+        options.rootStride = stride;
+        const auto req = api::RunRequest::gpm(app, *g, options);
         if (compare) {
-            const auto cmp = machine.compareGpm(app, *g, stride);
+            const auto cmp = machine.compare(req);
             std::printf("%s\n", cmp.str().c_str());
         } else {
             const auto res =
-                machine.mineSparseCore(app, *g, stride);
+                machine.run(req, api::Substrate::SparseCore);
             std::printf("%s: %llu embeddings, %llu cycles\n",
                         app_name.c_str(),
                         static_cast<unsigned long long>(
-                            res.embeddings),
+                            res.functionalResult),
                         static_cast<unsigned long long>(res.cycles));
             std::printf("breakdown: %s\n",
                         api::breakdownStr(res.breakdown).c_str());

@@ -48,9 +48,11 @@ main()
          {SpmspmAlgorithm::Inner, SpmspmAlgorithm::Outer,
           SpmspmAlgorithm::Gustavson}) {
         tensor::SparseMatrix result;
+        const auto req =
+            api::RunRequest::spmspm(a, a, algorithm, {}, &result);
         const auto sc_run =
-            machine.spmspmSparseCore(a, a, algorithm, 1, &result);
-        const auto cpu_run = machine.spmspmCpu(a, a, algorithm);
+            machine.run(req, api::Substrate::SparseCore);
+        const auto cpu_run = machine.run(req, api::Substrate::Cpu);
         table.addRow(
             {kernels::spmspmAlgorithmName(algorithm),
              Table::num(cpu_run.cycles / 1e6, 2),

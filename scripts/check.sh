@@ -3,7 +3,10 @@
 # ThreadSanitizer build running the concurrency-sensitive suites
 # (thread pool, host-parallel mining, machine comparisons), then an
 # ASan+UBSan build running the trace capture/replay/serialization
-# suites (arena ownership and event-decoding bugs show up here).
+# suites (arena ownership and event-decoding bugs show up here),
+# then a forced-scalar kernel build (SIMD TUs omitted) with the full
+# suite under SC_FORCE_KERNEL=scalar, and a kernel microbench smoke
+# run.
 #
 # Usage: scripts/check.sh [build-dir-prefix]
 set -euo pipefail
@@ -30,6 +33,18 @@ cmake -B "${prefix}-asan" -S . \
 cmake --build "${prefix}-asan" -j"$(nproc)" --target sparsecore_tests
 "${prefix}-asan/tests/sparsecore_tests" \
     --gtest_filter='Trace*:Seeds/TraceReplay*'
+
+echo
+echo "=== forced-scalar kernel build + full ctest ==="
+cmake -B "${prefix}-scalar" -S . \
+    -DSPARSECORE_FORCE_SCALAR_KERNELS=ON >/dev/null
+cmake --build "${prefix}-scalar" -j"$(nproc)"
+SC_FORCE_KERNEL=scalar ctest --test-dir "${prefix}-scalar" \
+    --output-on-failure -j"$(nproc)"
+
+echo
+echo "=== kernel microbench smoke ==="
+"${prefix}/bench/kernel_microbench" --smoke
 
 echo
 echo "All checks passed."

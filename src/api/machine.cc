@@ -1,9 +1,11 @@
 #include "api/machine.hh"
 
 #include <chrono>
+#include <optional>
 
 #include "backend/cpu_backend.hh"
 #include "backend/sparsecore_backend.hh"
+#include "common/logging.hh"
 #include "common/parallel_for.hh"
 #include "gpm/executor.hh"
 #include "trace/recorder.hh"
@@ -13,18 +15,77 @@ namespace sc::api {
 
 namespace {
 
-/**
- * Run the baseline and accelerated legs of a comparison concurrently
- * on the host pool. Each leg owns its backend, so results are
- * identical to running them back to back.
- */
-template <typename FnA, typename FnB>
 void
-runBothSubstrates(FnA &&baseline, FnB &&accelerated)
+validate(const RunRequest &req)
 {
-    parallelInvoke(ThreadPool::global(),
-                   std::forward<FnA>(baseline),
-                   std::forward<FnB>(accelerated));
+    switch (req.workload) {
+      case RunRequest::Workload::Gpm:
+        if (!req.graph)
+            fatal("GPM request needs a graph");
+        break;
+      case RunRequest::Workload::Fsm:
+        if (!req.labeledGraph)
+            fatal("FSM request needs a labeled graph");
+        break;
+      case RunRequest::Workload::Spmspm:
+        if (!req.matrixA || !req.matrixB)
+            fatal("spmspm request needs both matrices");
+        break;
+      case RunRequest::Workload::Ttv:
+        if (!req.tensor || !req.vector)
+            fatal("TTV request needs a tensor and a dense vector");
+        break;
+      case RunRequest::Workload::Ttm:
+        if (!req.tensor || !req.matrixB)
+            fatal("TTM request needs a tensor and a matrix");
+        break;
+    }
+    if (req.options.stride == 0 || req.options.rootStride == 0)
+        fatal("strides must be positive");
+}
+
+/** Run the request's workload against one backend. Works for timing
+ *  backends and the TraceRecorder alike — the capture leg of
+ *  compare() is the same code path as run(). */
+RunResult
+executeOn(const RunRequest &req, backend::ExecBackend &be)
+{
+    RunResult out;
+    switch (req.workload) {
+      case RunRequest::Workload::Gpm: {
+        gpm::PlanExecutor executor(*req.graph, be);
+        executor.setRootStride(req.options.rootStride);
+        const auto r = executor.runMany(gpm::gpmAppPlans(req.app));
+        out = {r.embeddings, r.cycles, r.breakdown};
+        break;
+      }
+      case RunRequest::Workload::Fsm: {
+        const auto r =
+            gpm::runFsm(*req.labeledGraph, be, req.minSupport);
+        out = {r.totalFrequent(), r.cycles, r.breakdown};
+        break;
+      }
+      case RunRequest::Workload::Spmspm: {
+        const auto r = kernels::runSpmspm(
+            *req.matrixA, *req.matrixB, req.algorithm, be,
+            req.options.stride, req.spmspmResult);
+        out = {r.valueOps, r.cycles, r.breakdown};
+        break;
+      }
+      case RunRequest::Workload::Ttv: {
+        const auto r = kernels::runTtv(*req.tensor, *req.vector, be,
+                                       req.options.stride);
+        out = {r.valueOps, r.cycles, r.breakdown};
+        break;
+      }
+      case RunRequest::Workload::Ttm: {
+        const auto r = kernels::runTtm(*req.tensor, *req.matrixB, be,
+                                       req.options.stride);
+        out = {r.valueOps, r.cycles, r.breakdown};
+        break;
+      }
+    }
+    return out;
 }
 
 double
@@ -35,16 +96,16 @@ secondsBetween(std::chrono::steady_clock::time_point from,
 }
 
 /**
- * The capture-once/replay-twice comparison core: `capture` runs the
- * workload functionally against a TraceRecorder and returns the
- * functional result; the captured trace is then replayed onto the
- * CPU baseline and SparseCore concurrently. One functional execution
- * serves both substrates — the timing is bit-identical to running
- * the workload directly on each backend (see tests/trace_test.cc).
+ * The capture-once/replay-twice comparison core: the workload runs
+ * functionally against a TraceRecorder once; the captured trace is
+ * then replayed onto the CPU baseline and SparseCore concurrently on
+ * `pool`. The timing is bit-identical to running the workload
+ * directly on each backend (see tests/trace_test.cc).
  */
 template <typename CaptureFn>
 Comparison
-compareViaTrace(const arch::SparseCoreConfig &config, CaptureFn &&capture)
+compareViaTrace(const arch::SparseCoreConfig &config, ThreadPool &pool,
+                CaptureFn &&capture)
 {
     Comparison cmp;
     const auto t0 = std::chrono::steady_clock::now();
@@ -54,7 +115,8 @@ compareViaTrace(const arch::SparseCoreConfig &config, CaptureFn &&capture)
     const auto t1 = std::chrono::steady_clock::now();
 
     trace::ReplayResult cpu, sc;
-    runBothSubstrates(
+    parallelInvoke(
+        pool,
         [&] {
             backend::CpuBackend be(config.core, config.mem);
             cpu = trace::replay(tr, be);
@@ -80,45 +142,99 @@ Machine::Machine(const arch::SparseCoreConfig &config) : config_(config)
 {
 }
 
+RunResult
+Machine::run(const RunRequest &request, Substrate substrate) const
+{
+    validate(request);
+    std::optional<streams::ScopedKernelOverride> forced;
+    if (request.options.kernel)
+        forced.emplace(*request.options.kernel);
+
+    if (substrate == Substrate::Cpu) {
+        backend::CpuBackend be(config_.core, config_.mem);
+        return executeOn(request, be);
+    }
+    backend::SparseCoreBackend be(config_);
+    return executeOn(request, be);
+}
+
+Comparison
+Machine::compare(const RunRequest &request) const
+{
+    validate(request);
+    std::optional<streams::ScopedKernelOverride> forced;
+    if (request.options.kernel)
+        forced.emplace(*request.options.kernel);
+
+    std::optional<ThreadPool> local;
+    if (request.options.hostThreads)
+        local.emplace(request.options.hostThreads);
+    ThreadPool &pool = local ? *local : ThreadPool::global();
+
+    return compareViaTrace(config_, pool,
+                           [&](trace::TraceRecorder &rec) {
+                               return executeOn(request, rec)
+                                   .functionalResult;
+                           });
+}
+
+// ------------- deprecated positional-arg shims -------------
+// Thin adapters onto run()/compare(); exercised by
+// tests/api_shim_test.cc until the next major cleanup removes them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 gpm::GpmRunResult
 Machine::mineSparseCore(gpm::GpmApp app, const graph::CsrGraph &g,
                         unsigned root_stride) const
 {
-    backend::SparseCoreBackend be(config_);
-    gpm::PlanExecutor executor(g, be);
-    executor.setRootStride(root_stride);
-    return executor.runMany(gpm::gpmAppPlans(app));
+    RunOptions options;
+    options.rootStride = root_stride;
+    const RunResult r =
+        run(RunRequest::gpm(app, g, options), Substrate::SparseCore);
+    return {r.functionalResult, r.cycles, r.breakdown};
 }
 
 gpm::GpmRunResult
 Machine::mineCpu(gpm::GpmApp app, const graph::CsrGraph &g,
                  unsigned root_stride) const
 {
-    backend::CpuBackend be(config_.core, config_.mem);
-    gpm::PlanExecutor executor(g, be);
-    executor.setRootStride(root_stride);
-    return executor.runMany(gpm::gpmAppPlans(app));
+    RunOptions options;
+    options.rootStride = root_stride;
+    const RunResult r =
+        run(RunRequest::gpm(app, g, options), Substrate::Cpu);
+    return {r.functionalResult, r.cycles, r.breakdown};
 }
 
 Comparison
 Machine::compareGpm(gpm::GpmApp app, const graph::CsrGraph &g,
                     unsigned root_stride) const
 {
-    return compareViaTrace(config_, [&](trace::TraceRecorder &rec) {
-        gpm::PlanExecutor executor(g, rec);
-        executor.setRootStride(root_stride);
-        return executor.runMany(gpm::gpmAppPlans(app)).embeddings;
-    });
+    RunOptions options;
+    options.rootStride = root_stride;
+    return compare(RunRequest::gpm(app, g, options));
 }
 
 Comparison
 Machine::compareFsm(const graph::LabeledGraph &g,
                     std::uint64_t min_support) const
 {
-    return compareViaTrace(config_, [&](trace::TraceRecorder &rec) {
-        return gpm::runFsm(g, rec, min_support).totalFrequent();
-    });
+    return compare(RunRequest::fsm(g, min_support));
 }
+
+namespace {
+
+kernels::TensorRunResult
+toTensorResult(const RunResult &r)
+{
+    kernels::TensorRunResult out;
+    out.cycles = r.cycles;
+    out.breakdown = r.breakdown;
+    out.valueOps = r.functionalResult;
+    return out;
+}
+
+} // namespace
 
 kernels::TensorRunResult
 Machine::spmspmSparseCore(const tensor::SparseMatrix &a,
@@ -127,8 +243,11 @@ Machine::spmspmSparseCore(const tensor::SparseMatrix &a,
                           unsigned stride,
                           tensor::SparseMatrix *result) const
 {
-    backend::SparseCoreBackend be(config_);
-    return kernels::runSpmspm(a, b, algorithm, be, stride, result);
+    RunOptions options;
+    options.stride = stride;
+    return toTensorResult(
+        run(RunRequest::spmspm(a, b, algorithm, options, result),
+            Substrate::SparseCore));
 }
 
 kernels::TensorRunResult
@@ -137,8 +256,11 @@ Machine::spmspmCpu(const tensor::SparseMatrix &a,
                    kernels::SpmspmAlgorithm algorithm, unsigned stride,
                    tensor::SparseMatrix *result) const
 {
-    backend::CpuBackend be(config_.core, config_.mem);
-    return kernels::runSpmspm(a, b, algorithm, be, stride, result);
+    RunOptions options;
+    options.stride = stride;
+    return toTensorResult(
+        run(RunRequest::spmspm(a, b, algorithm, options, result),
+            Substrate::Cpu));
 }
 
 Comparison
@@ -147,28 +269,29 @@ Machine::compareSpmspm(const tensor::SparseMatrix &a,
                        kernels::SpmspmAlgorithm algorithm,
                        unsigned stride) const
 {
-    return compareViaTrace(config_, [&](trace::TraceRecorder &rec) {
-        return kernels::runSpmspm(a, b, algorithm, rec, stride)
-            .valueOps;
-    });
+    RunOptions options;
+    options.stride = stride;
+    return compare(RunRequest::spmspm(a, b, algorithm, options));
 }
 
 Comparison
 Machine::compareTtv(const tensor::CsfTensor &a,
                     const std::vector<Value> &vec, unsigned stride) const
 {
-    return compareViaTrace(config_, [&](trace::TraceRecorder &rec) {
-        return kernels::runTtv(a, vec, rec, stride).valueOps;
-    });
+    RunOptions options;
+    options.stride = stride;
+    return compare(RunRequest::ttv(a, vec, options));
 }
 
 Comparison
 Machine::compareTtm(const tensor::CsfTensor &a,
                     const tensor::SparseMatrix &b, unsigned stride) const
 {
-    return compareViaTrace(config_, [&](trace::TraceRecorder &rec) {
-        return kernels::runTtm(a, b, rec, stride).valueOps;
-    });
+    RunOptions options;
+    options.stride = stride;
+    return compare(RunRequest::ttm(a, b, options));
 }
+
+#pragma GCC diagnostic pop
 
 } // namespace sc::api

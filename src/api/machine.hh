@@ -2,11 +2,15 @@
  * @file
  * sc::api::Machine — the library's top-level facade.
  *
- * A Machine owns a SparseCore configuration and runs GPM applications
- * or tensor kernels on the SparseCore substrate, the CPU baseline, or
- * both (returning a Comparison). This is the API the examples and
- * most benchmarks use; lower layers (backends, engine, plans) remain
+ * A Machine owns a SparseCore configuration and executes RunRequests
+ * (api/run.hh) on one substrate (run()) or on both with capture-once
+ * trace replay (compare()). This is the API the examples and most
+ * benchmarks use; lower layers (backends, engine, plans) remain
  * public for advanced use.
+ *
+ * The legacy positional-argument overloads (mineSparseCore,
+ * compareGpm, spmspmCpu, ...) are deprecated shims over run()/
+ * compare(); migrate to RunRequest.
  */
 
 #ifndef SPARSECORE_API_MACHINE_HH
@@ -16,6 +20,7 @@
 #include <string>
 
 #include "api/report.hh"
+#include "api/run.hh"
 #include "arch/config.hh"
 #include "gpm/apps.hh"
 #include "gpm/fsm.hh"
@@ -34,47 +39,61 @@ class Machine
 
     const arch::SparseCoreConfig &config() const { return config_; }
 
-    // ---------------- GPM ----------------
-    /** Run a GPM app on SparseCore. */
-    gpm::GpmRunResult mineSparseCore(gpm::GpmApp app,
-                                     const graph::CsrGraph &g,
-                                     unsigned root_stride = 1) const;
-    /** Run a GPM app on the CPU baseline. */
-    gpm::GpmRunResult mineCpu(gpm::GpmApp app, const graph::CsrGraph &g,
-                              unsigned root_stride = 1) const;
-    /** Both substrates + speedup. */
-    Comparison compareGpm(gpm::GpmApp app, const graph::CsrGraph &g,
-                          unsigned root_stride = 1) const;
+    /** Execute a request on one substrate. */
+    RunResult run(const RunRequest &request, Substrate substrate) const;
 
-    /** FSM on both substrates. */
-    Comparison compareFsm(const graph::LabeledGraph &g,
-                          std::uint64_t min_support) const;
+    /** Execute a request on both substrates (one functional capture,
+     *  two concurrent replays) and report the speedup. */
+    Comparison compare(const RunRequest &request) const;
 
-    // ---------------- tensors ----------------
-    /** spmspm on SparseCore. */
+    // ------------- deprecated positional-arg shims -------------
+    /** @deprecated run(RunRequest::gpm(...), Substrate::SparseCore) */
+    [[deprecated("use run(RunRequest::gpm(...))")]] gpm::GpmRunResult
+    mineSparseCore(gpm::GpmApp app, const graph::CsrGraph &g,
+                   unsigned root_stride = 1) const;
+    /** @deprecated run(RunRequest::gpm(...), Substrate::Cpu) */
+    [[deprecated("use run(RunRequest::gpm(...))")]] gpm::GpmRunResult
+    mineCpu(gpm::GpmApp app, const graph::CsrGraph &g,
+            unsigned root_stride = 1) const;
+    /** @deprecated compare(RunRequest::gpm(...)) */
+    [[deprecated("use compare(RunRequest::gpm(...))")]] Comparison
+    compareGpm(gpm::GpmApp app, const graph::CsrGraph &g,
+               unsigned root_stride = 1) const;
+
+    /** @deprecated compare(RunRequest::fsm(...)) */
+    [[deprecated("use compare(RunRequest::fsm(...))")]] Comparison
+    compareFsm(const graph::LabeledGraph &g,
+               std::uint64_t min_support) const;
+
+    /** @deprecated run(RunRequest::spmspm(...)) */
+    [[deprecated("use run(RunRequest::spmspm(...))")]]
     kernels::TensorRunResult
     spmspmSparseCore(const tensor::SparseMatrix &a,
                      const tensor::SparseMatrix &b,
                      kernels::SpmspmAlgorithm algorithm,
                      unsigned stride = 1,
                      tensor::SparseMatrix *result = nullptr) const;
-    /** spmspm on the CPU baseline. */
+    /** @deprecated run(RunRequest::spmspm(...)) */
+    [[deprecated("use run(RunRequest::spmspm(...))")]]
     kernels::TensorRunResult
     spmspmCpu(const tensor::SparseMatrix &a, const tensor::SparseMatrix &b,
               kernels::SpmspmAlgorithm algorithm, unsigned stride = 1,
               tensor::SparseMatrix *result = nullptr) const;
-    /** Both substrates + speedup. */
-    Comparison compareSpmspm(const tensor::SparseMatrix &a,
-                             const tensor::SparseMatrix &b,
-                             kernels::SpmspmAlgorithm algorithm,
-                             unsigned stride = 1) const;
+    /** @deprecated compare(RunRequest::spmspm(...)) */
+    [[deprecated("use compare(RunRequest::spmspm(...))")]] Comparison
+    compareSpmspm(const tensor::SparseMatrix &a,
+                  const tensor::SparseMatrix &b,
+                  kernels::SpmspmAlgorithm algorithm,
+                  unsigned stride = 1) const;
 
-    Comparison compareTtv(const tensor::CsfTensor &a,
-                          const std::vector<Value> &vec,
-                          unsigned stride = 1) const;
-    Comparison compareTtm(const tensor::CsfTensor &a,
-                          const tensor::SparseMatrix &b,
-                          unsigned stride = 1) const;
+    /** @deprecated compare(RunRequest::ttv(...)) */
+    [[deprecated("use compare(RunRequest::ttv(...))")]] Comparison
+    compareTtv(const tensor::CsfTensor &a, const std::vector<Value> &vec,
+               unsigned stride = 1) const;
+    /** @deprecated compare(RunRequest::ttm(...)) */
+    [[deprecated("use compare(RunRequest::ttm(...))")]] Comparison
+    compareTtm(const tensor::CsfTensor &a, const tensor::SparseMatrix &b,
+               unsigned stride = 1) const;
 
   private:
     arch::SparseCoreConfig config_;

@@ -58,6 +58,9 @@ mineParallel(gpm::GpmApp app, const graph::CsrGraph &g,
     checkParallelArgs(num_cores, root_stride);
     const auto plans = gpm::gpmAppPlans(app);
     ThreadPool &pool = host.pool ? *host.pool : ThreadPool::global();
+    std::optional<streams::ScopedKernelOverride> forced;
+    if (host.kernel)
+        forced.emplace(*host.kernel);
 
     // K * num_cores chunks, stolen dynamically by the host threads.
     // Chunk m is attributed to simulated core m % num_cores. Each
@@ -126,6 +129,9 @@ compareParallelGpm(gpm::GpmApp app, const graph::CsrGraph &g,
     checkParallelArgs(num_cores, root_stride);
     const auto plans = gpm::gpmAppPlans(app);
     ThreadPool &pool = host.pool ? *host.pool : ThreadPool::global();
+    std::optional<streams::ScopedKernelOverride> forced;
+    if (host.kernel)
+        forced.emplace(*host.kernel);
     const unsigned k = std::max(1u, host.chunksPerCore);
     const unsigned num_chunks = num_cores * k;
 

@@ -22,11 +22,13 @@
 #define SPARSECORE_API_PARALLEL_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "arch/config.hh"
 #include "common/thread_pool.hh"
 #include "gpm/apps.hh"
+#include "streams/simd/kernel_table.hh"
 
 namespace sc::api {
 
@@ -62,6 +64,14 @@ struct HostOptions
      * one-session-per-core split exactly.
      */
     unsigned chunksPerCore = 4;
+    /**
+     * Host set-op kernel level for this run (nullopt = process
+     * default). Scoped for the whole run so every pool thread's
+     * chunks use the same kernels; results and cycles are
+     * bit-identical across levels either way (the kernels only move
+     * host wall-clock), which tests/kernel_table_test.cc asserts.
+     */
+    std::optional<streams::KernelLevel> kernel;
 };
 
 /**

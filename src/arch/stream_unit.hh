@@ -4,6 +4,14 @@
  * executes set operations with 16-wide parallel comparison and a
  * double-buffered input stage. Exposes the per-operation cycle cost
  * and tracks utilization; scheduling across SUs is the engine's job.
+ *
+ * Cost-model independence: opCycles() derives time purely from the
+ * operand key spans via streams::suCost() — it never calls the
+ * host's dispatched SIMD kernels (streams/simd/kernel_table.hh),
+ * which only accelerate the *functional* computation of results.
+ * Simulated cycles are therefore bit-identical under every
+ * SC_FORCE_KERNEL level; tests/kernel_table_test.cc replays the
+ * golden trace at each level to enforce this (DESIGN.md §10).
  */
 
 #ifndef SPARSECORE_ARCH_STREAM_UNIT_HH

@@ -176,6 +176,10 @@ CpuBackend::mergeLoop(SetOpKind kind, const StreamRec &ra,
         core_->executeOps(1, cls);
     };
 
+    // Deliberately the scalar reference templates, NOT runSetOp():
+    // this walk IS the modeled CPU — every visitor step drives the
+    // branch predictor and per-step ALU charges, so it must stay
+    // scalar no matter which host kernel level is active.
     switch (kind) {
       case SetOpKind::Intersect:
         streams::intersect(ak, bk, bound, nullptr, on_step);

@@ -85,7 +85,11 @@ class CpuBackend : public ExecBackend
                              std::uint64_t result_len,
                              Addr out_addr) override;
 
-    bool supportsNested() const override { return false; }
+    /** The modeled CPU is the scalar merge-loop baseline (Fig. 4a):
+     *  no nested instruction, no wide comparators. Its timing comes
+     *  from the scalar step visitor, never the host kernel table, so
+     *  host SIMD can't move a cycle here. */
+    Caps caps() const override { return Caps{}; }
 
     void consumeStream(BackendStream handle) override;
     void iterateStream(BackendStream handle, std::uint64_t n,

@@ -11,6 +11,7 @@
 
 #include "backend/exec_backend.hh"
 #include "common/stats.hh"
+#include "streams/simd/kernel_table.hh"
 
 namespace sc::backend {
 
@@ -53,7 +54,17 @@ class FunctionalBackend : public ExecBackend
                              std::uint64_t result_len,
                              Addr out_addr) override;
 
-    bool supportsNested() const override { return true; }
+    Caps
+    caps() const override
+    {
+        Caps c;
+        c.nested = true;
+        // The functional path executes on the host's active SIMD
+        // kernel table (streams/simd) when one beats scalar.
+        c.vectorizedSetOps =
+            streams::activeKernels().level != streams::KernelLevel::Scalar;
+        return c;
+    }
     void nestedIntersect(BackendStream s, streams::KeySpan s_keys,
                          const std::vector<NestedItem> &elems) override;
 

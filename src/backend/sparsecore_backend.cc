@@ -114,7 +114,7 @@ SparseCoreBackend::nestedIntersect(BackendStream s,
                                    streams::KeySpan s_keys,
                                    const std::vector<NestedItem> &elems)
 {
-    if (!supportsNested()) {
+    if (!caps().nested) {
         // Design without S_NESTINTER (TS/4CS/5CS): run the lowered
         // per-element loop.
         ExecBackend::nestedIntersect(s, s_keys, elems);

@@ -58,9 +58,13 @@ class SparseCoreBackend : public ExecBackend
                              std::uint64_t result_len,
                              Addr out_addr) override;
 
-    bool supportsNested() const override
+    Caps
+    caps() const override
     {
-        return engine_->config().nestedIntersection;
+        Caps c;
+        c.nested = engine_->config().nestedIntersection;
+        c.vectorizedSetOps = true; // the SU's 16-wide window (Fig. 6)
+        return c;
     }
     void nestedIntersect(BackendStream s, streams::KeySpan s_keys,
                          const std::vector<NestedItem> &elems) override;

@@ -298,7 +298,9 @@ PlanExecutor::buildCandidates(const MiningPlan &plan, unsigned position,
         if (last && final_count) {
             std::uint64_t cnt;
             if (op.kind == SetOpKind::Intersect) {
-                cnt = streams::intersect(cur, operand, bv).count;
+                cnt = streams::runSetOpCount(SetOpKind::Intersect,
+                                             cur, operand, bv)
+                          .count;
                 backend_.setOpCount(op.kind, cur_handle,
                                     operand_handle, cur, operand, bv,
                                     cnt);
@@ -318,7 +320,9 @@ PlanExecutor::buildCandidates(const MiningPlan &plan, unsigned position,
                     backend_.scalarOps(4); // binary search
                 }
                 const std::uint64_t inter =
-                    streams::intersect(cur, operand, bv).count;
+                    streams::runSetOpCount(SetOpKind::Intersect, cur,
+                                           operand, bv)
+                        .count;
                 backend_.setOpCount(SetOpKind::Intersect, cur_handle,
                                     operand_handle, cur, operand, bv,
                                     inter);
@@ -333,10 +337,7 @@ PlanExecutor::buildCandidates(const MiningPlan &plan, unsigned position,
         }
 
         buf->clear();
-        if (op.kind == SetOpKind::Intersect)
-            streams::intersect(cur, operand, bv, buf);
-        else
-            streams::subtract(cur, operand, bv, buf);
+        streams::runSetOp(op.kind, cur, operand, bv, buf);
         const BackendStream result_handle = backend_.setOp(
             op.kind, cur_handle, operand_handle, cur, operand, bv,
             *buf, out_addr);
@@ -382,7 +383,8 @@ PlanExecutor::nestedTail(const MiningPlan &plan,
     for (const Key v : set.keys) {
         auto below = graph_.neighborsBelow(v);
         const std::uint64_t cnt =
-            streams::intersect(set.keys, below, static_cast<Key>(v))
+            streams::runSetOpCount(SetOpKind::Intersect, set.keys,
+                                   below, static_cast<Key>(v))
                 .count;
         items.push_back({graph_.vertexEntryAddr(v),
                          graph_.edgeListAddr(v), below,

@@ -190,7 +190,8 @@ runFsm(const graph::LabeledGraph &lg, backend::ExecBackend &backend,
                 static_cast<std::uint32_t>(below_v.size()), 0,
                 below_v);
             tri_buf.clear();
-            streams::intersect(below_u, below_v, noBound, &tri_buf);
+            streams::runSetOp(SetOpKind::Intersect, below_u, below_v,
+                              noBound, &tri_buf);
             const BackendStream hw = backend.setOp(
                 SetOpKind::Intersect, hu, hv, below_u, below_v,
                 noBound, tri_buf, 0x6f0000000ull);
@@ -284,10 +285,12 @@ runFsm(const graph::LabeledGraph &lg, backend::ExecBackend &backend,
                 0x6f8000100ull, 1, 0, streams::KeySpan{single_u, 1});
             path_buf_a.clear();
             path_buf_b.clear();
-            streams::subtract(nu, streams::KeySpan{single_v, 1},
-                              noBound, &path_buf_a);
-            streams::subtract(nv, streams::KeySpan{single_u, 1},
-                              noBound, &path_buf_b);
+            streams::runSetOp(SetOpKind::Subtract, nu,
+                              streams::KeySpan{single_v, 1}, noBound,
+                              &path_buf_a);
+            streams::runSetOp(SetOpKind::Subtract, nv,
+                              streams::KeySpan{single_u, 1}, noBound,
+                              &path_buf_b);
             const BackendStream ha = backend.setOp(
                 SetOpKind::Subtract, hu, hsv, nu,
                 streams::KeySpan{single_v, 1}, noBound, path_buf_a,

@@ -35,7 +35,7 @@ triangles(const graph::CsrGraph &g, backend::ExecBackend &backend,
     executor.setRootStride(root_stride);
     return executor
         .runManyNoLifecycle(gpmAppPlans(
-            backend.supportsNested() ? GpmApp::T : GpmApp::TS))
+            backend.caps().nested ? GpmApp::T : GpmApp::TS))
         .embeddings;
 }
 

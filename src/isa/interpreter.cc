@@ -185,13 +185,12 @@ Interpreter::execStream(const Inst &inst)
         std::vector<Key> out;
         const bool counting = inst.op == Opcode::SInterC ||
                               inst.op == Opcode::SSubC;
-        SetOpResult res;
-        if (inst.op == Opcode::SInter || inst.op == Opcode::SInterC)
-            res = streams::intersect(a, b, bound,
-                                     counting ? nullptr : &out);
-        else
-            res = streams::subtract(a, b, bound,
-                                    counting ? nullptr : &out);
+        const auto kind = inst.op == Opcode::SInter ||
+                                  inst.op == Opcode::SInterC
+                              ? streams::SetOpKind::Intersect
+                              : streams::SetOpKind::Subtract;
+        const SetOpResult res = streams::runSetOp(
+            kind, a, b, bound, counting ? nullptr : &out);
         if (counting) {
             setGpr(inst.r[2], res.count);
         } else {
@@ -209,8 +208,9 @@ Interpreter::execStream(const Inst &inst)
         loadOperands(inst, a, b);
         std::vector<Key> out;
         const bool counting = inst.op == Opcode::SMergeC;
-        SetOpResult res =
-            streams::merge(a, b, counting ? nullptr : &out);
+        const SetOpResult res =
+            streams::runSetOp(streams::SetOpKind::Merge, a, b,
+                              noBound, counting ? nullptr : &out);
         if (counting) {
             setGpr(inst.r[2], res.count);
         } else {
@@ -302,7 +302,10 @@ Interpreter::execNestedIntersect(const Inst &inst)
                 above_base + s * 4);
             const auto nested = mem_.readArray<Key>(
                 edge_base + row_begin * sizeof(Key), above);
-            total += streams::intersect(s_keys, nested, s).count;
+            total += streams::runSetOpCount(
+                         streams::SetOpKind::Intersect, s_keys,
+                         nested, s)
+                         .count;
         }
         setGpr(inst.r[1], total);
     } catch (...) {

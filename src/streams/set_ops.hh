@@ -238,6 +238,25 @@ SuCost suCost(KeySpan a, KeySpan b, SetOpKind kind, Key bound = noBound,
 Cycles suCycles(KeySpan a, KeySpan b, SetOpKind kind, Key bound = noBound,
                 unsigned width = 16);
 
+// ---------------- dispatched host kernels ----------------
+// The templates above are the scalar REFERENCE (and the per-step
+// visitor source for the CPU cost model). Functional hot paths go
+// through these entry points instead, which route to the process's
+// active kernel table (streams/simd/kernel_table.hh): AVX2 / SSE4 /
+// scalar, CPUID-selected, SC_FORCE_KERNEL-overridable. All levels
+// return bit-identical SetOpResults and outputs; only host
+// wall-clock changes. Defined in streams/simd/kernel_table.cc.
+
+/** One set operation via the active kernel table (Merge ignores the
+ *  bound). @param out optional output vector (appended). */
+SetOpResult runSetOp(SetOpKind kind, KeySpan a, KeySpan b,
+                     Key bound = noBound, std::vector<Key> *out = nullptr);
+
+/** Counting (.C) form — the same dispatch with no output buffer, so
+ *  counts can never diverge from the materializing results. */
+SetOpResult runSetOpCount(SetOpKind kind, KeySpan a, KeySpan b,
+                          Key bound = noBound);
+
 } // namespace sc::streams
 
 #endif // SPARSECORE_STREAMS_SET_OPS_HH

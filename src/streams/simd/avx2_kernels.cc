@@ -1,0 +1,211 @@
+/**
+ * @file
+ * AVX2 (8-wide) set-operation kernels — the host-side analogue of
+ * the SU's 16-wide parallel comparator (§4.2, Fig. 6). Each step
+ * compares an 8-key block of A against all 8 rotations of an 8-key
+ * block of B (64 key pairs per iteration), left-packs the matched
+ * lanes with a permute-table store, and advances whichever block's
+ * maximum is not ahead. Heavily skewed operands take the galloping
+ * path instead, and results are finalized with the closed-form
+ * scalar-reference endpoint math (simd_util.hh), so the returned
+ * SetOpResult is bit-identical to the scalar kernel's.
+ *
+ * This translation unit is compiled with -mavx2 and only ever
+ * entered after __builtin_cpu_supports("avx2") (kernel_table.cc).
+ */
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "streams/simd/kernel_table.hh"
+#include "streams/simd/simd_util.hh"
+
+namespace sc::streams::simd {
+
+namespace {
+
+constexpr std::size_t laneWidth = 8;
+
+/** 8-bit mask of A lanes whose key occurs anywhere in the B block. */
+inline unsigned
+blockMatchMask(__m256i va, __m256i vb)
+{
+    // Rotate B one lane at a time; eight compares pair every A lane
+    // with every B lane. Equality compares are sign-agnostic, so
+    // unsigned keys need no bias.
+    const __m256i rotate1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    __m256i m = _mm256_cmpeq_epi32(va, vb);
+    __m256i rb = vb;
+    for (int r = 1; r < static_cast<int>(laneWidth); ++r) {
+        rb = _mm256_permutevar8x32_epi32(rb, rotate1);
+        m = _mm256_or_si256(m, _mm256_cmpeq_epi32(va, rb));
+    }
+    return static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(m)));
+}
+
+/** Left-pack the masked lanes of va to dst; returns advanced dst. */
+inline Key *
+emitLanes(__m256i va, unsigned mask, Key *dst)
+{
+    const __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i *>(avx2EmitTable.idx[mask]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst),
+                        _mm256_permutevar8x32_epi32(va, perm));
+    return dst + std::popcount(mask);
+}
+
+SetOpResult
+avx2Intersect(KeySpan a, KeySpan b, Key bound, std::vector<Key> *out)
+{
+    const std::size_t la = trimToBound(a, bound);
+    const std::size_t lb = trimToBound(b, bound);
+    if (la == 0 || lb == 0)
+        return finishIntersect(a, la, b, lb, 0);
+    if (skewed(la, lb) || skewed(lb, la))
+        return skewIntersect(a, la, b, lb, out);
+
+    std::size_t base = 0;
+    Key *dst = nullptr;
+    if (out) {
+        // Slack for the full-width packed store of the last block.
+        base = out->size();
+        out->resize(base + std::min(la, lb) + laneWidth);
+        dst = out->data() + base;
+    }
+
+    std::uint64_t count = 0;
+    std::size_t i = 0, j = 0;
+    while (i + laneWidth <= la && j + laneWidth <= lb) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a.data() + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b.data() + j));
+        const unsigned mask = blockMatchMask(va, vb);
+        if (dst)
+            dst = emitLanes(va, mask, dst);
+        count += std::popcount(mask);
+        // Keys are duplicate-free, so a block pair can never match
+        // twice: advancing on max comparison loses no pair, and the
+        // emitted keys stay globally sorted.
+        const Key amax = a[i + laneWidth - 1];
+        const Key bmax = b[j + laneWidth - 1];
+        if (amax <= bmax)
+            i += laneWidth;
+        if (bmax <= amax)
+            j += laneWidth;
+    }
+    // Sub-block remainder: plain two-pointer walk. Lanes already
+    // matched above cannot re-match — their partner key was unique.
+    while (i < la && j < lb) {
+        const Key ka = a[i], kb = b[j];
+        if (ka == kb) {
+            if (dst)
+                *dst++ = ka;
+            ++count;
+            ++i;
+            ++j;
+        } else if (ka < kb) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    if (out)
+        out->resize(base + count);
+    return finishIntersect(a, la, b, lb, count);
+}
+
+SetOpResult
+avx2Subtract(KeySpan a, KeySpan b, Key bound, std::vector<Key> *out)
+{
+    const std::size_t la = trimToBound(a, bound);
+    if (!out) {
+        // |A - B| below the bound = |A'| - |A' ∩ B|; reuse the
+        // intersect kernel so the counting form shares every fast
+        // path.
+        const std::uint64_t matches =
+            avx2Intersect(a.first(la), b, noBound, nullptr).count;
+        return finishSubtract(a, la, b, la - matches);
+    }
+    if (la == 0)
+        return finishSubtract(a, 0, b, 0);
+    if (skewed(b.size(), la))
+        return skewSubtractLongB(a, la, b, out);
+    if (b.empty() || skewed(la, b.size()))
+        return skewSubtractLongA(a, la, b, out);
+
+    const std::size_t base = out->size();
+    out->resize(base + la + laneWidth);
+    Key *dst = out->data() + base;
+
+    // `pending` accumulates the match mask of the CURRENT A block
+    // across successive B blocks; the block's survivors are emitted
+    // only once it can no longer match (amax <= bmax: every later B
+    // key exceeds amax).
+    unsigned pending = 0;
+    std::size_t i = 0, j = 0;
+    while (i + laneWidth <= la && j + laneWidth <= b.size()) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a.data() + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b.data() + j));
+        pending |= blockMatchMask(va, vb);
+        const Key amax = a[i + laneWidth - 1];
+        const Key bmax = b[j + laneWidth - 1];
+        if (amax <= bmax) {
+            dst = emitLanes(va, ~pending & 0xffu, dst);
+            i += laneWidth;
+            pending = 0;
+        }
+        if (bmax <= amax)
+            j += laneWidth;
+    }
+    // Remainder. The undecided A block (lanes [i, i+8) when the loop
+    // exited for lack of B keys) carries its pending bits: matched
+    // lanes must be dropped here, not re-emitted.
+    const std::size_t block = i;
+    while (i < la) {
+        const Key ka = a[i];
+        if (i - block < laneWidth && (pending >> (i - block)) & 1u) {
+            ++i;
+            continue;
+        }
+        while (j < b.size() && b[j] < ka)
+            ++j;
+        if (j < b.size() && b[j] == ka) {
+            ++i;
+            ++j;
+        } else {
+            *dst++ = ka;
+            ++i;
+        }
+    }
+    const auto count =
+        static_cast<std::uint64_t>(dst - (out->data() + base));
+    out->resize(base + count);
+    return finishSubtract(a, la, b, count);
+}
+
+SetOpResult
+avx2Merge(KeySpan a, KeySpan b, std::vector<Key> *out)
+{
+    if (out)
+        return mergeMaterialize(a, b, out);
+    const std::uint64_t matches =
+        avx2Intersect(a, b, noBound, nullptr).count;
+    return finishMerge(a, b, matches);
+}
+
+} // namespace
+
+const KernelTable &
+avx2KernelTable()
+{
+    static const KernelTable table{KernelLevel::Avx2, &avx2Intersect,
+                                   &avx2Subtract, &avx2Merge};
+    return table;
+}
+
+} // namespace sc::streams::simd

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * SSE4 (4-wide) set-operation kernels: the same block-compare /
+ * left-pack / closed-form-finalize structure as avx2_kernels.cc at
+ * NEON width — 4 keys per block, 16 key pairs per iteration, lane
+ * rotation via _mm_shuffle_epi32 and packing via _mm_shuffle_epi8.
+ * See avx2_kernels.cc for the algorithmic commentary; this file only
+ * notes where the 128-bit forms differ.
+ *
+ * Compiled with -msse4.1; entered only after
+ * __builtin_cpu_supports("sse4.1") (kernel_table.cc).
+ */
+
+#include <smmintrin.h>
+
+#include <bit>
+
+#include "streams/simd/kernel_table.hh"
+#include "streams/simd/simd_util.hh"
+
+namespace sc::streams::simd {
+
+namespace {
+
+constexpr std::size_t laneWidth = 4;
+
+/** 4-bit mask of A lanes whose key occurs anywhere in the B block. */
+inline unsigned
+blockMatchMask(__m128i va, __m128i vb)
+{
+    const __m128i r1 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+    const __m128i r2 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2));
+    const __m128i r3 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3));
+    const __m128i m = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi32(va, vb), _mm_cmpeq_epi32(va, r1)),
+        _mm_or_si128(_mm_cmpeq_epi32(va, r2), _mm_cmpeq_epi32(va, r3)));
+    return static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(m)));
+}
+
+/** Left-pack the masked lanes of va to dst; returns advanced dst. */
+inline Key *
+emitLanes(__m128i va, unsigned mask, Key *dst)
+{
+    const __m128i shuf = _mm_load_si128(
+        reinterpret_cast<const __m128i *>(sseEmitTable.bytes[mask]));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(dst),
+                     _mm_shuffle_epi8(va, shuf));
+    return dst + std::popcount(mask);
+}
+
+SetOpResult
+sseIntersect(KeySpan a, KeySpan b, Key bound, std::vector<Key> *out)
+{
+    const std::size_t la = trimToBound(a, bound);
+    const std::size_t lb = trimToBound(b, bound);
+    if (la == 0 || lb == 0)
+        return finishIntersect(a, la, b, lb, 0);
+    if (skewed(la, lb) || skewed(lb, la))
+        return skewIntersect(a, la, b, lb, out);
+
+    std::size_t base = 0;
+    Key *dst = nullptr;
+    if (out) {
+        base = out->size();
+        out->resize(base + std::min(la, lb) + laneWidth);
+        dst = out->data() + base;
+    }
+
+    std::uint64_t count = 0;
+    std::size_t i = 0, j = 0;
+    while (i + laneWidth <= la && j + laneWidth <= lb) {
+        const __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a.data() + i));
+        const __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b.data() + j));
+        const unsigned mask = blockMatchMask(va, vb);
+        if (dst)
+            dst = emitLanes(va, mask, dst);
+        count += std::popcount(mask);
+        const Key amax = a[i + laneWidth - 1];
+        const Key bmax = b[j + laneWidth - 1];
+        if (amax <= bmax)
+            i += laneWidth;
+        if (bmax <= amax)
+            j += laneWidth;
+    }
+    while (i < la && j < lb) {
+        const Key ka = a[i], kb = b[j];
+        if (ka == kb) {
+            if (dst)
+                *dst++ = ka;
+            ++count;
+            ++i;
+            ++j;
+        } else if (ka < kb) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    if (out)
+        out->resize(base + count);
+    return finishIntersect(a, la, b, lb, count);
+}
+
+SetOpResult
+sseSubtract(KeySpan a, KeySpan b, Key bound, std::vector<Key> *out)
+{
+    const std::size_t la = trimToBound(a, bound);
+    if (!out) {
+        const std::uint64_t matches =
+            sseIntersect(a.first(la), b, noBound, nullptr).count;
+        return finishSubtract(a, la, b, la - matches);
+    }
+    if (la == 0)
+        return finishSubtract(a, 0, b, 0);
+    if (skewed(b.size(), la))
+        return skewSubtractLongB(a, la, b, out);
+    if (b.empty() || skewed(la, b.size()))
+        return skewSubtractLongA(a, la, b, out);
+
+    const std::size_t base = out->size();
+    out->resize(base + la + laneWidth);
+    Key *dst = out->data() + base;
+
+    unsigned pending = 0;
+    std::size_t i = 0, j = 0;
+    while (i + laneWidth <= la && j + laneWidth <= b.size()) {
+        const __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a.data() + i));
+        const __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b.data() + j));
+        pending |= blockMatchMask(va, vb);
+        const Key amax = a[i + laneWidth - 1];
+        const Key bmax = b[j + laneWidth - 1];
+        if (amax <= bmax) {
+            dst = emitLanes(va, ~pending & 0xfu, dst);
+            i += laneWidth;
+            pending = 0;
+        }
+        if (bmax <= amax)
+            j += laneWidth;
+    }
+    const std::size_t block = i;
+    while (i < la) {
+        const Key ka = a[i];
+        if (i - block < laneWidth && (pending >> (i - block)) & 1u) {
+            ++i;
+            continue;
+        }
+        while (j < b.size() && b[j] < ka)
+            ++j;
+        if (j < b.size() && b[j] == ka) {
+            ++i;
+            ++j;
+        } else {
+            *dst++ = ka;
+            ++i;
+        }
+    }
+    const auto count =
+        static_cast<std::uint64_t>(dst - (out->data() + base));
+    out->resize(base + count);
+    return finishSubtract(a, la, b, count);
+}
+
+SetOpResult
+sseMerge(KeySpan a, KeySpan b, std::vector<Key> *out)
+{
+    if (out)
+        return mergeMaterialize(a, b, out);
+    const std::uint64_t matches =
+        sseIntersect(a, b, noBound, nullptr).count;
+    return finishMerge(a, b, matches);
+}
+
+} // namespace
+
+const KernelTable &
+sseKernelTable()
+{
+    static const KernelTable table{KernelLevel::Sse, &sseIntersect,
+                                   &sseSubtract, &sseMerge};
+    return table;
+}
+
+} // namespace sc::streams::simd

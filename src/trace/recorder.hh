@@ -10,6 +10,7 @@
 #define SPARSECORE_TRACE_RECORDER_HH
 
 #include "backend/exec_backend.hh"
+#include "streams/simd/kernel_table.hh"
 #include "trace/trace.hh"
 
 namespace sc::trace {
@@ -75,7 +76,15 @@ class TraceRecorder : public backend::ExecBackend
      * replay driver re-dispatches it through the target backend's
      * own nestedIntersect (which lowers it when unsupported).
      */
-    bool supportsNested() const override { return true; }
+    backend::ExecBackend::Caps
+    caps() const override
+    {
+        backend::ExecBackend::Caps c;
+        c.nested = true;
+        c.vectorizedSetOps =
+            streams::activeKernels().level != streams::KernelLevel::Scalar;
+        return c;
+    }
     void nestedIntersect(
         backend::BackendStream s, streams::KeySpan s_keys,
         const std::vector<backend::NestedItem> &elems) override;

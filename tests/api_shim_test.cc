@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The deprecated positional-argument Machine overloads must keep
+ * returning exactly what the RunRequest API returns until they are
+ * removed — this is the test that keeps the shims honest. Also covers
+ * the ExecBackend::Caps surface that replaced the supportsNested()
+ * probe.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/machine.hh"
+#include "backend/cpu_backend.hh"
+#include "backend/functional_backend.hh"
+#include "backend/sparsecore_backend.hh"
+#include "tensor/tensor_gen.hh"
+#include "test_util.hh"
+#include "trace/recorder.hh"
+
+using namespace sc;
+using namespace sc::api;
+
+// The whole point of this file is to call deprecated functions.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(ApiShims, GpmShimsMatchRunRequest)
+{
+    Machine machine;
+    const auto g = test::randomTestGraph(120, 1400, 77);
+
+    RunOptions options;
+    options.rootStride = 2;
+    const auto req = RunRequest::gpm(gpm::GpmApp::T, g, options);
+
+    const auto sc_new = machine.run(req, Substrate::SparseCore);
+    const auto sc_old = machine.mineSparseCore(gpm::GpmApp::T, g, 2);
+    EXPECT_EQ(sc_old.embeddings, sc_new.functionalResult);
+    EXPECT_EQ(sc_old.cycles, sc_new.cycles);
+    EXPECT_EQ(sc_old.breakdown.cycles, sc_new.breakdown.cycles);
+
+    const auto cpu_new = machine.run(req, Substrate::Cpu);
+    const auto cpu_old = machine.mineCpu(gpm::GpmApp::T, g, 2);
+    EXPECT_EQ(cpu_old.embeddings, cpu_new.functionalResult);
+    EXPECT_EQ(cpu_old.cycles, cpu_new.cycles);
+
+    const auto cmp_new = machine.compare(req);
+    const auto cmp_old = machine.compareGpm(gpm::GpmApp::T, g, 2);
+    EXPECT_EQ(cmp_old.functionalResult, cmp_new.functionalResult);
+    EXPECT_EQ(cmp_old.baseline.cycles, cmp_new.baseline.cycles);
+    EXPECT_EQ(cmp_old.accelerated.cycles, cmp_new.accelerated.cycles);
+}
+
+TEST(ApiShims, FsmShimMatchesRunRequest)
+{
+    Machine machine;
+    const auto lg = graph::LabeledGraph::withRandomLabels(
+        test::randomTestGraph(120, 1400, 78), 4, 79);
+    const auto cmp_new = machine.compare(RunRequest::fsm(lg, 20));
+    const auto cmp_old = machine.compareFsm(lg, 20);
+    EXPECT_EQ(cmp_old.functionalResult, cmp_new.functionalResult);
+    EXPECT_EQ(cmp_old.baseline.cycles, cmp_new.baseline.cycles);
+    EXPECT_EQ(cmp_old.accelerated.cycles, cmp_new.accelerated.cycles);
+}
+
+TEST(ApiShims, TensorShimsMatchRunRequest)
+{
+    Machine machine;
+    const auto a = tensor::generateMatrix(
+        120, 120, 2400, tensor::MatrixStructure::Uniform, 80, "A");
+    const auto algorithm = kernels::SpmspmAlgorithm::Gustavson;
+
+    tensor::SparseMatrix prod_old, prod_new;
+    const auto sc_old =
+        machine.spmspmSparseCore(a, a, algorithm, 1, &prod_old);
+    const auto sc_new =
+        machine.run(RunRequest::spmspm(a, a, algorithm, {}, &prod_new),
+                    Substrate::SparseCore);
+    EXPECT_EQ(sc_old.valueOps, sc_new.functionalResult);
+    EXPECT_EQ(sc_old.cycles, sc_new.cycles);
+    EXPECT_EQ(prod_old.nnz(), prod_new.nnz());
+    EXPECT_DOUBLE_EQ(prod_old.maxAbsDiff(prod_new), 0.0);
+
+    const auto cpu_old = machine.spmspmCpu(a, a, algorithm);
+    const auto cpu_new = machine.run(
+        RunRequest::spmspm(a, a, algorithm), Substrate::Cpu);
+    EXPECT_EQ(cpu_old.cycles, cpu_new.cycles);
+
+    const auto cmp_old = machine.compareSpmspm(a, a, algorithm);
+    const auto cmp_new =
+        machine.compare(RunRequest::spmspm(a, a, algorithm));
+    EXPECT_EQ(cmp_old.baseline.cycles, cmp_new.baseline.cycles);
+    EXPECT_EQ(cmp_old.accelerated.cycles, cmp_new.accelerated.cycles);
+
+    const auto t = tensor::generateTensor(20, 15, 60, 900, 81, "T");
+    const auto v = tensor::generateVector(60, 82);
+    const auto ttv_old = machine.compareTtv(t, v, 2);
+    RunOptions stride2;
+    stride2.stride = 2;
+    const auto ttv_new =
+        machine.compare(RunRequest::ttv(t, v, stride2));
+    EXPECT_EQ(ttv_old.functionalResult, ttv_new.functionalResult);
+    EXPECT_EQ(ttv_old.accelerated.cycles, ttv_new.accelerated.cycles);
+
+    const auto b = tensor::generateMatrix(
+        8, 60, 240, tensor::MatrixStructure::Uniform, 83, "B");
+    const auto ttm_old = machine.compareTtm(t, b);
+    const auto ttm_new = machine.compare(RunRequest::ttm(t, b));
+    EXPECT_EQ(ttm_old.functionalResult, ttm_new.functionalResult);
+    EXPECT_EQ(ttm_old.accelerated.cycles, ttm_new.accelerated.cycles);
+}
+
+TEST(BackendCaps, ReplaceSupportsNestedProbe)
+{
+    backend::FunctionalBackend functional;
+    EXPECT_TRUE(functional.caps().nested);
+    EXPECT_TRUE(functional.caps().keyValue);
+    EXPECT_TRUE(functional.caps().valueMerge);
+
+    backend::CpuBackend cpu({}, {});
+    EXPECT_FALSE(cpu.caps().nested);
+    EXPECT_FALSE(cpu.caps().vectorizedSetOps)
+        << "CPU baseline timing is defined by its scalar merge loops";
+
+    arch::SparseCoreConfig config;
+    config.nestedIntersection = true;
+    backend::SparseCoreBackend sc_on(config);
+    EXPECT_TRUE(sc_on.caps().nested);
+    EXPECT_TRUE(sc_on.caps().vectorizedSetOps);
+    config.nestedIntersection = false;
+    backend::SparseCoreBackend sc_off(config);
+    EXPECT_FALSE(sc_off.caps().nested);
+
+    trace::TraceRecorder recorder;
+    EXPECT_TRUE(recorder.caps().nested);
+
+    // The deprecated probe must agree with caps().nested.
+    EXPECT_EQ(functional.supportsNested(), functional.caps().nested);
+    EXPECT_EQ(cpu.supportsNested(), cpu.caps().nested);
+    EXPECT_EQ(sc_on.supportsNested(), sc_on.caps().nested);
+    EXPECT_EQ(sc_off.supportsNested(), sc_off.caps().nested);
+}

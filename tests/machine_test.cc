@@ -23,27 +23,66 @@ denseGraph()
     return graph::generateChungLu(800, 10000, 200, 2.0, 5, "dense");
 }
 
+RunOptions
+withRootStride(unsigned stride)
+{
+    RunOptions options;
+    options.rootStride = stride;
+    return options;
+}
+
 } // namespace
 
 TEST(Machine, GpmComparisonAgreesAndWins)
 {
     Machine machine;
     const auto g = denseGraph();
-    const Comparison cmp = machine.compareGpm(gpm::GpmApp::T, g);
+    const Comparison cmp =
+        machine.compare(RunRequest::gpm(gpm::GpmApp::T, g));
     EXPECT_GT(cmp.functionalResult, 0u);
     EXPECT_GT(cmp.speedup(), 1.0);
     EXPECT_EQ(cmp.baseline.substrate, "cpu");
     EXPECT_EQ(cmp.accelerated.substrate, "sparsecore");
 }
 
+TEST(Machine, RunMatchesCompareLegs)
+{
+    // run() on each substrate reproduces compare()'s two legs.
+    Machine machine;
+    const auto g = denseGraph();
+    const auto req = RunRequest::gpm(gpm::GpmApp::T, g);
+    const Comparison cmp = machine.compare(req);
+    const RunResult cpu = machine.run(req, Substrate::Cpu);
+    const RunResult sc = machine.run(req, Substrate::SparseCore);
+    EXPECT_EQ(cpu.functionalResult, cmp.functionalResult);
+    EXPECT_EQ(sc.functionalResult, cmp.functionalResult);
+    EXPECT_EQ(cpu.cycles, cmp.baseline.cycles);
+    EXPECT_EQ(sc.cycles, cmp.accelerated.cycles);
+}
+
 TEST(Machine, RootStridePlumbing)
 {
     Machine machine;
     const auto g = denseGraph();
-    const auto full = machine.mineSparseCore(gpm::GpmApp::T, g, 1);
-    const auto sampled = machine.mineSparseCore(gpm::GpmApp::T, g, 4);
+    const auto full = machine.run(
+        RunRequest::gpm(gpm::GpmApp::T, g, withRootStride(1)),
+        Substrate::SparseCore);
+    const auto sampled = machine.run(
+        RunRequest::gpm(gpm::GpmApp::T, g, withRootStride(4)),
+        Substrate::SparseCore);
     EXPECT_LT(sampled.cycles, full.cycles);
-    EXPECT_LT(sampled.embeddings, full.embeddings);
+    EXPECT_LT(sampled.functionalResult, full.functionalResult);
+}
+
+TEST(Machine, ZeroStrideIsRejected)
+{
+    Machine machine;
+    const auto g = denseGraph();
+    EXPECT_THROW(
+        machine.run(
+            RunRequest::gpm(gpm::GpmApp::T, g, withRootStride(0)),
+            Substrate::Cpu),
+        SimError);
 }
 
 TEST(Machine, NestedIntersectionSpeedsUpTriangles)
@@ -51,9 +90,11 @@ TEST(Machine, NestedIntersectionSpeedsUpTriangles)
     // §6.3.2: the nested-intersection apps beat their *S variants.
     Machine machine;
     const auto g = denseGraph();
-    const auto t = machine.mineSparseCore(gpm::GpmApp::T, g);
-    const auto ts = machine.mineSparseCore(gpm::GpmApp::TS, g);
-    EXPECT_EQ(t.embeddings, ts.embeddings);
+    const auto t = machine.run(RunRequest::gpm(gpm::GpmApp::T, g),
+                               Substrate::SparseCore);
+    const auto ts = machine.run(RunRequest::gpm(gpm::GpmApp::TS, g),
+                                Substrate::SparseCore);
+    EXPECT_EQ(t.functionalResult, ts.functionalResult);
     EXPECT_LT(t.cycles, ts.cycles);
 }
 
@@ -65,8 +106,10 @@ TEST(Machine, DenserGraphsGetLargerSpeedups)
         graph::generateChungLu(2000, 6000, 60, 2.3, 7, "sparse");
     const auto dense =
         graph::generateChungLu(2000, 40000, 400, 1.9, 8, "dense");
-    const auto s_cmp = machine.compareGpm(gpm::GpmApp::T, sparse);
-    const auto d_cmp = machine.compareGpm(gpm::GpmApp::T, dense);
+    const auto s_cmp =
+        machine.compare(RunRequest::gpm(gpm::GpmApp::T, sparse));
+    const auto d_cmp =
+        machine.compare(RunRequest::gpm(gpm::GpmApp::T, dense));
     EXPECT_GT(d_cmp.speedup(), s_cmp.speedup());
 }
 
@@ -77,8 +120,9 @@ TEST(Machine, MoreSusHelpDefaultConfig)
     arch::SparseCoreConfig four;
     four.numSus = 4;
     const auto g = denseGraph();
-    const auto r1 = Machine(one).mineSparseCore(gpm::GpmApp::C4, g);
-    const auto r4 = Machine(four).mineSparseCore(gpm::GpmApp::C4, g);
+    const auto req = RunRequest::gpm(gpm::GpmApp::C4, g);
+    const auto r1 = Machine(one).run(req, Substrate::SparseCore);
+    const auto r4 = Machine(four).run(req, Substrate::SparseCore);
     EXPECT_LT(r4.cycles, r1.cycles);
 }
 
@@ -95,7 +139,7 @@ TEST(Machine, SpmspmComparison)
           kernels::SpmspmAlgorithm::Outer,
           kernels::SpmspmAlgorithm::Gustavson}) {
         const Comparison cmp =
-            machine.compareSpmspm(a, a, algorithm);
+            machine.compare(RunRequest::spmspm(a, a, algorithm));
         EXPECT_GT(cmp.speedup(), 1.0)
             << kernels::spmspmAlgorithmName(algorithm);
     }
@@ -106,10 +150,10 @@ TEST(Machine, TensorComparisons)
     Machine machine;
     const auto t = tensor::generateTensor(40, 30, 100, 3000, 11, "T");
     const auto v = tensor::generateVector(100, 12);
-    EXPECT_GT(machine.compareTtv(t, v).speedup(), 1.0);
+    EXPECT_GT(machine.compare(RunRequest::ttv(t, v)).speedup(), 1.0);
     const auto b = tensor::generateMatrix(
         16, 100, 600, tensor::MatrixStructure::Uniform, 13, "B");
-    EXPECT_GT(machine.compareTtm(t, b).speedup(), 1.0);
+    EXPECT_GT(machine.compare(RunRequest::ttm(t, b)).speedup(), 1.0);
 }
 
 TEST(Machine, FsmComparison)
@@ -117,9 +161,26 @@ TEST(Machine, FsmComparison)
     Machine machine;
     const auto lg = graph::LabeledGraph::withRandomLabels(
         denseGraph(), 4, 15);
-    const Comparison cmp = machine.compareFsm(lg, 20);
+    const Comparison cmp = machine.compare(RunRequest::fsm(lg, 20));
     EXPECT_GT(cmp.functionalResult, 0u);
     EXPECT_GT(cmp.speedup(), 0.8);
+}
+
+TEST(Machine, DedicatedHostPoolMatchesGlobalPool)
+{
+    // hostThreads only picks the host pool for the replay legs; the
+    // simulated outcome is bit-identical.
+    Machine machine;
+    const auto g = denseGraph();
+    RunOptions options;
+    options.hostThreads = 2;
+    const auto shared =
+        machine.compare(RunRequest::gpm(gpm::GpmApp::T, g));
+    const auto dedicated =
+        machine.compare(RunRequest::gpm(gpm::GpmApp::T, g, options));
+    EXPECT_EQ(shared.functionalResult, dedicated.functionalResult);
+    EXPECT_EQ(shared.baseline.cycles, dedicated.baseline.cycles);
+    EXPECT_EQ(shared.accelerated.cycles, dedicated.accelerated.cycles);
 }
 
 TEST(Report, FormattingContainsEverything)

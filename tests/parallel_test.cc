@@ -28,11 +28,12 @@ TEST(Parallel, CountsConservedAcrossSplit)
 {
     const auto g = test::randomTestGraph(300, 3000, 91);
     Machine machine;
-    const auto serial = machine.mineSparseCore(gpm::GpmApp::T, g);
+    const auto serial = machine.run(RunRequest::gpm(gpm::GpmApp::T, g),
+                                    Substrate::SparseCore);
     for (unsigned cores : {2u, 3u, 6u}) {
         const auto par =
             mineParallelSparseCore(gpm::GpmApp::T, g, cores);
-        EXPECT_EQ(par.embeddings, serial.embeddings)
+        EXPECT_EQ(par.embeddings, serial.functionalResult)
             << cores << " cores";
         EXPECT_EQ(par.perCore.size(), cores);
     }

@@ -5,7 +5,8 @@
  * x app x graph x tensor-kernel combination covered here, traces
  * survive a byte-stable serialization round trip, the committed
  * golden trace stays byte-stable, and the capture-once api paths
- * (compareGpm / compareParallelGpm) match their direct equivalents.
+ * (Machine::compare / compareParallelGpm) match their direct
+ * equivalents.
  */
 
 #include <gtest/gtest.h>
@@ -351,15 +352,16 @@ TEST(TraceApi, CompareGpmMatchesDirectRuns)
     const auto g = test::randomTestGraph(100, 800, 59);
     api::Machine machine;
     for (const gpm::GpmApp app : {gpm::GpmApp::T, gpm::GpmApp::TC}) {
-        const auto cmp = machine.compareGpm(app, g);
-        const auto cpu = machine.mineCpu(app, g);
-        const auto sc = machine.mineSparseCore(app, g);
+        const auto req = api::RunRequest::gpm(app, g);
+        const auto cmp = machine.compare(req);
+        const auto cpu = machine.run(req, api::Substrate::Cpu);
+        const auto sc = machine.run(req, api::Substrate::SparseCore);
         EXPECT_EQ(cmp.baseline.cycles, cpu.cycles);
         EXPECT_EQ(cmp.accelerated.cycles, sc.cycles);
         EXPECT_EQ(cmp.baseline.breakdown.cycles, cpu.breakdown.cycles);
         EXPECT_EQ(cmp.accelerated.breakdown.cycles,
                   sc.breakdown.cycles);
-        EXPECT_EQ(cmp.functionalResult, sc.embeddings);
+        EXPECT_EQ(cmp.functionalResult, sc.functionalResult);
         EXPECT_GT(cmp.trace.events, 0u);
         EXPECT_GT(cmp.trace.arenaBytes, 0u);
         EXPECT_NE(cmp.str().find("trace:"), std::string::npos);
