@@ -20,6 +20,16 @@ cmake --build "${prefix}" -j"$(nproc)"
 ctest --test-dir "${prefix}" --output-on-failure -j"$(nproc)"
 
 echo
+echo "=== full ctest, forced array set-index policy ==="
+SC_FORCE_SETINDEX=array ctest --test-dir "${prefix}" \
+    --output-on-failure -j"$(nproc)"
+
+echo
+echo "=== full ctest, forced bitmap set-index policy ==="
+SC_FORCE_SETINDEX=bitmap ctest --test-dir "${prefix}" \
+    --output-on-failure -j"$(nproc)"
+
+echo
 echo "=== TSan build + parallel suites ==="
 cmake -B "${prefix}-tsan" -S . -DSPARSECORE_SANITIZE=thread >/dev/null
 cmake --build "${prefix}-tsan" -j"$(nproc)" --target sparsecore_tests
@@ -44,7 +54,13 @@ SC_FORCE_KERNEL=scalar ctest --test-dir "${prefix}-scalar" \
 
 echo
 echo "=== kernel microbench smoke ==="
-"${prefix}/bench/kernel_microbench" --smoke
+(cd "${prefix}" && bench/kernel_microbench --smoke)
+
+# Keep the tracked bench snapshots in sync with what this run
+# produced (bench/results/README.md describes provenance; re-bless
+# them from a full, non-smoke run before committing perf claims).
+mkdir -p bench/results
+cp -f "${prefix}"/BENCH_*.json bench/results/
 
 echo
 echo "All checks passed."

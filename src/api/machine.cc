@@ -149,6 +149,10 @@ Machine::run(const RunRequest &request, Substrate substrate) const
     std::optional<streams::ScopedKernelOverride> forced;
     if (request.options.kernel)
         forced.emplace(*request.options.kernel);
+    std::optional<streams::setindex::ScopedIndexPolicyOverride>
+        forced_index;
+    if (request.options.indexPolicy)
+        forced_index.emplace(*request.options.indexPolicy);
 
     if (substrate == Substrate::Cpu) {
         backend::CpuBackend be(config_.core, config_.mem);
@@ -165,6 +169,10 @@ Machine::compare(const RunRequest &request) const
     std::optional<streams::ScopedKernelOverride> forced;
     if (request.options.kernel)
         forced.emplace(*request.options.kernel);
+    std::optional<streams::setindex::ScopedIndexPolicyOverride>
+        forced_index;
+    if (request.options.indexPolicy)
+        forced_index.emplace(*request.options.indexPolicy);
 
     std::optional<ThreadPool> local;
     if (request.options.hostThreads)

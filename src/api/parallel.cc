@@ -61,6 +61,10 @@ mineParallel(gpm::GpmApp app, const graph::CsrGraph &g,
     std::optional<streams::ScopedKernelOverride> forced;
     if (host.kernel)
         forced.emplace(*host.kernel);
+    std::optional<streams::setindex::ScopedIndexPolicyOverride>
+        forced_index;
+    if (host.indexPolicy)
+        forced_index.emplace(*host.indexPolicy);
 
     // K * num_cores chunks, stolen dynamically by the host threads.
     // Chunk m is attributed to simulated core m % num_cores. Each
@@ -132,6 +136,10 @@ compareParallelGpm(gpm::GpmApp app, const graph::CsrGraph &g,
     std::optional<streams::ScopedKernelOverride> forced;
     if (host.kernel)
         forced.emplace(*host.kernel);
+    std::optional<streams::setindex::ScopedIndexPolicyOverride>
+        forced_index;
+    if (host.indexPolicy)
+        forced_index.emplace(*host.indexPolicy);
     const unsigned k = std::max(1u, host.chunksPerCore);
     const unsigned num_chunks = num_cores * k;
 

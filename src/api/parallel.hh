@@ -28,6 +28,7 @@
 #include "arch/config.hh"
 #include "common/thread_pool.hh"
 #include "gpm/apps.hh"
+#include "streams/setindex/policy.hh"
 #include "streams/simd/kernel_table.hh"
 
 namespace sc::api {
@@ -72,6 +73,13 @@ struct HostOptions
      * host wall-clock), which tests/kernel_table_test.cc asserts.
      */
     std::optional<streams::KernelLevel> kernel;
+    /**
+     * Hybrid set-index policy for this run (nullopt = process
+     * default). Same contract as `kernel`: scoped for the whole run,
+     * moves host wall-clock only (tests/set_index_test.cc asserts
+     * the cycle invariance).
+     */
+    std::optional<streams::setindex::IndexPolicy> indexPolicy;
 };
 
 /**

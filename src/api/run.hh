@@ -28,6 +28,7 @@
 #include "graph/labeled_graph.hh"
 #include "kernels/spmspm.hh"
 #include "sim/core_model.hh"
+#include "streams/setindex/policy.hh"
 #include "streams/simd/kernel_table.hh"
 #include "tensor/csf_tensor.hh"
 #include "tensor/sparse_matrix.hh"
@@ -53,6 +54,11 @@ struct RunOptions
     /** Host set-op kernel level override (nullopt = process
      *  default); moves wall-clock only, never simulated cycles. */
     std::optional<streams::KernelLevel> kernel;
+    /** Hybrid set-index policy override (auto / array-only / bitmap;
+     *  nullopt = process default, i.e. SC_FORCE_SETINDEX or auto).
+     *  Like `kernel`, moves wall-clock only, never simulated
+     *  cycles. */
+    std::optional<streams::setindex::IndexPolicy> indexPolicy;
 };
 
 /**

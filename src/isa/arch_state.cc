@@ -169,6 +169,24 @@ StreamState::values(const StreamReg &reg) const
     return mem_->readArray<Value>(reg.valAddr, reg.length);
 }
 
+std::span<const Key>
+StreamState::keySpan(const StreamReg &reg) const
+{
+    if (reg.produced)
+        return reg.producedKeys;
+    return mem_->viewArray<Key>(reg.keyAddr, reg.length);
+}
+
+std::span<const Value>
+StreamState::valueSpan(const StreamReg &reg) const
+{
+    if (!reg.isKv && !reg.produced)
+        throw StreamException("value access on a key-only stream");
+    if (reg.produced)
+        return reg.producedVals;
+    return mem_->viewArray<Value>(reg.valAddr, reg.length);
+}
+
 unsigned
 StreamState::activeCount() const
 {

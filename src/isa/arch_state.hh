@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,27 @@ class MemoryImage
         std::memcpy(out.data(), seg->data + (addr - seg->base),
                     sizeof(T) * n);
         return out;
+    }
+
+    /**
+     * Zero-copy typed view of n elements. Segments borrow the host
+     * program's live arrays, so a view into a graph's edge segment
+     * IS a span into that graph's edge array — which is what lets
+     * runSetOp resolve interpreter operands in the setindex registry
+     * and pick hybrid formats with no interpreter-level plumbing.
+     * Valid while the segment's backing array lives.
+     */
+    template <typename T>
+    std::span<const T>
+    viewArray(Addr addr, std::size_t n) const
+    {
+        const auto *seg = find(addr, sizeof(T) * n);
+        const std::uint8_t *p = seg->data + (addr - seg->base);
+        if (reinterpret_cast<std::uintptr_t>(p) % alignof(T) != 0)
+            throw StreamException(strprintf(
+                "misaligned stream array access at 0x%llx",
+                static_cast<unsigned long long>(addr)));
+        return {reinterpret_cast<const T *>(p), n};
     }
 
     bool mapped(Addr addr, std::size_t bytes) const;
@@ -129,6 +151,14 @@ class StreamState
     std::vector<Key> keys(const StreamReg &reg) const;
     /** Materialized values of a (key,value) stream. */
     std::vector<Value> values(const StreamReg &reg) const;
+
+    /** Zero-copy view of a stream's keys: produced streams view
+     *  producedKeys, memory-backed streams view the borrowed segment
+     *  (MemoryImage::viewArray). Valid until the register is
+     *  redefined / freed or the backing memory goes away. */
+    std::span<const Key> keySpan(const StreamReg &reg) const;
+    /** Same for values of a (key,value) stream. */
+    std::span<const Value> valueSpan(const StreamReg &reg) const;
 
     /** Number of active streams. */
     unsigned activeCount() const;

@@ -124,13 +124,13 @@ Interpreter::step(const Program &program, std::uint64_t pc)
 }
 
 void
-Interpreter::loadOperands(const Inst &inst, std::vector<Key> &a,
-                          std::vector<Key> &b)
+Interpreter::loadOperands(const Inst &inst, std::span<const Key> &a,
+                          std::span<const Key> &b)
 {
     const StreamReg &ra = streams_.lookup(gpr(inst.r[0]));
     const StreamReg &rb = streams_.lookup(gpr(inst.r[1]));
-    a = streams_.keys(ra);
-    b = streams_.keys(rb);
+    a = streams_.keySpan(ra);
+    b = streams_.keySpan(rb);
 }
 
 void
@@ -169,7 +169,7 @@ Interpreter::execStream(const Inst &inst)
       case Opcode::SFetch: {
         const StreamReg &reg = streams_.lookup(gpr(inst.r[0]));
         const std::uint64_t offset = gpr(inst.r[1]);
-        const auto keys = streams_.keys(reg);
+        const auto keys = streams_.keySpan(reg);
         setGpr(inst.r[2],
                offset < keys.size() ? keys[offset] : endOfStream);
         return;
@@ -179,7 +179,7 @@ Interpreter::execStream(const Inst &inst)
       case Opcode::SInterC:
       case Opcode::SSub:
       case Opcode::SSubC: {
-        std::vector<Key> a, b;
+        std::span<const Key> a, b;
         loadOperands(inst, a, b);
         const Key bound = static_cast<Key>(gpr(inst.r[3]));
         std::vector<Key> out;
@@ -204,7 +204,7 @@ Interpreter::execStream(const Inst &inst)
 
       case Opcode::SMerge:
       case Opcode::SMergeC: {
-        std::vector<Key> a, b;
+        std::span<const Key> a, b;
         loadOperands(inst, a, b);
         std::vector<Key> out;
         const bool counting = inst.op == Opcode::SMergeC;
@@ -228,10 +228,10 @@ Interpreter::execStream(const Inst &inst)
         if ((!ra.isKv && !ra.produced) || (!rb.isKv && !rb.produced))
             throw StreamException(
                 "S_VINTER requires (key,value) streams");
-        const auto ak = streams_.keys(ra);
-        const auto av = streams_.values(ra);
-        const auto bk = streams_.keys(rb);
-        const auto bv = streams_.values(rb);
+        const auto ak = streams_.keySpan(ra);
+        const auto av = streams_.valueSpan(ra);
+        const auto bk = streams_.keySpan(rb);
+        const auto bv = streams_.valueSpan(rb);
         const Value result = streams::valueIntersect(
             ak, av, bk, bv, inst.valueOp);
         setGpr(inst.r[2], std::bit_cast<std::uint64_t>(result));
@@ -244,10 +244,10 @@ Interpreter::execStream(const Inst &inst)
         if ((!ra.isKv && !ra.produced) || (!rb.isKv && !rb.produced))
             throw StreamException(
                 "S_VMERGE requires (key,value) streams");
-        const auto ak = streams_.keys(ra);
-        const auto av = streams_.values(ra);
-        const auto bk = streams_.keys(rb);
-        const auto bv = streams_.values(rb);
+        const auto ak = streams_.keySpan(ra);
+        const auto av = streams_.valueSpan(ra);
+        const auto bk = streams_.keySpan(rb);
+        const auto bv = streams_.valueSpan(rb);
         std::vector<Key> out_keys;
         std::vector<Value> out_vals;
         streams::valueMerge(ak, av, bk, bv, fpr(inst.f[0]),
@@ -283,7 +283,7 @@ Interpreter::execNestedIntersect(const Inst &inst)
     auto cp = streams_.checkpoint();
     try {
         const StreamReg &reg = streams_.lookup(gpr(inst.r[0]));
-        const auto s_keys = streams_.keys(reg);
+        const auto s_keys = streams_.keySpan(reg);
 
         const Addr vertex_base = streams_.gfr(0);
         const Addr edge_base = streams_.gfr(1);
@@ -300,7 +300,10 @@ Interpreter::execNestedIntersect(const Inst &inst)
                 mem_.read<std::uint64_t>(vertex_base + s * 8);
             const auto above = mem_.read<std::uint32_t>(
                 above_base + s * 4);
-            const auto nested = mem_.readArray<Key>(
+            // Zero-copy: for graph-backed memory images this span
+            // aliases the live edge array, so the nested operand
+            // resolves in the setindex registry.
+            const auto nested = mem_.viewArray<Key>(
                 edge_base + row_begin * sizeof(Key), above);
             total += streams::runSetOpCount(
                          streams::SetOpKind::Intersect, s_keys,

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "common/stats.hh"
 #include "isa/arch_state.hh"
@@ -60,8 +61,12 @@ class Interpreter
     void execNestedIntersect(const Inst &inst);
 
     /** Materialize both operand key streams of a binary set op. */
-    void loadOperands(const Inst &inst, std::vector<Key> &a,
-                      std::vector<Key> &b);
+    /** Zero-copy operand views: memory-backed streams alias the
+     *  borrowed segment arrays, so graph-resident operands resolve in
+     *  the setindex registry and runSetOp can pick hybrid formats.
+     *  The views are consumed before any register is redefined. */
+    void loadOperands(const Inst &inst, std::span<const Key> &a,
+                      std::span<const Key> &b);
 
     MemoryImage &mem_;
     StreamState streams_;

@@ -1,0 +1,90 @@
+#include "streams/setindex/policy.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace sc::streams::setindex {
+
+namespace {
+
+/** Process default from SC_FORCE_SETINDEX (warn + Auto on unknown). */
+IndexPolicy
+resolveDefault()
+{
+    const char *env = std::getenv("SC_FORCE_SETINDEX");
+    if (!env || !*env)
+        return IndexPolicy::Auto;
+    const auto policy = parseIndexPolicy(env);
+    if (!policy) {
+        warn("SC_FORCE_SETINDEX='%s' not recognized "
+             "(want auto|array|bitmap); using auto",
+             env);
+        return IndexPolicy::Auto;
+    }
+    return *policy;
+}
+
+// -1 = unresolved / no override; otherwise an IndexPolicy value.
+std::atomic<int> g_default{-1};
+std::atomic<int> g_override{-1};
+
+} // namespace
+
+const char *
+indexPolicyName(IndexPolicy policy)
+{
+    switch (policy) {
+      case IndexPolicy::Auto:
+        return "auto";
+      case IndexPolicy::ArrayOnly:
+        return "array";
+      case IndexPolicy::Bitmap:
+        return "bitmap";
+      default:
+        panic("unknown index policy %u",
+              static_cast<unsigned>(policy));
+    }
+}
+
+std::optional<IndexPolicy>
+parseIndexPolicy(std::string_view name)
+{
+    if (name == "auto")
+        return IndexPolicy::Auto;
+    if (name == "array")
+        return IndexPolicy::ArrayOnly;
+    if (name == "bitmap")
+        return IndexPolicy::Bitmap;
+    return std::nullopt;
+}
+
+IndexPolicy
+activeIndexPolicy()
+{
+    const int o = g_override.load(std::memory_order_acquire);
+    if (o >= 0)
+        return static_cast<IndexPolicy>(o);
+    int d = g_default.load(std::memory_order_acquire);
+    if (d < 0) {
+        // Benign race: resolveDefault() is deterministic, so
+        // concurrent first calls store the same value.
+        d = static_cast<int>(resolveDefault());
+        g_default.store(d, std::memory_order_release);
+    }
+    return static_cast<IndexPolicy>(d);
+}
+
+ScopedIndexPolicyOverride::ScopedIndexPolicyOverride(IndexPolicy policy)
+    : prev_(g_override.exchange(static_cast<int>(policy),
+                                std::memory_order_acq_rel))
+{
+}
+
+ScopedIndexPolicyOverride::~ScopedIndexPolicyOverride()
+{
+    g_override.store(prev_, std::memory_order_release);
+}
+
+} // namespace sc::streams::setindex

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Format-selection policy for the hybrid stream set index.
+ *
+ * Mirrors the kernel-level machinery in streams/simd/kernel_table.hh:
+ * the process default comes from SC_FORCE_SETINDEX (auto|array|
+ * bitmap, resolved once on first use), an RAII ScopedIndexPolicyOverride
+ * wins over the default, and RunOptions/HostOptions carry an optional
+ * per-run override that the Machine facade applies the same way it
+ * applies RunOptions::kernel.
+ *
+ * Like the kernel level, the index policy moves host wall-clock only:
+ * every policy produces bit-identical outputs and SetOpResult work
+ * summaries, so simulated cycles never change (DESIGN.md §11,
+ * enforced by tests/set_index_test.cc).
+ */
+
+#ifndef SPARSECORE_STREAMS_SETINDEX_POLICY_HH
+#define SPARSECORE_STREAMS_SETINDEX_POLICY_HH
+
+#include <optional>
+#include <string_view>
+
+namespace sc::streams::setindex {
+
+/**
+ * Which adjacency-list representation runSetOp may pick per operand.
+ *  - Auto: bitmap kernels when the operand's list passed the dense
+ *    build threshold AND the probe-side heuristic says they pay off.
+ *  - ArrayOnly: bypass the index entirely (PR 3 behavior).
+ *  - Bitmap: use bitmap kernels whenever a bitmap exists for an
+ *    operand (including the sparser forced-tier bitmaps) — the A/B
+ *    stress policy for SC_FORCE_SETINDEX=bitmap test legs.
+ */
+enum class IndexPolicy : unsigned { Auto = 0, ArrayOnly = 1, Bitmap = 2 };
+
+const char *indexPolicyName(IndexPolicy policy);
+
+/** "auto"|"array"|"bitmap" -> policy; anything else -> nullopt. */
+std::optional<IndexPolicy> parseIndexPolicy(std::string_view name);
+
+/**
+ * Policy in effect for this call: an active ScopedIndexPolicyOverride
+ * if present, else the process default (SC_FORCE_SETINDEX or Auto,
+ * resolved once on first use).
+ */
+IndexPolicy activeIndexPolicy();
+
+/**
+ * RAII process-global policy override (tests, RunOptions, parallel
+ * mining). Nests; restores the previous override on destruction.
+ * Process-wide for the same reason ScopedKernelOverride is: host pool
+ * threads executing a parallel run must observe it too.
+ */
+class ScopedIndexPolicyOverride
+{
+  public:
+    explicit ScopedIndexPolicyOverride(IndexPolicy policy);
+    ~ScopedIndexPolicyOverride();
+    ScopedIndexPolicyOverride(const ScopedIndexPolicyOverride &) = delete;
+    ScopedIndexPolicyOverride &
+    operator=(const ScopedIndexPolicyOverride &) = delete;
+
+  private:
+    int prev_;
+};
+
+} // namespace sc::streams::setindex
+
+#endif // SPARSECORE_STREAMS_SETINDEX_POLICY_HH

@@ -1,0 +1,151 @@
+#include "streams/setindex/registry.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace sc::streams::setindex {
+
+namespace {
+
+struct Entry
+{
+    const Key *begin = nullptr;
+    const Key *end = nullptr;
+    const std::uint64_t *offsets = nullptr;
+    std::size_t numVertices = 0;
+    const void *owner = nullptr;
+    std::shared_ptr<const StreamSetIndex> index;
+};
+
+using Snapshot = std::vector<Entry>;
+
+std::mutex g_mu;
+Snapshot g_entries;                          // master, sorted by begin
+std::shared_ptr<const Snapshot> g_snapshot;  // published copy (under g_mu)
+std::uint64_t g_snapshot_version = 0;        // version of g_snapshot
+std::atomic<std::uint64_t> g_version{0};     // cheap change detector
+std::atomic<std::size_t> g_count{0};
+
+/** Thread-local snapshot cache: refreshed only when g_version moved,
+ *  so steady-state lookups take no lock. The shared_ptr keeps every
+ *  Entry's index alive while this thread still uses the snapshot. */
+struct TlsCache
+{
+    std::uint64_t version = ~std::uint64_t{0};
+    std::shared_ptr<const Snapshot> snap;
+};
+thread_local TlsCache t_cache;
+
+void
+publishLocked()
+{
+    g_snapshot = std::make_shared<const Snapshot>(g_entries);
+    ++g_snapshot_version;
+    g_count.store(g_entries.size(), std::memory_order_relaxed);
+    g_version.store(g_snapshot_version, std::memory_order_release);
+}
+
+const Snapshot &
+currentSnapshot()
+{
+    const std::uint64_t v = g_version.load(std::memory_order_acquire);
+    if (t_cache.version != v || !t_cache.snap) {
+        std::lock_guard<std::mutex> lock(g_mu);
+        t_cache.snap = g_snapshot;
+        t_cache.version = g_snapshot_version;
+    }
+    static const Snapshot empty;
+    return t_cache.snap ? *t_cache.snap : empty;
+}
+
+} // namespace
+
+void
+registerGraphIndex(const void *owner, const Key *edges,
+                   std::size_t numEdgeSlots, const std::uint64_t *offsets,
+                   std::size_t numVertices,
+                   std::shared_ptr<const StreamSetIndex> index)
+{
+    if (!index || !edges || numEdgeSlots == 0)
+        return;
+    std::lock_guard<std::mutex> lock(g_mu);
+    std::erase_if(g_entries,
+                  [owner](const Entry &e) { return e.owner == owner; });
+    Entry e;
+    e.begin = edges;
+    e.end = edges + numEdgeSlots;
+    e.offsets = offsets;
+    e.numVertices = numVertices;
+    e.owner = owner;
+    e.index = std::move(index);
+    g_entries.insert(std::upper_bound(g_entries.begin(), g_entries.end(),
+                                      e,
+                                      [](const Entry &x, const Entry &y) {
+                                          return x.begin < y.begin;
+                                      }),
+                     std::move(e));
+    publishLocked();
+}
+
+void
+unregisterGraphIndex(const void *owner)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    const std::size_t erased = std::erase_if(
+        g_entries, [owner](const Entry &e) { return e.owner == owner; });
+    if (erased)
+        publishLocked();
+}
+
+bool
+registryEmpty()
+{
+    return g_count.load(std::memory_order_relaxed) == 0;
+}
+
+std::size_t
+registrySize()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    return g_entries.size();
+}
+
+bool
+resolveSpan(KeySpan span, ResolvedSpan &out)
+{
+    if (span.empty())
+        return false;
+    const Snapshot &snap = currentSnapshot();
+    if (snap.empty())
+        return false;
+    const Key *p = span.data();
+    // Last entry with begin <= p.
+    auto it = std::upper_bound(snap.begin(), snap.end(), p,
+                               [](const Key *q, const Entry &e) {
+                                   return q < e.begin;
+                               });
+    if (it == snap.begin())
+        return false;
+    const Entry &e = *std::prev(it);
+    if (p + span.size() > e.end)
+        return false;
+    // Locate the row: v with offsets[v] <= off < offsets[v+1].
+    const auto off = static_cast<std::uint64_t>(p - e.begin);
+    const std::uint64_t *o = e.offsets;
+    const auto v = static_cast<std::size_t>(
+        std::upper_bound(o, o + e.numVertices + 1, off) - o - 1);
+    if (v >= e.numVertices)
+        return false;
+    // Spans never straddle rows (they are N(v) slices), but a heap
+    // buffer living inside the registered range could — reject it.
+    if (off + span.size() > o[v + 1])
+        return false;
+    out.index = e.index.get();
+    out.vertex = static_cast<VertexId>(v);
+    out.fullList = off == o[v] && off + span.size() == o[v + 1];
+    return true;
+}
+
+} // namespace sc::streams::setindex

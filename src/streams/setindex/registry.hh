@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Process-global registry mapping live CSR edge-array pointer ranges
+ * to their StreamSetIndex.
+ *
+ * This is what lets gpm/executor, gpm/fsm and isa/interpreter pick
+ * formats per-operand with ZERO call-site changes: they already pass
+ * spans that point straight into a graph's edge array (neighbors /
+ * neighborsAbove / neighborsBelow / lower_bound prefixes), so
+ * runSetOp can recover (graph index, owning vertex, sub-span) from
+ * the span's data pointer alone. Intermediate buffers (arena vectors,
+ * produced interpreter streams, tensor arrays) simply miss.
+ *
+ * Lifetime: registration is tied to each owning CsrGraph object
+ * (register in the constructor, unregister in the destructor,
+ * re-register on copy, transfer on move). A range is always
+ * unregistered BEFORE its vector is freed, so a lookup can never
+ * match a stale entry against a recycled allocation: any snapshot
+ * that contains a range also predates that memory being reused.
+ *
+ * Concurrency: writers (graph construction/destruction, cold)
+ * serialize on a mutex and publish a fresh immutable snapshot with a
+ * version bump; readers (every runSetOp, hot) keep a thread-local
+ * shared_ptr to the snapshot and refresh it only when the version
+ * moved — steady-state lookups are lock-free and TSan-clean.
+ */
+
+#ifndef SPARSECORE_STREAMS_SETINDEX_REGISTRY_HH
+#define SPARSECORE_STREAMS_SETINDEX_REGISTRY_HH
+
+#include <cstddef>
+#include <memory>
+
+#include "streams/set_ops.hh"
+#include "streams/setindex/set_index.hh"
+
+namespace sc::streams::setindex {
+
+/** Register `owner`'s edge array [edges, edges+numEdgeSlots) with its
+ *  row offsets (size numVertices+1) and index. No-op when index is
+ *  null or the array is empty. Replaces any previous registration of
+ *  the same owner. */
+void registerGraphIndex(const void *owner, const Key *edges,
+                        std::size_t numEdgeSlots,
+                        const std::uint64_t *offsets,
+                        std::size_t numVertices,
+                        std::shared_ptr<const StreamSetIndex> index);
+
+/** Remove `owner`'s registration (no-op when absent). */
+void unregisterGraphIndex(const void *owner);
+
+/** Fast gate for the dispatch hot path: true when no graph has a
+ *  registered index (single relaxed atomic load). */
+bool registryEmpty();
+
+/** A span resolved to a slice of one registered adjacency list. */
+struct ResolvedSpan
+{
+    const StreamSetIndex *index = nullptr;
+    VertexId vertex = 0;
+    /** Span covers all of N(vertex) (not a strict sub-slice). */
+    bool fullList = false;
+};
+
+/**
+ * Resolve an operand span to the adjacency list containing it.
+ * Returns false when the span is empty, no registered range contains
+ * it, or it straddles a row boundary (never the case for spans the
+ * executors produce, but heap buffers that happen to sit inside a
+ * registered range could).
+ */
+bool resolveSpan(KeySpan span, ResolvedSpan &out);
+
+/** Number of registered graphs (tests). */
+std::size_t registrySize();
+
+} // namespace sc::streams::setindex
+
+#endif // SPARSECORE_STREAMS_SETINDEX_REGISTRY_HH

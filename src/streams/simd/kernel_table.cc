@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "streams/setindex/hybrid.hh"
 
 namespace sc::streams {
 
@@ -162,6 +163,14 @@ SetOpResult
 runSetOp(SetOpKind kind, KeySpan a, KeySpan b, Key bound,
          std::vector<Key> *out)
 {
+    // Hybrid-format fast path: operands that resolve to registered
+    // adjacency lists with bitmap chunks run the setindex kernels
+    // (bit-identical outputs and SetOpResult; DESIGN.md §11).
+    if (setindex::indexedDispatchPossible(a, b)) {
+        SetOpResult res;
+        if (setindex::tryRunIndexed(kind, a, b, bound, out, res))
+            return res;
+    }
     const KernelTable &t = activeKernels();
     switch (kind) {
       case SetOpKind::Intersect:

@@ -8,10 +8,13 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hh"
 #include "streams/set_ops.hh"
+#include "streams/simd/kernel_table.hh"
 
 using namespace sc;
 using namespace sc::streams;
@@ -419,6 +422,80 @@ TEST_P(SetOpsProperty, GallopingSuCostMatchesReference)
                 for (unsigned width : {1u, 4u, 16u}) {
                     const auto got =
                         suCost(a, b, kind, bound, width);
+                    const auto want =
+                        suCostReference(a, b, kind, bound, width);
+                    EXPECT_EQ(got.cycles, want.cycles)
+                        << setOpName(kind) << " bound " << bound
+                        << " width " << width;
+                    EXPECT_EQ(got.aConsumed, want.aConsumed);
+                    EXPECT_EQ(got.bConsumed, want.bConsumed);
+                }
+            }
+        }
+    }
+}
+
+TEST_P(SetOpsProperty, BoundedGallopAtExactBoundary)
+{
+    // R3 early termination ON the galloping fast paths: operands with
+    // >= 32x skew (the simdGallopRatio threshold) and bounds placed
+    // exactly at element keys, one past them, at the short side's last
+    // key, and one past it — the positions where an off-by-one in
+    // bound trimming vs. gallop termination would show. Checked for
+    // both skew directions against the scalar templates, through every
+    // dispatched kernel level and through suCost.
+    Rng rng(GetParam() ^ 0xb0907);
+    const auto small = sortedRandom(rng, 12, 50'000);
+    const auto large = sortedRandom(rng, 12 * 40, 50'000);
+    ASSERT_GE(large.size(), 32 * small.size());
+
+    std::vector<Key> bounds = {noBound, 0};
+    for (const Key k : small) {
+        bounds.push_back(k);
+        bounds.push_back(k + 1);
+    }
+    bounds.push_back(small.back());
+    bounds.push_back(small.back() + 1);
+    bounds.push_back(large[large.size() / 2]);
+    bounds.push_back(large.back() + 1);
+
+    const std::pair<KeySpan, KeySpan> orients[] = {{small, large},
+                                                   {large, small}};
+    for (const auto &[a, b] : orients) {
+        for (const Key bound : bounds) {
+            for (auto kind :
+                 {SetOpKind::Intersect, SetOpKind::Subtract}) {
+                std::vector<Key> ref_out;
+                const SetOpResult ref =
+                    kind == SetOpKind::Intersect
+                        ? intersect(a, b, bound, &ref_out)
+                        : subtract(a, b, bound, &ref_out);
+                for (const KernelLevel level :
+                     availableKernelLevels()) {
+                    ScopedKernelOverride forced(level);
+                    const std::string what =
+                        std::string(setOpName(kind)) + " level=" +
+                        kernelLevelName(level) + " bound=" +
+                        std::to_string(bound) + " |a|=" +
+                        std::to_string(a.size());
+                    std::vector<Key> out;
+                    const SetOpResult got =
+                        runSetOp(kind, a, b, bound, &out);
+                    EXPECT_EQ(out, ref_out) << what;
+                    EXPECT_EQ(got.count, ref.count) << what;
+                    EXPECT_EQ(got.steps, ref.steps) << what;
+                    EXPECT_EQ(got.aConsumed, ref.aConsumed) << what;
+                    EXPECT_EQ(got.bConsumed, ref.bConsumed) << what;
+                    const SetOpResult cnt =
+                        runSetOpCount(kind, a, b, bound);
+                    EXPECT_EQ(cnt.count, ref.count) << what << " (.C)";
+                    EXPECT_EQ(cnt.steps, ref.steps) << what << " (.C)";
+                }
+                // The SU cost model's galloping fast path must agree
+                // with the windowed-skip reference at the same
+                // boundary bounds.
+                for (unsigned width : {1u, 16u}) {
+                    const auto got = suCost(a, b, kind, bound, width);
                     const auto want =
                         suCostReference(a, b, kind, bound, width);
                     EXPECT_EQ(got.cycles, want.cycles)
