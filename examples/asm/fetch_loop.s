@@ -1,0 +1,16 @@
+; Sum a stream's keys with a scalar S_FETCH loop: stream-ISA / scalar
+; interplay with a backward branch. The verifier's CFG pass walks the
+; loop to a fixpoint; the program is verifier-clean.
+LI r1, 4096         ; stream base address
+LI r2, 8            ; stream length
+LI r3, 1            ; sid 1
+S_READ r1, r2, r3, r0
+LI r4, 0            ; index
+LI r5, 0            ; accumulator
+loop:
+S_FETCH r3, r4, r6  ; r6 = key[index]
+ADD r5, r5, r6      ; accumulate
+ADDI r4, r4, 1
+BLT r4, r2, loop
+S_FREE r3
+HALT

@@ -1,0 +1,19 @@
+; Intersect two key streams and fetch the first result key.
+; Exercises the S_READ -> S_INTER -> S_FETCH -> S_FREE lifecycle;
+; verifier-clean (scripts/check.sh runs scverify over this file).
+LI r1, 4096         ; stream A base address
+LI r2, 8            ; stream A length
+LI r3, 1            ; sid 1
+S_READ r1, r2, r3, r0
+LI r4, 8192         ; stream B base address
+LI r5, 8            ; stream B length
+LI r6, 2            ; sid 2
+S_READ r4, r5, r6, r0
+LI r7, 3            ; output sid
+S_INTER r3, r6, r7, r0  ; sid3 = A n B (r0 = no bound)
+LI r8, 0
+S_FETCH r7, r8, r9  ; r9 = first key of the intersection (or EOS)
+S_FREE r3
+S_FREE r6
+S_FREE r7
+HALT

@@ -1,0 +1,14 @@
+; Triangle counting step: nested intersection of a vertex's neighbor
+; list against each neighbor's own list (S_NESTINTER, §3.2). The
+; S_LD_GFR must dominate the S_NESTINTER — the verifier checks this.
+LI r1, 4096         ; CSR vertex array base
+LI r2, 8192         ; CSR edge array base
+LI r3, 12288        ; CSR offset array base
+S_LD_GFR r1, r2, r3
+LI r4, 8192         ; neighbor list address
+LI r5, 16           ; neighbor list length
+LI r6, 1            ; sid 1
+S_READ r4, r5, r6, r0
+S_NESTINTER r6, r7  ; r7 = total nested intersection count
+S_FREE r6
+HALT

@@ -1,0 +1,16 @@
+; Sparse dot product: two (key,value) streams, S_VINTER with MAC.
+; S_VREAD (not S_READ) gives both operands value ancestry, which the
+; verifier's value-op-on-key-stream rule demands.
+LI r1, 4096         ; A key base
+LI r2, 8            ; length
+LI r3, 1            ; sid 1
+LI r4, 16384        ; A value base
+S_VREAD r1, r2, r3, r4, r0
+LI r5, 8192         ; B key base
+LI r6, 2            ; sid 2
+LI r7, 24576        ; B value base
+S_VREAD r5, r2, r6, r7, r0
+S_VINTER r3, r6, r8, MAC ; r8 = sum of A[k]*B[k] over shared keys
+S_FREE r3
+S_FREE r6
+HALT

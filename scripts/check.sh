@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Full local check: regular build + complete test suite, then a
-# ThreadSanitizer build running the concurrency-sensitive suites
-# (thread pool, host-parallel mining, machine comparisons), then an
-# ASan+UBSan build running the trace capture/replay/serialization
-# suites (arena ownership and event-decoding bugs show up here),
-# then a forced-scalar kernel build (SIMD TUs omitted) with the full
-# suite under SC_FORCE_KERNEL=scalar, and a kernel microbench smoke
-# run.
+# Full local check: regular build + complete test suite, then the
+# same suite with the runtime verifier hooks forced on, then the
+# scverify static-verifier leg over the example programs and the
+# golden trace, a clang-tidy leg (skipped when the tool is absent),
+# then a ThreadSanitizer build running the concurrency-sensitive
+# suites (thread pool, host-parallel mining, machine comparisons),
+# then an ASan+UBSan build running the trace
+# capture/replay/serialization suites (arena ownership and
+# event-decoding bugs show up here), then a forced-scalar kernel
+# build (SIMD TUs omitted) with the full suite under
+# SC_FORCE_KERNEL=scalar, and a kernel microbench smoke run.
 #
 # Usage: scripts/check.sh [build-dir-prefix]
 set -euo pipefail
@@ -18,6 +21,29 @@ echo "=== regular build + full ctest ==="
 cmake -B "${prefix}" -S . >/dev/null
 cmake --build "${prefix}" -j"$(nproc)"
 ctest --test-dir "${prefix}" --output-on-failure -j"$(nproc)"
+
+echo
+echo "=== full ctest, verifier hooks forced on ==="
+# SC_VERIFY=1 turns the Machine::run / trace::replay verification
+# wrappers on regardless of build type, so every trace the suite
+# produces goes through the stream-lifetime checker.
+SC_VERIFY=1 ctest --test-dir "${prefix}" \
+    --output-on-failure -j"$(nproc)"
+
+echo
+echo "=== scverify: example programs + golden trace ==="
+"${prefix}/tools/scverify" examples/asm/*.s tests/data/golden_trace.bin
+
+echo
+echo "=== clang-tidy ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+    # compile_commands.json is exported by the top-level CMakeLists;
+    # the profile lives in .clang-tidy at the repo root.
+    clang-tidy -p "${prefix}/compile_commands.json" --quiet \
+        src/*/*.cc tools/*.cc
+else
+    echo "clang-tidy not installed; skipping (profile: .clang-tidy)"
+fi
 
 echo
 echo "=== full ctest, forced array set-index policy ==="

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Golden-diagnostic driver for the scverify CLI: every fixture under
+# tests/data/scverify/ must make scverify exit nonzero AND print the
+# rule id its filename encodes (use_after_free.s -> [use-after-free]).
+# Run by ctest (see tests/CMakeLists.txt):
+#   scverify_fixtures.sh <path-to-scverify> <fixture-dir>
+set -u
+
+scverify=$1
+dir=$2
+fail=0
+
+for f in "$dir"/*.s; do
+    rule=$(basename "$f" .s | tr _ -)
+    out=$("$scverify" "$f" 2>&1)
+    status=$?
+    if [ "$status" -ne 1 ]; then
+        echo "FAIL: $f: expected exit 1, got $status"
+        echo "$out"
+        fail=1
+        continue
+    fi
+    case "$out" in
+      *"[$rule]"*)
+        echo "ok: $f -> [$rule]"
+        ;;
+      *)
+        echo "FAIL: $f: no [$rule] diagnostic in output:"
+        echo "$out"
+        fail=1
+        ;;
+    esac
+done
+
+exit $fail

@@ -1,0 +1,112 @@
+#include "analysis/diagnostics.hh"
+
+#include <cstdlib>
+
+namespace sc::analysis {
+
+const char *
+ruleId(Rule rule)
+{
+    switch (rule) {
+      case Rule::UseBeforeRead:
+        return "use-before-read";
+      case Rule::UseAfterFree:
+        return "use-after-free";
+      case Rule::DoubleFree:
+        return "double-free";
+      case Rule::StreamLeak:
+        return "stream-leak";
+      case Rule::RedefineLive:
+        return "redefine-live";
+      case Rule::ValueOpOnKeyStream:
+        return "value-op-on-key-stream";
+      case Rule::NestInterWithoutGfr:
+        return "nestinter-without-gfr";
+      case Rule::PredCycle:
+        return "pred-cycle";
+      case Rule::StreamOverflow:
+        return "stream-overflow";
+      case Rule::NumRules:
+        break;
+    }
+    return "unknown-rule";
+}
+
+const char *
+ruleDescription(Rule rule)
+{
+    switch (rule) {
+      case Rule::UseBeforeRead:
+        return "stream used before S_READ/S_VREAD allocated it";
+      case Rule::UseAfterFree:
+        return "stream used after S_FREE released it";
+      case Rule::DoubleFree:
+        return "S_FREE of an already-freed stream";
+      case Rule::StreamLeak:
+        return "stream still live at program exit";
+      case Rule::RedefineLive:
+        return "live stream redefined without an intervening S_FREE";
+      case Rule::ValueOpOnKeyStream:
+        return "value operation on a stream without S_VREAD ancestry";
+      case Rule::NestInterWithoutGfr:
+        return "S_NESTINTER not dominated by S_LD_GFR";
+      case Rule::PredCycle:
+        return "SMT pred0/pred1 dependency cycle";
+      case Rule::StreamOverflow:
+        return "more simultaneously-live streams than stream registers";
+      case Rule::NumRules:
+        break;
+    }
+    return "unknown rule";
+}
+
+std::string
+Diagnostic::format() const
+{
+    return strprintf(
+        "pc %llu: %s[%s]: %s",
+        static_cast<unsigned long long>(pc),
+        severity == Severity::Error ? "error" : "warning", ruleId(rule),
+        message.c_str());
+}
+
+std::size_t
+VerifyReport::errorCount() const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diagnostics)
+        if (d.severity == Severity::Error)
+            ++n;
+    return n;
+}
+
+std::size_t
+VerifyReport::warningCount() const
+{
+    return diagnostics.size() - errorCount();
+}
+
+std::string
+VerifyReport::format() const
+{
+    std::string out;
+    for (const Diagnostic &d : diagnostics) {
+        out += d.format();
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+verifyByDefault()
+{
+    if (const char *env = std::getenv("SC_VERIFY"))
+        return env[0] != '0';
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+} // namespace sc::analysis

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Stream-lifetime checking for execution-event sequences: the same
+ * contract the static verifier (analysis/verifier.hh) enforces on
+ * stream-ISA programs, applied to the dynamic event stream an
+ * algorithm reports to an ExecBackend — either after the fact over a
+ * captured trace::Trace (verifyTrace) or online while a backend runs
+ * (analysis/verifying_backend.hh).
+ *
+ * Event sequences are branch-free, so no lattice is needed: the
+ * checker walks the concrete define/use/free order and reports the
+ * same rule ids the static pass uses. Handles are backend handles
+ * (Machine::run) or dense trace handles (replay) rather than sids;
+ * diagnostics carry the event index as their pc.
+ */
+
+#ifndef SPARSECORE_ANALYSIS_TRACE_CHECK_HH
+#define SPARSECORE_ANALYSIS_TRACE_CHECK_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "analysis/diagnostics.hh"
+#include "isa/stream_inst.hh"
+#include "trace/trace.hh"
+
+namespace sc::analysis {
+
+/**
+ * The event-order lifetime checker. Drive it with one call per
+ * stream-touching event; query report() at any point.
+ */
+class StreamLifetimeChecker
+{
+  public:
+    struct Options
+    {
+        unsigned maxLiveStreams = isa::numStreamRegs;
+        /** The SMT virtualizes past the register file by spilling
+         *  (§4.1), so dynamic overflow is a performance hazard, not
+         *  a correctness error — Warning by default here, unlike the
+         *  static pass. */
+        Severity overflowSeverity = Severity::Warning;
+    };
+
+    StreamLifetimeChecker() = default;
+    explicit StreamLifetimeChecker(Options options) : opt_(options) {}
+
+    /** Sentinel handles (backend::noStream / trace::noTraceStream as
+     *  64-bit values) are ignored by every hook. */
+    void onDefine(std::uint64_t handle, bool kv, const char *what);
+    void onFree(std::uint64_t handle, const char *what);
+    void onUse(std::uint64_t handle, bool need_kv, const char *what);
+    /** End of the event stream: leak check. */
+    void onEnd();
+
+    /** Advance the event counter (diagnostic pc) without checking —
+     *  call once per non-stream event to keep indices aligned. */
+    void skipEvent() { ++seq_; }
+
+    const VerifyReport &report() const { return report_; }
+    bool hasErrors() const { return report_.hasErrors(); }
+    void reset();
+
+  private:
+    enum class Lt : std::uint8_t { Key, Kv, Freed };
+
+    static bool ignored(std::uint64_t handle);
+    void emit(Rule rule, std::uint64_t handle, const std::string &msg,
+              Severity severity = Severity::Error);
+
+    Options opt_;
+    std::map<std::uint64_t, Lt> streams_;
+    unsigned live_ = 0;
+    std::uint64_t seq_ = 0;
+    VerifyReport report_;
+};
+
+/** Check a captured trace against the stream-lifetime contract. */
+VerifyReport verifyTrace(const trace::Trace &trace,
+                         StreamLifetimeChecker::Options options = {});
+
+} // namespace sc::analysis
+
+#endif // SPARSECORE_ANALYSIS_TRACE_CHECK_HH

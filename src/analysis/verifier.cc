@@ -1,0 +1,636 @@
+#include "analysis/verifier.hh"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace sc::analysis {
+
+using isa::Inst;
+using isa::Opcode;
+using isa::Program;
+
+namespace {
+
+/** Signed branch target, or nullopt when it leaves the program (the
+ *  interpreter's run loop treats that as a clean stop). */
+std::optional<std::uint64_t>
+branchTarget(const Program &program, std::uint64_t pc,
+             std::int64_t imm)
+{
+    const std::int64_t t = static_cast<std::int64_t>(pc) + imm;
+    if (t < 0 || t >= static_cast<std::int64_t>(program.size()))
+        return std::nullopt;
+    return static_cast<std::uint64_t>(t);
+}
+
+bool
+isBranch(Opcode op)
+{
+    return op == Opcode::Beq || op == Opcode::Bne ||
+           op == Opcode::Blt || op == Opcode::Bge;
+}
+
+// ---------------- the abstract domain ----------------
+
+/** Constant-propagation value for one GPR. */
+struct GprVal
+{
+    bool known = true;
+    std::uint64_t v = 0;
+
+    bool
+    operator==(const GprVal &o) const
+    {
+        return known == o.known && (!known || v == o.v);
+    }
+};
+
+GprVal
+mergeGpr(const GprVal &a, const GprVal &b)
+{
+    if (a.known && b.known && a.v == b.v)
+        return a;
+    return {false, 0};
+}
+
+/** Per-stream lifetime lattice (DESIGN.md §12). */
+enum class Sv : std::uint8_t { Unalloc, Key, Kv, Freed, Top };
+
+bool
+isLive(Sv s)
+{
+    return s == Sv::Key || s == Sv::Kv;
+}
+
+struct StreamAbs
+{
+    Sv sv = Sv::Unalloc;
+    /** Producer sids (SMT pred0/pred1 links) of the defining op. */
+    std::vector<std::uint64_t> preds; // sorted, unique
+
+    bool
+    operator==(const StreamAbs &o) const
+    {
+        return sv == o.sv && preds == o.preds;
+    }
+};
+
+/** Three-valued "S_LD_GFR executed on every path here" fact. */
+enum class Tri : std::uint8_t { No, Yes, Top };
+
+struct AbsState
+{
+    std::array<GprVal, isa::numGprs> gprs{};
+    std::map<std::uint64_t, StreamAbs> streams; // absent = Unalloc
+    Tri gfr = Tri::No;
+    /** A define/free targeted a sid the constant lattice lost: every
+     *  lifetime rule is suppressed from here on (conservative). */
+    bool sidsUnknown = false;
+
+    /** Pointwise join; returns true when this state changed. */
+    bool merge(const AbsState &o);
+};
+
+bool
+AbsState::merge(const AbsState &o)
+{
+    bool changed = false;
+    for (unsigned i = 0; i < isa::numGprs; ++i) {
+        const GprVal m = mergeGpr(gprs[i], o.gprs[i]);
+        if (!(m == gprs[i])) {
+            gprs[i] = m;
+            changed = true;
+        }
+    }
+    for (const auto &[sid, sa] : o.streams) {
+        auto [it, inserted] = streams.try_emplace(sid, StreamAbs{});
+        StreamAbs &mine = it->second;
+        const StreamAbs before = mine;
+        if (mine.sv != sa.sv)
+            mine.sv = inserted && sa.sv == Sv::Unalloc
+                          ? Sv::Unalloc
+                          : (mine.sv == sa.sv ? mine.sv : Sv::Top);
+        std::vector<std::uint64_t> u;
+        std::set_union(before.preds.begin(), before.preds.end(),
+                       sa.preds.begin(), sa.preds.end(),
+                       std::back_inserter(u));
+        mine.preds = std::move(u);
+        if (!(mine == before) || inserted)
+            changed = true;
+    }
+    // Sids absent from `o` are Unalloc there; merge into Top when we
+    // hold a different fact.
+    for (auto &[sid, sa] : streams) {
+        if (o.streams.count(sid))
+            continue;
+        if (sa.sv != Sv::Unalloc && sa.sv != Sv::Top) {
+            sa.sv = Sv::Top;
+            changed = true;
+        }
+    }
+    if (gfr != o.gfr && gfr != Tri::Top) {
+        gfr = Tri::Top;
+        changed = true;
+    }
+    if (!sidsUnknown && o.sidsUnknown) {
+        sidsUnknown = true;
+        changed = true;
+    }
+    return changed;
+}
+
+// ---------------- the transfer function ----------------
+
+/** Executes one instruction abstractly; reports into `sink` when the
+ *  caller runs the post-fixpoint diagnostic pass. */
+class Transfer
+{
+  public:
+    Transfer(const VerifyOptions &options,
+             std::vector<Diagnostic> *sink)
+        : opt_(options), sink_(sink)
+    {}
+
+    void exec(AbsState &st, const Inst &inst, std::uint64_t pc);
+    /** Leak check where control leaves the program. */
+    void atExit(const AbsState &st, std::uint64_t pc);
+
+  private:
+    void report(Rule rule, std::uint64_t pc, std::uint64_t sid,
+                const std::string &msg,
+                Severity severity = Severity::Error);
+
+    static GprVal gpr(const AbsState &st, unsigned idx);
+    static void setGpr(AbsState &st, unsigned idx, GprVal v);
+    static std::optional<std::uint64_t> sidOf(const AbsState &st,
+                                              unsigned reg);
+
+    void useStream(AbsState &st, const Inst &inst, std::uint64_t pc,
+                   unsigned reg, bool need_kv);
+    void defineStream(AbsState &st, const Inst &inst, std::uint64_t pc,
+                      unsigned reg, bool kv,
+                      const std::vector<std::uint64_t> &preds);
+    void freeStream(AbsState &st, const Inst &inst, std::uint64_t pc,
+                    unsigned reg);
+    static bool reachesThroughPreds(const AbsState &st,
+                                    std::uint64_t from,
+                                    std::uint64_t target);
+
+    const VerifyOptions &opt_;
+    std::vector<Diagnostic> *sink_;
+};
+
+void
+Transfer::report(Rule rule, std::uint64_t pc, std::uint64_t sid,
+                 const std::string &msg, Severity severity)
+{
+    if (!sink_)
+        return;
+    Diagnostic d;
+    d.rule = rule;
+    d.severity = severity;
+    d.pc = pc;
+    d.sid = sid;
+    d.message = msg;
+    sink_->push_back(std::move(d));
+}
+
+GprVal
+Transfer::gpr(const AbsState &st, unsigned idx)
+{
+    return st.gprs[idx];
+}
+
+void
+Transfer::setGpr(AbsState &st, unsigned idx, GprVal v)
+{
+    if (idx == 0)
+        return; // r0 is hard-wired zero
+    st.gprs[idx] = v;
+}
+
+std::optional<std::uint64_t>
+Transfer::sidOf(const AbsState &st, unsigned reg)
+{
+    const GprVal v = gpr(st, reg);
+    if (!v.known)
+        return std::nullopt;
+    return v.v;
+}
+
+void
+Transfer::useStream(AbsState &st, const Inst &inst, std::uint64_t pc,
+                    unsigned reg, bool need_kv)
+{
+    const auto sid = sidOf(st, inst.r[reg]);
+    if (!sid || st.sidsUnknown)
+        return; // lost precision: stay silent
+    const auto it = st.streams.find(*sid);
+    const Sv sv = it == st.streams.end() ? Sv::Unalloc : it->second.sv;
+    switch (sv) {
+      case Sv::Unalloc:
+        report(Rule::UseBeforeRead, pc, *sid,
+               strprintf("stream id %llu used before S_READ/S_VREAD"
+                         " — %s",
+                         static_cast<unsigned long long>(*sid),
+                         inst.toString().c_str()));
+        return;
+      case Sv::Freed:
+        report(Rule::UseAfterFree, pc, *sid,
+               strprintf("stream id %llu used after S_FREE — %s",
+                         static_cast<unsigned long long>(*sid),
+                         inst.toString().c_str()));
+        return;
+      case Sv::Key:
+        if (need_kv)
+            report(Rule::ValueOpOnKeyStream, pc, *sid,
+                   strprintf("stream id %llu is key-only (no S_VREAD"
+                             " ancestry) — %s",
+                             static_cast<unsigned long long>(*sid),
+                             inst.toString().c_str()));
+        return;
+      case Sv::Kv:
+      case Sv::Top:
+        return;
+    }
+}
+
+bool
+Transfer::reachesThroughPreds(const AbsState &st, std::uint64_t from,
+                              std::uint64_t target)
+{
+    std::vector<std::uint64_t> stack{from};
+    std::set<std::uint64_t> seen;
+    while (!stack.empty()) {
+        const std::uint64_t cur = stack.back();
+        stack.pop_back();
+        if (cur == target)
+            return true;
+        if (!seen.insert(cur).second)
+            continue;
+        const auto it = st.streams.find(cur);
+        if (it == st.streams.end())
+            continue;
+        for (const std::uint64_t p : it->second.preds)
+            stack.push_back(p);
+    }
+    return false;
+}
+
+void
+Transfer::defineStream(AbsState &st, const Inst &inst, std::uint64_t pc,
+                       unsigned reg, bool kv,
+                       const std::vector<std::uint64_t> &preds)
+{
+    const auto sid = sidOf(st, inst.r[reg]);
+    if (!sid) {
+        st.sidsUnknown = true; // could have (re)defined any sid
+        return;
+    }
+    if (!st.sidsUnknown) {
+        const auto it = st.streams.find(*sid);
+        if (it != st.streams.end() && isLive(it->second.sv))
+            report(Rule::RedefineLive, pc, *sid,
+                   strprintf("stream id %llu is still live; redefining"
+                             " it needs an intervening S_FREE — %s",
+                             static_cast<unsigned long long>(*sid),
+                             inst.toString().c_str()));
+        for (const std::uint64_t p : preds) {
+            if (p == *sid || reachesThroughPreds(st, p, *sid)) {
+                report(Rule::PredCycle, pc, *sid,
+                       strprintf("stream id %llu would depend on"
+                                 " itself through pred0/pred1 links"
+                                 " — %s",
+                                 static_cast<unsigned long long>(*sid),
+                                 inst.toString().c_str()));
+                break;
+            }
+        }
+    }
+    StreamAbs &sa = st.streams[*sid];
+    sa.sv = kv ? Sv::Kv : Sv::Key;
+    sa.preds = preds;
+    std::sort(sa.preds.begin(), sa.preds.end());
+    sa.preds.erase(std::unique(sa.preds.begin(), sa.preds.end()),
+                   sa.preds.end());
+    if (!st.sidsUnknown) {
+        unsigned live = 0;
+        for (const auto &[s, a] : st.streams)
+            if (isLive(a.sv))
+                ++live;
+        if (live > opt_.maxLiveStreams)
+            report(Rule::StreamOverflow, pc, *sid,
+                   strprintf("%u streams live, register file holds %u"
+                             " — %s",
+                             live, opt_.maxLiveStreams,
+                             inst.toString().c_str()),
+                   opt_.overflowSeverity);
+    }
+}
+
+void
+Transfer::freeStream(AbsState &st, const Inst &inst, std::uint64_t pc,
+                     unsigned reg)
+{
+    const auto sid = sidOf(st, inst.r[reg]);
+    if (!sid) {
+        st.sidsUnknown = true; // could have freed any sid
+        return;
+    }
+    const auto it = st.streams.find(*sid);
+    const Sv sv = it == st.streams.end() ? Sv::Unalloc : it->second.sv;
+    if (!st.sidsUnknown) {
+        if (sv == Sv::Unalloc)
+            report(Rule::UseBeforeRead, pc, *sid,
+                   strprintf("S_FREE of never-allocated stream id %llu"
+                             " — %s",
+                             static_cast<unsigned long long>(*sid),
+                             inst.toString().c_str()));
+        else if (sv == Sv::Freed)
+            report(Rule::DoubleFree, pc, *sid,
+                   strprintf("stream id %llu freed twice — %s",
+                             static_cast<unsigned long long>(*sid),
+                             inst.toString().c_str()));
+    }
+    StreamAbs &sa = st.streams[*sid];
+    sa.sv = Sv::Freed;
+    sa.preds.clear();
+}
+
+void
+Transfer::exec(AbsState &st, const Inst &inst, std::uint64_t pc)
+{
+    auto sids2 = [&]() {
+        std::vector<std::uint64_t> preds;
+        if (const auto a = sidOf(st, inst.r[0]))
+            preds.push_back(*a);
+        if (const auto b = sidOf(st, inst.r[1]))
+            preds.push_back(*b);
+        return preds;
+    };
+
+    switch (inst.op) {
+      // ---------------- scalar constant propagation ----------------
+      case Opcode::Li:
+        setGpr(st, inst.r[0],
+               {true, static_cast<std::uint64_t>(inst.imm)});
+        return;
+      case Opcode::Mov:
+        setGpr(st, inst.r[0], gpr(st, inst.r[1]));
+        return;
+      case Opcode::Add: {
+        const GprVal a = gpr(st, inst.r[1]), b = gpr(st, inst.r[2]);
+        setGpr(st, inst.r[0],
+               a.known && b.known ? GprVal{true, a.v + b.v}
+                                  : GprVal{false, 0});
+        return;
+      }
+      case Opcode::Sub: {
+        const GprVal a = gpr(st, inst.r[1]), b = gpr(st, inst.r[2]);
+        setGpr(st, inst.r[0],
+               a.known && b.known ? GprVal{true, a.v - b.v}
+                                  : GprVal{false, 0});
+        return;
+      }
+      case Opcode::Mul: {
+        const GprVal a = gpr(st, inst.r[1]), b = gpr(st, inst.r[2]);
+        setGpr(st, inst.r[0],
+               a.known && b.known ? GprVal{true, a.v * b.v}
+                                  : GprVal{false, 0});
+        return;
+      }
+      case Opcode::Addi: {
+        const GprVal a = gpr(st, inst.r[1]);
+        setGpr(st, inst.r[0],
+               a.known ? GprVal{true,
+                                a.v + static_cast<std::uint64_t>(
+                                          inst.imm)}
+                       : GprVal{false, 0});
+        return;
+      }
+      case Opcode::Fli:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jmp:
+      case Opcode::Halt:
+        return;
+
+      // ---------------- stream lifetimes ----------------
+      case Opcode::SRead:
+        defineStream(st, inst, pc, 2, /*kv=*/false, {});
+        return;
+      case Opcode::SVRead:
+        defineStream(st, inst, pc, 2, /*kv=*/true, {});
+        return;
+      case Opcode::SFree:
+        freeStream(st, inst, pc, 0);
+        return;
+      case Opcode::SFetch:
+        useStream(st, inst, pc, 0, /*need_kv=*/false);
+        setGpr(st, inst.r[2], {false, 0});
+        return;
+
+      case Opcode::SInter:
+      case Opcode::SSub:
+      case Opcode::SMerge: {
+        useStream(st, inst, pc, 0, false);
+        useStream(st, inst, pc, 1, false);
+        defineStream(st, inst, pc, 2, /*kv=*/false, sids2());
+        return;
+      }
+      case Opcode::SInterC:
+      case Opcode::SSubC:
+      case Opcode::SMergeC:
+        useStream(st, inst, pc, 0, false);
+        useStream(st, inst, pc, 1, false);
+        setGpr(st, inst.r[2], {false, 0});
+        return;
+
+      case Opcode::SVInter:
+        useStream(st, inst, pc, 0, /*need_kv=*/true);
+        useStream(st, inst, pc, 1, /*need_kv=*/true);
+        setGpr(st, inst.r[2], {false, 0});
+        return;
+      case Opcode::SVMerge:
+        useStream(st, inst, pc, 0, /*need_kv=*/true);
+        useStream(st, inst, pc, 1, /*need_kv=*/true);
+        defineStream(st, inst, pc, 2, /*kv=*/true, sids2());
+        return;
+
+      case Opcode::SLdGfr:
+        st.gfr = Tri::Yes;
+        return;
+      case Opcode::SNestInter:
+        useStream(st, inst, pc, 0, false);
+        if (st.gfr != Tri::Yes)
+            report(Rule::NestInterWithoutGfr, pc,
+                   sidOf(st, inst.r[0]).value_or(0),
+                   strprintf("S_NESTINTER needs a dominating S_LD_GFR"
+                             " — %s",
+                             inst.toString().c_str()));
+        setGpr(st, inst.r[1], {false, 0});
+        return;
+
+      case Opcode::NumOpcodes:
+        return;
+    }
+}
+
+void
+Transfer::atExit(const AbsState &st, std::uint64_t pc)
+{
+    if (st.sidsUnknown)
+        return;
+    for (const auto &[sid, sa] : st.streams)
+        if (isLive(sa.sv))
+            report(Rule::StreamLeak, pc, sid,
+                   strprintf("stream id %llu still live at program"
+                             " exit (missing S_FREE)",
+                             static_cast<unsigned long long>(sid)));
+}
+
+} // namespace
+
+// ---------------- CFG construction ----------------
+
+Cfg
+buildCfg(const Program &program)
+{
+    Cfg cfg;
+    const std::uint64_t n = program.size();
+    if (n == 0)
+        return cfg;
+
+    std::set<std::uint64_t> leaders{0};
+    for (std::uint64_t pc = 0; pc < n; ++pc) {
+        const Inst &inst = program[pc];
+        if (isBranch(inst.op)) {
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+            if (const auto t = branchTarget(program, pc, inst.imm))
+                leaders.insert(*t);
+        } else if (inst.op == Opcode::Jmp) {
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+            if (const auto t = branchTarget(program, pc, inst.imm))
+                leaders.insert(*t);
+        } else if (inst.op == Opcode::Halt) {
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+        }
+    }
+
+    std::map<std::uint64_t, std::uint32_t> blockAt;
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        Cfg::Block b;
+        b.first = *it;
+        b.last = std::next(it) == leaders.end() ? n : *std::next(it);
+        blockAt[b.first] = static_cast<std::uint32_t>(cfg.blocks.size());
+        cfg.blocks.push_back(std::move(b));
+    }
+
+    for (Cfg::Block &b : cfg.blocks) {
+        const std::uint64_t term = b.last - 1;
+        const Inst &inst = program[term];
+        if (isBranch(inst.op)) {
+            if (b.last < n)
+                b.succs.push_back(blockAt.at(b.last));
+            if (const auto t = branchTarget(program, term, inst.imm)) {
+                const std::uint32_t tb = blockAt.at(*t);
+                if (std::find(b.succs.begin(), b.succs.end(), tb) ==
+                    b.succs.end())
+                    b.succs.push_back(tb);
+            }
+        } else if (inst.op == Opcode::Jmp) {
+            if (const auto t = branchTarget(program, term, inst.imm))
+                b.succs.push_back(blockAt.at(*t));
+        } else if (inst.op == Opcode::Halt) {
+            // exit block
+        } else if (b.last < n) {
+            b.succs.push_back(blockAt.at(b.last));
+        }
+    }
+    return cfg;
+}
+
+// ---------------- the fixpoint + diagnostic pass ----------------
+
+VerifyReport
+verify(const Program &program, const VerifyOptions &options)
+{
+    VerifyReport report;
+    const Cfg cfg = buildCfg(program);
+    if (cfg.blocks.empty())
+        return report;
+
+    // True when some edge out of the block leaves the program: Halt,
+    // fall-off-the-end, or a branch/jump target past the end (all of
+    // which the interpreter treats as a clean stop).
+    auto exits = [&](const Cfg::Block &b) {
+        const Inst &inst = program[b.last - 1];
+        if (inst.op == Opcode::Halt)
+            return true;
+        if (isBranch(inst.op))
+            return b.last >= program.size() ||
+                   !branchTarget(program, b.last - 1, inst.imm);
+        if (inst.op == Opcode::Jmp)
+            return !branchTarget(program, b.last - 1, inst.imm);
+        return b.last >= program.size();
+    };
+
+    // Worklist fixpoint over block in-states.
+    std::vector<std::optional<AbsState>> in(cfg.blocks.size());
+    in[0] = AbsState{};
+    std::vector<std::uint32_t> worklist{0};
+    Transfer silent(options, nullptr);
+    while (!worklist.empty()) {
+        const std::uint32_t bi = worklist.back();
+        worklist.pop_back();
+        const Cfg::Block &b = cfg.blocks[bi];
+        AbsState st = *in[bi];
+        for (std::uint64_t pc = b.first; pc < b.last; ++pc)
+            silent.exec(st, program[pc], pc);
+        for (const std::uint32_t s : b.succs) {
+            if (!in[s]) {
+                in[s] = st;
+                worklist.push_back(s);
+            } else if (in[s]->merge(st)) {
+                worklist.push_back(s);
+            }
+        }
+    }
+
+    // Diagnostic pass: each reachable block once, over its fixpoint
+    // in-state, with duplicates (same rule, pc, sid) collapsed.
+    std::vector<Diagnostic> raw;
+    Transfer reporting(options, &raw);
+    for (std::uint32_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+        if (!in[bi])
+            continue; // unreachable
+        const Cfg::Block &b = cfg.blocks[bi];
+        AbsState st = *in[bi];
+        for (std::uint64_t pc = b.first; pc < b.last; ++pc)
+            reporting.exec(st, program[pc], pc);
+        if (exits(b))
+            reporting.atExit(st, b.last - 1);
+    }
+
+    std::set<std::tuple<unsigned, std::uint64_t, std::uint64_t>> seen;
+    for (Diagnostic &d : raw)
+        if (seen.emplace(static_cast<unsigned>(d.rule), d.pc, d.sid)
+                .second)
+            report.diagnostics.push_back(std::move(d));
+    std::stable_sort(report.diagnostics.begin(),
+                     report.diagnostics.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         return a.pc < b.pc;
+                     });
+    return report;
+}
+
+} // namespace sc::analysis

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * scverify's core: a branch-aware static verifier for stream-ISA
+ * programs (isa::Program).
+ *
+ * The pass builds a CFG from branch immediates, then runs a worklist
+ * fixpoint propagating an abstract state through every basic block:
+ *
+ *  - per-GPR constant lattice {unreached, const c, unknown} so the
+ *    stream ids flowing into S_READ/S_FREE/S_INTER operand registers
+ *    are known wherever the program materializes them with LI/ADDI
+ *    chains (which is how every emitted program does it);
+ *  - per-stream-id lattice {unallocated, key, key/value, freed, top}
+ *    tracking the architectural lifetime S_READ -> uses -> S_FREE,
+ *    with pred0/pred1 producer links for SMT dependency-cycle
+ *    detection;
+ *  - a GFR dominator bit for the S_NESTINTER micro-op contract.
+ *
+ * Joins are pointwise; conflicting facts go to top, which makes every
+ * check conservative: the verifier only reports what holds on some
+ * statically-realizable path and stays silent where the lattice lost
+ * precision (e.g. a sid register merged to unknown in a loop). See
+ * DESIGN.md §12 for the rule table.
+ */
+
+#ifndef SPARSECORE_ANALYSIS_VERIFIER_HH
+#define SPARSECORE_ANALYSIS_VERIFIER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "isa/stream_inst.hh"
+
+namespace sc::analysis {
+
+/** Basic-block control-flow graph over a Program (pc = index). */
+struct Cfg
+{
+    struct Block
+    {
+        std::uint64_t first = 0; ///< pc of the first instruction
+        std::uint64_t last = 0;  ///< pc one past the last instruction
+        /** Successor block indices. Empty for exit blocks (Halt,
+         *  fall-off-the-end, or branches past the program, which the
+         *  interpreter treats as a clean stop). */
+        std::vector<std::uint32_t> succs;
+    };
+
+    std::vector<Block> blocks; ///< in program order; entry = block 0
+};
+
+/** Build the CFG: leaders at pc 0, branch targets and fallthroughs. */
+Cfg buildCfg(const isa::Program &program);
+
+/** Verifier knobs. */
+struct VerifyOptions
+{
+    /** Live-stream capacity for Rule::StreamOverflow (§3.2: 16). */
+    unsigned maxLiveStreams = isa::numStreamRegs;
+    /** Severity of Rule::StreamOverflow. Architectural register-file
+     *  overflow is an error for ISA programs; trace-level checkers
+     *  downgrade it because the SMT virtualizes by spilling (§4.1). */
+    Severity overflowSeverity = Severity::Error;
+};
+
+/** Statically verify a program; diagnostics in program order. */
+VerifyReport verify(const isa::Program &program,
+                    const VerifyOptions &options = {});
+
+} // namespace sc::analysis
+
+#endif // SPARSECORE_ANALYSIS_VERIFIER_HH

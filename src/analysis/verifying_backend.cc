@@ -1,0 +1,215 @@
+#include "analysis/verifying_backend.hh"
+
+namespace sc::analysis {
+
+VerifyingBackend::VerifyingBackend(backend::ExecBackend &inner,
+                                   StreamLifetimeChecker::Options options)
+    : inner_(inner), checker_(options)
+{}
+
+void
+VerifyingBackend::throwOnErrors() const
+{
+    if (checker_.hasErrors())
+        throw VerifyError(checker_.report().format());
+}
+
+std::string
+VerifyingBackend::name() const
+{
+    return "verify(" + inner_.name() + ")";
+}
+
+void
+VerifyingBackend::begin()
+{
+    checker_.reset();
+    inner_.begin();
+}
+
+Cycles
+VerifyingBackend::finish()
+{
+    checker_.onEnd();
+    throwOnErrors();
+    return inner_.finish();
+}
+
+sim::CycleBreakdown
+VerifyingBackend::breakdown() const
+{
+    return inner_.breakdown();
+}
+
+void
+VerifyingBackend::scalarOps(std::uint64_t n)
+{
+    checker_.skipEvent();
+    inner_.scalarOps(n);
+}
+
+void
+VerifyingBackend::scalarBranch(std::uint64_t pc, bool taken)
+{
+    checker_.skipEvent();
+    inner_.scalarBranch(pc, taken);
+}
+
+void
+VerifyingBackend::scalarLoad(Addr addr)
+{
+    checker_.skipEvent();
+    inner_.scalarLoad(addr);
+}
+
+backend::BackendStream
+VerifyingBackend::streamLoad(Addr key_addr, std::uint32_t length,
+                             unsigned priority, streams::KeySpan keys)
+{
+    const auto handle =
+        inner_.streamLoad(key_addr, length, priority, keys);
+    checker_.onDefine(handle, /*kv=*/false, "streamLoad");
+    throwOnErrors();
+    return handle;
+}
+
+backend::BackendStream
+VerifyingBackend::streamLoadKv(Addr key_addr, Addr val_addr,
+                               std::uint32_t length, unsigned priority,
+                               streams::KeySpan keys)
+{
+    const auto handle = inner_.streamLoadKv(key_addr, val_addr, length,
+                                            priority, keys);
+    checker_.onDefine(handle, /*kv=*/true, "streamLoadKv");
+    throwOnErrors();
+    return handle;
+}
+
+void
+VerifyingBackend::streamFree(backend::BackendStream handle)
+{
+    // Check before forwarding: a double free may be destructive in
+    // the inner backend, and the diagnostic is the better failure.
+    checker_.onFree(handle, "streamFree");
+    throwOnErrors();
+    inner_.streamFree(handle);
+}
+
+backend::BackendStream
+VerifyingBackend::setOp(streams::SetOpKind kind, backend::BackendStream a,
+                        backend::BackendStream b, streams::KeySpan ak,
+                        streams::KeySpan bk, Key bound,
+                        streams::KeySpan result, Addr out_addr)
+{
+    checker_.onUse(a, false, "setOp operand a");
+    checker_.onUse(b, false, "setOp operand b");
+    const auto handle =
+        inner_.setOp(kind, a, b, ak, bk, bound, result, out_addr);
+    checker_.onDefine(handle, /*kv=*/false, "setOp result");
+    throwOnErrors();
+    return handle;
+}
+
+void
+VerifyingBackend::setOpCount(streams::SetOpKind kind,
+                             backend::BackendStream a,
+                             backend::BackendStream b, streams::KeySpan ak,
+                             streams::KeySpan bk, Key bound,
+                             std::uint64_t count)
+{
+    checker_.onUse(a, false, "setOpCount operand a");
+    checker_.onUse(b, false, "setOpCount operand b");
+    checker_.skipEvent();
+    throwOnErrors();
+    inner_.setOpCount(kind, a, b, ak, bk, bound, count);
+}
+
+void
+VerifyingBackend::valueIntersect(backend::BackendStream a,
+                                 backend::BackendStream b,
+                                 streams::KeySpan ak, streams::KeySpan bk,
+                                 Addr a_val_base, Addr b_val_base,
+                                 std::span<const std::uint32_t> match_a,
+                                 std::span<const std::uint32_t> match_b)
+{
+    checker_.onUse(a, true, "valueIntersect operand a");
+    checker_.onUse(b, true, "valueIntersect operand b");
+    checker_.skipEvent();
+    throwOnErrors();
+    inner_.valueIntersect(a, b, ak, bk, a_val_base, b_val_base, match_a,
+                          match_b);
+}
+
+void
+VerifyingBackend::denseValueIntersect(
+    backend::BackendStream a, backend::BackendStream b,
+    streams::KeySpan ak, streams::KeySpan bk, Addr a_val_base,
+    Addr b_val_base, std::span<const std::uint32_t> match_a,
+    std::span<const std::uint32_t> match_b)
+{
+    checker_.onUse(a, true, "denseValueIntersect operand a");
+    checker_.onUse(b, true, "denseValueIntersect operand b");
+    checker_.skipEvent();
+    throwOnErrors();
+    inner_.denseValueIntersect(a, b, ak, bk, a_val_base, b_val_base,
+                               match_a, match_b);
+}
+
+backend::BackendStream
+VerifyingBackend::valueMerge(backend::BackendStream a,
+                             backend::BackendStream b, streams::KeySpan ak,
+                             streams::KeySpan bk, Addr a_val_base,
+                             Addr b_val_base, std::uint64_t result_len,
+                             Addr out_addr)
+{
+    checker_.onUse(a, true, "valueMerge operand a");
+    checker_.onUse(b, true, "valueMerge operand b");
+    const auto handle = inner_.valueMerge(a, b, ak, bk, a_val_base,
+                                          b_val_base, result_len, out_addr);
+    checker_.onDefine(handle, /*kv=*/true, "valueMerge result");
+    throwOnErrors();
+    return handle;
+}
+
+VerifyingBackend::Caps
+VerifyingBackend::caps() const
+{
+    return inner_.caps();
+}
+
+void
+VerifyingBackend::nestedIntersect(backend::BackendStream s,
+                                  streams::KeySpan s_keys,
+                                  const std::vector<backend::NestedItem>
+                                      &elems)
+{
+    checker_.onUse(s, false, "nestedIntersect group stream");
+    checker_.skipEvent();
+    throwOnErrors();
+    // Forward to the inner backend so its native/lowered dispatch
+    // decision is preserved; the lowered path's per-element calls come
+    // back through the inner backend directly, not through us, which
+    // matches the trace checker treating the group as one event.
+    inner_.nestedIntersect(s, s_keys, elems);
+}
+
+void
+VerifyingBackend::consumeStream(backend::BackendStream handle)
+{
+    checker_.onUse(handle, false, "consumeStream");
+    checker_.skipEvent();
+    throwOnErrors();
+    inner_.consumeStream(handle);
+}
+
+void
+VerifyingBackend::iterateStream(backend::BackendStream handle,
+                                std::uint64_t n, unsigned ops_per_element)
+{
+    checker_.onUse(handle, false, "iterateStream");
+    checker_.skipEvent();
+    throwOnErrors();
+    inner_.iterateStream(handle, n, ops_per_element);
+}
+
+} // namespace sc::analysis

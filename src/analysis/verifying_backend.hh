@@ -1,0 +1,104 @@
+/**
+ * @file
+ * VerifyingBackend: an ExecBackend decorator that forwards every call
+ * to an inner backend unchanged while running the stream-lifetime
+ * checker (analysis/trace_check.hh) over the live event stream.
+ *
+ * Machine::run wraps its backend with this in debug builds (opt-out
+ * via RunOptions::verify), so every existing test that runs a
+ * workload doubles as a verifier test. Forwarding is transparent —
+ * handles, caps and timing all come from the inner backend — so the
+ * wrapper can never change simulated cycles, only raise VerifyError
+ * when modeling code breaks the stream contract.
+ */
+
+#ifndef SPARSECORE_ANALYSIS_VERIFYING_BACKEND_HH
+#define SPARSECORE_ANALYSIS_VERIFYING_BACKEND_HH
+
+#include "analysis/trace_check.hh"
+#include "backend/exec_backend.hh"
+
+namespace sc::analysis {
+
+/** The decorator. The inner backend must outlive it. */
+class VerifyingBackend : public backend::ExecBackend
+{
+  public:
+    explicit VerifyingBackend(backend::ExecBackend &inner,
+                              StreamLifetimeChecker::Options options =
+                                  {});
+
+    std::string name() const override;
+    void begin() override;
+    /** Throws VerifyError when the run violated the contract
+     *  (including leak checks that only resolve at the end). */
+    Cycles finish() override;
+    sim::CycleBreakdown breakdown() const override;
+
+    void scalarOps(std::uint64_t n) override;
+    void scalarBranch(std::uint64_t pc, bool taken) override;
+    void scalarLoad(Addr addr) override;
+
+    backend::BackendStream streamLoad(Addr key_addr,
+                                      std::uint32_t length,
+                                      unsigned priority,
+                                      streams::KeySpan keys) override;
+    backend::BackendStream streamLoadKv(Addr key_addr, Addr val_addr,
+                                        std::uint32_t length,
+                                        unsigned priority,
+                                        streams::KeySpan keys) override;
+    void streamFree(backend::BackendStream handle) override;
+
+    backend::BackendStream setOp(streams::SetOpKind kind,
+                                 backend::BackendStream a,
+                                 backend::BackendStream b,
+                                 streams::KeySpan ak,
+                                 streams::KeySpan bk, Key bound,
+                                 streams::KeySpan result,
+                                 Addr out_addr) override;
+    void setOpCount(streams::SetOpKind kind, backend::BackendStream a,
+                    backend::BackendStream b, streams::KeySpan ak,
+                    streams::KeySpan bk, Key bound,
+                    std::uint64_t count) override;
+
+    void valueIntersect(backend::BackendStream a,
+                        backend::BackendStream b, streams::KeySpan ak,
+                        streams::KeySpan bk, Addr a_val_base,
+                        Addr b_val_base,
+                        std::span<const std::uint32_t> match_a,
+                        std::span<const std::uint32_t> match_b) override;
+    void denseValueIntersect(
+        backend::BackendStream a, backend::BackendStream b,
+        streams::KeySpan ak, streams::KeySpan bk, Addr a_val_base,
+        Addr b_val_base, std::span<const std::uint32_t> match_a,
+        std::span<const std::uint32_t> match_b) override;
+    backend::BackendStream valueMerge(backend::BackendStream a,
+                                      backend::BackendStream b,
+                                      streams::KeySpan ak,
+                                      streams::KeySpan bk,
+                                      Addr a_val_base, Addr b_val_base,
+                                      std::uint64_t result_len,
+                                      Addr out_addr) override;
+
+    Caps caps() const override;
+    void nestedIntersect(
+        backend::BackendStream s, streams::KeySpan s_keys,
+        const std::vector<backend::NestedItem> &elems) override;
+
+    void consumeStream(backend::BackendStream handle) override;
+    void iterateStream(backend::BackendStream handle, std::uint64_t n,
+                       unsigned ops_per_element) override;
+
+    const VerifyReport &report() const { return checker_.report(); }
+
+  private:
+    /** Fail fast: raise as soon as an error diagnostic appears. */
+    void throwOnErrors() const;
+
+    backend::ExecBackend &inner_;
+    StreamLifetimeChecker checker_;
+};
+
+} // namespace sc::analysis
+
+#endif // SPARSECORE_ANALYSIS_VERIFYING_BACKEND_HH

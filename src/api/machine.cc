@@ -3,6 +3,7 @@
 #include <chrono>
 #include <optional>
 
+#include "analysis/verifying_backend.hh"
 #include "backend/cpu_backend.hh"
 #include "backend/sparsecore_backend.hh"
 #include "common/logging.hh"
@@ -154,12 +155,24 @@ Machine::run(const RunRequest &request, Substrate substrate) const
     if (request.options.indexPolicy)
         forced_index.emplace(*request.options.indexPolicy);
 
+    // Wrap the backend in the stream-lifetime checker when asked (or
+    // by default in debug builds). The wrapper forwards every call
+    // unchanged, so verified and unverified runs report the same
+    // cycles — it only adds VerifyError on contract violations.
+    const bool verify =
+        request.options.verify.value_or(analysis::verifyByDefault());
     if (substrate == Substrate::Cpu) {
         backend::CpuBackend be(config_.core, config_.mem);
-        return executeOn(request, be);
+        if (!verify)
+            return executeOn(request, be);
+        analysis::VerifyingBackend vbe(be);
+        return executeOn(request, vbe);
     }
     backend::SparseCoreBackend be(config_);
-    return executeOn(request, be);
+    if (!verify)
+        return executeOn(request, be);
+    analysis::VerifyingBackend vbe(be);
+    return executeOn(request, vbe);
 }
 
 Comparison

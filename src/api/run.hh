@@ -59,6 +59,14 @@ struct RunOptions
      *  Like `kernel`, moves wall-clock only, never simulated
      *  cycles. */
     std::optional<streams::setindex::IndexPolicy> indexPolicy;
+    /**
+     * Run the stream-lifetime verifier (analysis/) over the backend
+     * event stream and throw analysis::VerifyError on violations.
+     * nullopt = analysis::verifyByDefault(): on in debug builds, off
+     * in release, overridable with SC_VERIFY=0/1. The verifier wraps
+     * the backend transparently and never changes simulated cycles.
+     */
+    std::optional<bool> verify;
 };
 
 /**

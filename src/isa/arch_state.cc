@@ -78,6 +78,7 @@ StreamState::define(std::uint64_t sid, Addr key_addr,
         idx = allocReg();
         smt_[sid] = idx;
     }
+    freed_.erase(sid); // a redefined sid is live again
     StreamReg &reg = regs_[idx];
     reg.valid = true;
     reg.sid = sid;
@@ -102,6 +103,7 @@ StreamState::defineProduced(std::uint64_t sid)
         idx = allocReg();
         smt_[sid] = idx;
     }
+    freed_.erase(sid);
     StreamReg &reg = regs_[idx];
     reg.valid = true;
     reg.sid = sid;
@@ -120,22 +122,36 @@ void
 StreamState::free(std::uint64_t sid)
 {
     auto it = smt_.find(sid);
-    if (it == smt_.end())
-        throw StreamException(strprintf(
-            "S_FREE of unmapped stream id %llu",
-            static_cast<unsigned long long>(sid)));
+    if (it == smt_.end()) {
+        if (freed_.count(sid))
+            throw StreamFault(
+                StreamFault::Kind::DoubleFree, sid,
+                strprintf("S_FREE of already-freed stream id %llu",
+                          static_cast<unsigned long long>(sid)));
+        throw StreamFault(
+            StreamFault::Kind::FreeUnallocated, sid,
+            strprintf("S_FREE of never-allocated stream id %llu",
+                      static_cast<unsigned long long>(sid)));
+    }
     regs_[it->second].valid = false;
     smt_.erase(it);
+    freed_.insert(sid);
 }
 
 StreamReg &
 StreamState::lookup(std::uint64_t sid)
 {
     auto it = smt_.find(sid);
-    if (it == smt_.end())
+    if (it == smt_.end()) {
+        if (freed_.count(sid))
+            throw StreamFault(
+                StreamFault::Kind::UseAfterFree, sid,
+                strprintf("reference to freed stream id %llu",
+                          static_cast<unsigned long long>(sid)));
         throw StreamException(strprintf(
             "reference to unmapped stream id %llu",
             static_cast<unsigned long long>(sid)));
+    }
     return regs_[it->second];
 }
 
@@ -210,7 +226,7 @@ StreamState::gfr(unsigned idx) const
 StreamState::Checkpoint
 StreamState::checkpoint() const
 {
-    return Checkpoint{regs_, smt_, gfr_};
+    return Checkpoint{regs_, smt_, freed_, gfr_};
 }
 
 void
@@ -218,6 +234,7 @@ StreamState::restore(Checkpoint cp)
 {
     regs_ = std::move(cp.regs);
     smt_ = std::move(cp.smt);
+    freed_ = std::move(cp.freed);
     gfr_ = cp.gfr;
 }
 

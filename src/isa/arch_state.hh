@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,8 +31,44 @@ class StreamException : public SimError
 {
   public:
     explicit StreamException(const std::string &msg)
-        : SimError("stream exception: " + msg)
+        : SimError("stream exception: " + msg), msg_(msg)
     {}
+
+    /** The message without the "stream exception: " prefix, so
+     *  re-throw sites (Interpreter::step's pc annotation) can build a
+     *  new exception without stacking prefixes. */
+    const std::string &message() const { return msg_; }
+
+  private:
+    std::string msg_;
+};
+
+/**
+ * Structured stream-lifetime fault: the runtime counterpart of the
+ * static verifier's lifetime rules (analysis/verifier.hh). Carries
+ * the fault kind and the offending sid so tests and tools can match
+ * on semantics instead of message text.
+ */
+class StreamFault : public StreamException
+{
+  public:
+    enum class Kind
+    {
+        FreeUnallocated, ///< S_FREE of a sid never defined
+        DoubleFree,      ///< S_FREE of an already-freed sid
+        UseAfterFree,    ///< reference to a freed sid
+    };
+
+    StreamFault(Kind kind, std::uint64_t sid, const std::string &msg)
+        : StreamException(msg), kind_(kind), sid_(sid)
+    {}
+
+    Kind kind() const { return kind_; }
+    std::uint64_t sid() const { return sid_; }
+
+  private:
+    Kind kind_;
+    std::uint64_t sid_;
 };
 
 /**
@@ -139,10 +176,13 @@ class StreamState
     /** Create a mapping for a produced (computed) output stream. */
     StreamReg &defineProduced(std::uint64_t sid);
 
-    /** S_FREE: unmap; throws StreamException when sid is not mapped. */
+    /** S_FREE: unmap. Throws StreamFault — DoubleFree for a sid that
+     *  was live and already freed, FreeUnallocated for one that never
+     *  existed. */
     void free(std::uint64_t sid);
 
-    /** Lookup; throws StreamException when sid is not mapped. */
+    /** Lookup; throws StreamFault(UseAfterFree) for a freed sid,
+     *  StreamException for one that was never mapped. */
     StreamReg &lookup(std::uint64_t sid);
     const StreamReg &lookup(std::uint64_t sid) const;
     bool isMapped(std::uint64_t sid) const;
@@ -175,6 +215,7 @@ class StreamState
     {
         std::array<StreamReg, numStreamRegs> regs;
         std::map<std::uint64_t, unsigned> smt;
+        std::set<std::uint64_t> freed;
         std::array<std::uint64_t, 3> gfr;
     };
 
@@ -185,6 +226,10 @@ class StreamState
     MemoryImage *mem_;
     std::array<StreamReg, numStreamRegs> regs_;
     std::map<std::uint64_t, unsigned> smt_; // sid -> sreg index
+    /** Sids that were mapped and later freed (and not redefined
+     *  since): distinguishes double-free / use-after-free from a
+     *  reference to a sid that never existed. */
+    std::set<std::uint64_t> freed_;
     std::array<std::uint64_t, 3> gfr_{};
 
     unsigned allocReg();

@@ -81,6 +81,29 @@ Interpreter::step(const Program &program, std::uint64_t pc)
     const std::uint64_t target =
         pc + static_cast<std::uint64_t>(inst.imm);
 
+    // Annotate stream exceptions with the faulting pc and instruction
+    // text, preserving the concrete type (StreamFault carries its
+    // kind and sid through the rethrow).
+    try {
+        return dispatch(program, inst, pc, target);
+    } catch (const StreamFault &e) {
+        throw StreamFault(
+            e.kind(), e.sid(),
+            strprintf("%s — pc %llu: %s", e.message().c_str(),
+                      static_cast<unsigned long long>(pc),
+                      inst.toString().c_str()));
+    } catch (const StreamException &e) {
+        throw StreamException(
+            strprintf("%s — pc %llu: %s", e.message().c_str(),
+                      static_cast<unsigned long long>(pc),
+                      inst.toString().c_str()));
+    }
+}
+
+std::uint64_t
+Interpreter::dispatch(const Program &program, const Inst &inst,
+                      std::uint64_t pc, std::uint64_t target)
+{
     switch (inst.op) {
       case Opcode::Li:
         setGpr(inst.r[0], static_cast<std::uint64_t>(inst.imm));

@@ -37,7 +37,10 @@ class Interpreter
     void run(const Program &program,
              std::uint64_t max_steps = 100'000'000);
 
-    /** Execute a single instruction at pc; returns the next pc. */
+    /** Execute a single instruction at pc; returns the next pc.
+     *  Stream exceptions are annotated with the faulting pc and the
+     *  instruction text; StreamFault additionally carries the fault
+     *  kind and sid for structured matching. */
     std::uint64_t step(const Program &program, std::uint64_t pc);
 
     std::uint64_t gpr(unsigned idx) const;
@@ -57,6 +60,9 @@ class Interpreter
     const StatSet &opcodeCounts() const { return opcodeCounts_; }
 
   private:
+    /** step() minus the exception annotation wrapper. */
+    std::uint64_t dispatch(const Program &program, const Inst &inst,
+                           std::uint64_t pc, std::uint64_t target);
     void execStream(const Inst &inst);
     void execNestedIntersect(const Inst &inst);
 

@@ -1,5 +1,6 @@
 #include "trace/replay.hh"
 
+#include "analysis/trace_check.hh"
 #include "common/logging.hh"
 
 namespace sc::trace {
@@ -23,8 +24,16 @@ mapHandle(const std::vector<BackendStream> &map, TraceStream h)
 } // namespace
 
 ReplayResult
-replay(const Trace &trace, backend::ExecBackend &backend)
+replay(const Trace &trace, backend::ExecBackend &backend,
+       std::optional<bool> verify)
 {
+    if (verify.value_or(analysis::verifyByDefault())) {
+        const analysis::VerifyReport report =
+            analysis::verifyTrace(trace);
+        if (report.hasErrors())
+            throw analysis::VerifyError(report.format());
+    }
+
     backend.begin();
 
     // Trace handles are dense and assigned in creation order; the map

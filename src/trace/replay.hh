@@ -11,6 +11,8 @@
 #ifndef SPARSECORE_TRACE_REPLAY_HH
 #define SPARSECORE_TRACE_REPLAY_HH
 
+#include <optional>
+
 #include "backend/exec_backend.hh"
 #include "trace/trace.hh"
 
@@ -29,10 +31,18 @@ struct ReplayResult
  * lowers to the explicit loop on substrates without S_NESTINTER —
  * one trace serves both classes of hardware.
  *
+ * When `verify` resolves to true (nullopt = analysis::verifyByDefault,
+ * i.e. debug builds or SC_VERIFY=1) the trace is checked against the
+ * stream-lifetime contract before any backend call and
+ * analysis::VerifyError is thrown on violations. The check reads only
+ * the trace, so a verified replay's cycles are identical to an
+ * unverified one.
+ *
  * Thread safety: the trace is only read; concurrent replays of one
  * trace onto distinct backends are safe.
  */
-ReplayResult replay(const Trace &trace, backend::ExecBackend &backend);
+ReplayResult replay(const Trace &trace, backend::ExecBackend &backend,
+                    std::optional<bool> verify = std::nullopt);
 
 } // namespace sc::trace
 

@@ -1,0 +1,8 @@
+; double-free: sid 1 freed twice.
+LI r1, 4096         ; pc 0
+LI r2, 4            ; pc 1
+LI r3, 1            ; pc 2
+S_READ r1, r2, r3, r0   ; pc 3
+S_FREE r3           ; pc 4
+S_FREE r3           ; pc 5: <- diagnostic here
+HALT                ; pc 6

@@ -1,0 +1,9 @@
+; nestinter-without-gfr: S_NESTINTER with no dominating S_LD_GFR, so
+; the micro-op expansion has no CSR base registers to walk.
+LI r1, 4096         ; pc 0
+LI r2, 4            ; pc 1
+LI r3, 1            ; pc 2
+S_READ r1, r2, r3, r0   ; pc 3
+S_NESTINTER r3, r4  ; pc 4: <- diagnostic here
+S_FREE r3           ; pc 5
+HALT                ; pc 6

@@ -1,0 +1,17 @@
+; pred-cycle: sid 3 is produced from sids {1, 2}; after freeing sid 1,
+; redefining it from {3, 2} would make sid 1 depend on itself through
+; the SMT pred0/pred1 links.
+LI r1, 4096         ; pc 0
+LI r2, 4            ; pc 1
+LI r3, 1            ; pc 2: sid 1
+LI r4, 2            ; pc 3: sid 2
+S_READ r1, r2, r3, r0   ; pc 4
+S_READ r1, r2, r4, r0   ; pc 5
+LI r5, 3            ; pc 6: sid 3
+S_INTER r3, r4, r5, r0  ; pc 7: sid 3 preds = {1, 2}
+S_FREE r3           ; pc 8
+S_INTER r5, r4, r3, r0  ; pc 9: <- diagnostic here (1 <- {3, 2} <- 1)
+S_FREE r4           ; pc 10
+S_FREE r5           ; pc 11
+S_FREE r3           ; pc 12
+HALT                ; pc 13

@@ -1,0 +1,8 @@
+; redefine-live: sid 1 is S_READ twice with no intervening S_FREE.
+LI r1, 4096         ; pc 0
+LI r2, 4            ; pc 1
+LI r3, 1            ; pc 2
+S_READ r1, r2, r3, r0   ; pc 3
+S_READ r1, r2, r3, r0   ; pc 4: <- diagnostic here
+S_FREE r3           ; pc 5
+HALT                ; pc 6

@@ -1,0 +1,6 @@
+; stream-leak: sid 1 is still live when the program halts.
+LI r1, 4096         ; pc 0
+LI r2, 4            ; pc 1
+LI r3, 1            ; pc 2
+S_READ r1, r2, r3, r0   ; pc 3
+HALT                ; pc 4: <- diagnostic here (exit point)

@@ -1,0 +1,72 @@
+; stream-overflow: the 17th simultaneously-live stream exceeds
+; the 16-entry architectural stream register file.
+LI r1, 4096         ; pc 0
+LI r2, 4            ; pc 1
+LI r3, 1            ; pc 2: first sid
+S_READ r1, r2, r3, r0   ; pc 3
+ADDI r3, r3, 1      ; pc 4
+S_READ r1, r2, r3, r0   ; pc 5
+ADDI r3, r3, 1      ; pc 6
+S_READ r1, r2, r3, r0   ; pc 7
+ADDI r3, r3, 1      ; pc 8
+S_READ r1, r2, r3, r0   ; pc 9
+ADDI r3, r3, 1      ; pc 10
+S_READ r1, r2, r3, r0   ; pc 11
+ADDI r3, r3, 1      ; pc 12
+S_READ r1, r2, r3, r0   ; pc 13
+ADDI r3, r3, 1      ; pc 14
+S_READ r1, r2, r3, r0   ; pc 15
+ADDI r3, r3, 1      ; pc 16
+S_READ r1, r2, r3, r0   ; pc 17
+ADDI r3, r3, 1      ; pc 18
+S_READ r1, r2, r3, r0   ; pc 19
+ADDI r3, r3, 1      ; pc 20
+S_READ r1, r2, r3, r0   ; pc 21
+ADDI r3, r3, 1      ; pc 22
+S_READ r1, r2, r3, r0   ; pc 23
+ADDI r3, r3, 1      ; pc 24
+S_READ r1, r2, r3, r0   ; pc 25
+ADDI r3, r3, 1      ; pc 26
+S_READ r1, r2, r3, r0   ; pc 27
+ADDI r3, r3, 1      ; pc 28
+S_READ r1, r2, r3, r0   ; pc 29
+ADDI r3, r3, 1      ; pc 30
+S_READ r1, r2, r3, r0   ; pc 31
+ADDI r3, r3, 1      ; pc 32
+S_READ r1, r2, r3, r0   ; pc 33
+ADDI r3, r3, 1      ; pc 34
+S_READ r1, r2, r3, r0   ; pc 35: <- diagnostic here (17 live)
+S_FREE r3           ; pc 36
+ADDI r3, r3, -1     ; pc 37
+S_FREE r3           ; pc 38
+ADDI r3, r3, -1     ; pc 39
+S_FREE r3           ; pc 40
+ADDI r3, r3, -1     ; pc 41
+S_FREE r3           ; pc 42
+ADDI r3, r3, -1     ; pc 43
+S_FREE r3           ; pc 44
+ADDI r3, r3, -1     ; pc 45
+S_FREE r3           ; pc 46
+ADDI r3, r3, -1     ; pc 47
+S_FREE r3           ; pc 48
+ADDI r3, r3, -1     ; pc 49
+S_FREE r3           ; pc 50
+ADDI r3, r3, -1     ; pc 51
+S_FREE r3           ; pc 52
+ADDI r3, r3, -1     ; pc 53
+S_FREE r3           ; pc 54
+ADDI r3, r3, -1     ; pc 55
+S_FREE r3           ; pc 56
+ADDI r3, r3, -1     ; pc 57
+S_FREE r3           ; pc 58
+ADDI r3, r3, -1     ; pc 59
+S_FREE r3           ; pc 60
+ADDI r3, r3, -1     ; pc 61
+S_FREE r3           ; pc 62
+ADDI r3, r3, -1     ; pc 63
+S_FREE r3           ; pc 64
+ADDI r3, r3, -1     ; pc 65
+S_FREE r3           ; pc 66
+ADDI r3, r3, -1     ; pc 67
+S_FREE r3           ; pc 68
+HALT                ; pc 69

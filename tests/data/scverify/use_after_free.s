@@ -1,0 +1,9 @@
+; use-after-free: sid 1 is loaded, freed, then fetched.
+LI r1, 4096         ; pc 0: address
+LI r2, 4            ; pc 1: length
+LI r3, 1            ; pc 2: sid
+S_READ r1, r2, r3, r0   ; pc 3
+S_FREE r3           ; pc 4
+LI r4, 0            ; pc 5: fetch offset
+S_FETCH r3, r4, r5  ; pc 6: <- diagnostic here
+HALT                ; pc 7

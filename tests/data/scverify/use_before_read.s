@@ -1,0 +1,8 @@
+; use-before-read: sids 1 and 2 feed S_INTER without ever being
+; loaded by S_READ/S_VREAD.
+LI r1, 1            ; pc 0: sid 1 (never loaded)
+LI r2, 2            ; pc 1: sid 2 (never loaded)
+LI r3, 3            ; pc 2: output sid
+S_INTER r1, r2, r3, r0  ; pc 3: <- diagnostic here
+S_FREE r3           ; pc 4
+HALT                ; pc 5

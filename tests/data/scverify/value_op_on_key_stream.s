@@ -1,0 +1,12 @@
+; value-op-on-key-stream: S_VINTER over streams loaded with S_READ
+; (key-only) instead of S_VREAD.
+LI r1, 4096         ; pc 0
+LI r2, 4            ; pc 1
+LI r3, 1            ; pc 2
+LI r4, 2            ; pc 3
+S_READ r1, r2, r3, r0   ; pc 4: key-only load
+S_READ r1, r2, r4, r0   ; pc 5: key-only load
+S_VINTER r3, r4, r5, MAC ; pc 6: <- diagnostic here
+S_FREE r3           ; pc 7
+S_FREE r4           ; pc 8
+HALT                ; pc 9

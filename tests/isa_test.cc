@@ -248,6 +248,91 @@ TEST_F(IsaFixture, FreeUnknownStreamRaises)
                  StreamException);
 }
 
+TEST_F(IsaFixture, FreeNeverAllocatedIsStructuredFault)
+{
+    Interpreter interp(mem);
+    try {
+        interp.run(assemble("LI r1, 9\nS_FREE r1\nHALT"));
+        FAIL() << "expected StreamFault";
+    } catch (const StreamFault &e) {
+        EXPECT_EQ(e.kind(), StreamFault::Kind::FreeUnallocated);
+        EXPECT_EQ(e.sid(), 9u);
+        // The interpreter annotates faults with pc + instruction.
+        const std::string what = e.what();
+        EXPECT_NE(what.find("pc 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("S_FREE r1"), std::string::npos) << what;
+    }
+}
+
+TEST_F(IsaFixture, DoubleFreeIsStructuredFault)
+{
+    Interpreter interp(mem);
+    try {
+        interp.run(assemble(R"(
+            LI r1, 0x1000
+            LI r2, 5
+            LI r3, 1
+            LI r4, 0
+            S_READ r1, r2, r3, r4
+            S_FREE r3
+            S_FREE r3
+            HALT
+        )"));
+        FAIL() << "expected StreamFault";
+    } catch (const StreamFault &e) {
+        EXPECT_EQ(e.kind(), StreamFault::Kind::DoubleFree);
+        EXPECT_EQ(e.sid(), 1u);
+        EXPECT_NE(std::string(e.what()).find("pc 6"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(IsaFixture, FetchOnFreedStreamIsUseAfterFreeFault)
+{
+    Interpreter interp(mem);
+    try {
+        // The fetch offset is past EOS too — the lifetime fault must
+        // win over the EOS-returning path on a freed stream.
+        interp.run(assemble(R"(
+            LI r1, 0x1000
+            LI r2, 5
+            LI r3, 1
+            LI r4, 0
+            S_READ r1, r2, r3, r4
+            S_FREE r3
+            LI r5, 100
+            S_FETCH r3, r5, r6
+            HALT
+        )"));
+        FAIL() << "expected StreamFault";
+    } catch (const StreamFault &e) {
+        EXPECT_EQ(e.kind(), StreamFault::Kind::UseAfterFree);
+        EXPECT_EQ(e.sid(), 1u);
+        EXPECT_NE(std::string(e.what()).find("S_FETCH"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(IsaFixture, RedefiningFreedSidIsLiveAgain)
+{
+    Interpreter interp(mem);
+    // free -> S_READ of the same sid -> free must NOT double-free.
+    interp.run(assemble(R"(
+        LI r1, 0x1000
+        LI r2, 5
+        LI r3, 1
+        LI r4, 0
+        S_READ r1, r2, r3, r4
+        S_FREE r3
+        S_READ r1, r2, r3, r4
+        S_FREE r3
+        HALT
+    )"));
+    EXPECT_EQ(interp.streams().activeCount(), 0u);
+}
+
 TEST_F(IsaFixture, VInterOnKeyStreamRaises)
 {
     Interpreter interp(mem);

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * scverify: command-line front end for the stream-program static
+ * verifier (src/analysis).
+ *
+ *     scverify prog.s another.s trace.bin
+ *
+ * Each input is sniffed by content: files starting with the "SCTR"
+ * magic are deserialized traces checked with the event-order lifetime
+ * checker; everything else is assembled as stream-ISA text and run
+ * through the branch-aware static pass. Exits 1 when any input draws
+ * an error diagnostic (or a warning under --werror), 2 on usage, I/O
+ * or parse failures, 0 when everything is clean.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_check.hh"
+#include "analysis/verifier.hh"
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "trace/trace.hh"
+
+namespace {
+
+using namespace sc;
+
+struct Cli
+{
+    std::vector<std::string> files;
+    bool werror = false;
+    bool quiet = false;
+    bool dumpCfg = false;
+    unsigned maxLive = isa::numStreamRegs;
+};
+
+int
+usage(std::ostream &os, int code)
+{
+    os << "usage: scverify [options] <file>...\n"
+          "\n"
+          "Statically verify stream-ISA assembly programs and check\n"
+          "serialized SparseCore traces (SCTR binaries, sniffed by\n"
+          "magic) against the stream dataflow contract.\n"
+          "\n"
+          "options:\n"
+          "  --werror       exit nonzero on warnings too\n"
+          "  --quiet        suppress per-file OK lines\n"
+          "  --max-live N   live-stream capacity (default "
+       << isa::numStreamRegs
+       << ")\n"
+          "  --dump-cfg     print each program's basic-block CFG\n"
+          "  --list-rules   print the rule table and exit\n"
+          "  --help         this text\n"
+          "\n"
+          "exit status: 0 clean, 1 diagnostics, 2 bad input\n";
+    return code;
+}
+
+int
+listRules()
+{
+    for (unsigned r = 0;
+         r < static_cast<unsigned>(analysis::Rule::NumRules); ++r) {
+        const auto rule = static_cast<analysis::Rule>(r);
+        std::printf("%-24s %s\n", analysis::ruleId(rule),
+                    analysis::ruleDescription(rule));
+    }
+    return 0;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+looksLikeTrace(const std::string &bytes)
+{
+    return bytes.size() >= 4 && bytes.compare(0, 4, "SCTR") == 0;
+}
+
+void
+dumpCfg(const isa::Program &program)
+{
+    const analysis::Cfg cfg = analysis::buildCfg(program);
+    for (std::size_t i = 0; i < cfg.blocks.size(); ++i) {
+        const auto &b = cfg.blocks[i];
+        std::printf("  block %zu: pc [%llu, %llu)", i,
+                    static_cast<unsigned long long>(b.first),
+                    static_cast<unsigned long long>(b.last));
+        if (b.succs.empty()) {
+            std::printf(" -> exit\n");
+            continue;
+        }
+        std::printf(" ->");
+        for (const auto s : b.succs)
+            std::printf(" %u", s);
+        std::printf("\n");
+    }
+}
+
+/** Verify one input; returns its report or nullopt on a read/parse
+ *  failure (already reported to stderr). */
+std::optional<analysis::VerifyReport>
+checkFile(const Cli &cli, const std::string &path)
+{
+    std::string bytes;
+    if (!readFile(path, bytes)) {
+        std::cerr << "scverify: cannot read " << path << "\n";
+        return std::nullopt;
+    }
+
+    try {
+        if (looksLikeTrace(bytes)) {
+            const trace::Trace tr = trace::Trace::deserialize(bytes);
+            analysis::StreamLifetimeChecker::Options options;
+            options.maxLiveStreams = cli.maxLive;
+            return analysis::verifyTrace(tr, options);
+        }
+        const isa::Program program = isa::assemble(bytes);
+        if (cli.dumpCfg) {
+            std::printf("%s: cfg\n", path.c_str());
+            dumpCfg(program);
+        }
+        analysis::VerifyOptions options;
+        options.maxLiveStreams = cli.maxLive;
+        return analysis::verify(program, options);
+    } catch (const SimError &e) {
+        std::cerr << "scverify: " << path << ": " << e.what() << "\n";
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            return usage(std::cout, 0);
+        if (arg == "--list-rules")
+            return listRules();
+        if (arg == "--werror") {
+            cli.werror = true;
+        } else if (arg == "--quiet" || arg == "-q") {
+            cli.quiet = true;
+        } else if (arg == "--dump-cfg") {
+            cli.dumpCfg = true;
+        } else if (arg == "--max-live") {
+            if (i + 1 >= argc)
+                return usage(std::cerr, 2);
+            cli.maxLive =
+                static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "scverify: unknown option " << arg << "\n";
+            return usage(std::cerr, 2);
+        } else {
+            cli.files.push_back(arg);
+        }
+    }
+    if (cli.files.empty())
+        return usage(std::cerr, 2);
+
+    bool bad_input = false;
+    bool failed = false;
+    for (const std::string &path : cli.files) {
+        const auto report = checkFile(cli, path);
+        if (!report) {
+            bad_input = true;
+            continue;
+        }
+        for (const auto &d : report->diagnostics)
+            std::cout << path << ": " << d.format() << "\n";
+        const bool fails =
+            report->hasErrors() ||
+            (cli.werror && report->warningCount() != 0);
+        if (fails)
+            failed = true;
+        else if (!cli.quiet)
+            std::cout << path << ": OK ("
+                      << report->warningCount() << " warnings)\n";
+    }
+    if (bad_input)
+        return 2;
+    return failed ? 1 : 0;
+}
