@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full local check: regular build + complete test suite, then the
-# same suite with the runtime verifier hooks forced on, then the
-# scverify static-verifier leg over the example programs and the
-# golden trace, a clang-tidy leg (skipped when the tool is absent),
+# same suite with the runtime verifier hooks forced on, then again
+# under each forced trace-replay engine (SC_REPLAY=event|bytecode),
+# then the scverify static-verifier leg over the example programs,
+# the golden trace and the golden bytecode program, a clang-tidy leg
+# (skipped when the tool is absent),
 # then a ThreadSanitizer build running the concurrency-sensitive
 # suites (thread pool, host-parallel mining, machine comparisons),
 # then an ASan+UBSan build running the trace
@@ -31,8 +33,19 @@ SC_VERIFY=1 ctest --test-dir "${prefix}" \
     --output-on-failure -j"$(nproc)"
 
 echo
-echo "=== scverify: example programs + golden trace ==="
-"${prefix}/tools/scverify" examples/asm/*.s tests/data/golden_trace.bin
+echo "=== full ctest, forced replay engines ==="
+# Both trace-replay engines must pass the whole suite: the per-event
+# virtual walker (the bit-identity reference) and the compiled
+# bytecode loops the suite exercises by default.
+SC_REPLAY=event ctest --test-dir "${prefix}" \
+    --output-on-failure -j"$(nproc)"
+SC_REPLAY=bytecode ctest --test-dir "${prefix}" \
+    --output-on-failure -j"$(nproc)"
+
+echo
+echo "=== scverify: example programs + golden trace + bytecode ==="
+"${prefix}/tools/scverify" examples/asm/*.s \
+    tests/data/golden_trace.bin tests/data/golden_trace.scbc
 
 echo
 echo "=== clang-tidy ==="
@@ -68,7 +81,7 @@ cmake -B "${prefix}-asan" -S . \
     -DSPARSECORE_SANITIZE=address,undefined >/dev/null
 cmake --build "${prefix}-asan" -j"$(nproc)" --target sparsecore_tests
 "${prefix}-asan/tests/sparsecore_tests" \
-    --gtest_filter='Trace*:Seeds/TraceReplay*'
+    --gtest_filter='Trace*:Seeds/TraceReplay*:Bytecode*'
 
 echo
 echo "=== forced-scalar kernel build + full ctest ==="
@@ -81,6 +94,12 @@ SC_FORCE_KERNEL=scalar ctest --test-dir "${prefix}-scalar" \
 echo
 echo "=== kernel microbench smoke ==="
 (cd "${prefix}" && bench/kernel_microbench --smoke)
+
+echo
+echo "=== replay microbench smoke ==="
+# Gates the compiled-replay perf claim (>=5x on the functional
+# substrate) and the cross-engine cycle checksums.
+(cd "${prefix}" && bench/replay_microbench --smoke)
 
 # Keep the tracked bench snapshots in sync with what this run
 # produced (bench/results/README.md describes provenance; re-bless

@@ -1,6 +1,7 @@
 #include "analysis/trace_check.hh"
 
 #include "backend/exec_backend.hh"
+#include "trace/bytecode.hh"
 
 namespace sc::analysis {
 
@@ -133,11 +134,11 @@ StreamLifetimeChecker::reset()
 }
 
 VerifyReport
-verifyTrace(const trace::Trace &trace,
-            StreamLifetimeChecker::Options options)
+verifyEvents(const std::vector<Event> &events,
+             StreamLifetimeChecker::Options options)
 {
     StreamLifetimeChecker chk(options);
-    for (const Event &e : trace.events()) {
+    for (const Event &e : events) {
         const char *what = eventKindName(e.kind);
         switch (e.kind) {
           case EventKind::StreamLoad:
@@ -189,6 +190,20 @@ verifyTrace(const trace::Trace &trace,
     }
     chk.onEnd();
     return chk.report();
+}
+
+VerifyReport
+verifyTrace(const trace::Trace &trace,
+            StreamLifetimeChecker::Options options)
+{
+    return verifyEvents(trace.events(), options);
+}
+
+VerifyReport
+verifyBytecode(const trace::BytecodeProgram &program,
+               StreamLifetimeChecker::Options options)
+{
+    return verifyEvents(program.decodeEvents(), options);
 }
 
 } // namespace sc::analysis

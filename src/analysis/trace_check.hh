@@ -25,6 +25,10 @@
 #include "isa/stream_inst.hh"
 #include "trace/trace.hh"
 
+namespace sc::trace {
+class BytecodeProgram;
+} // namespace sc::trace
+
 namespace sc::analysis {
 
 /**
@@ -77,9 +81,21 @@ class StreamLifetimeChecker
     VerifyReport report_;
 };
 
+/** Check an event sequence against the stream-lifetime contract —
+ *  the shared core of verifyTrace/verifyBytecode and scverify. */
+VerifyReport verifyEvents(const std::vector<trace::Event> &events,
+                          StreamLifetimeChecker::Options options = {});
+
 /** Check a captured trace against the stream-lifetime contract. */
 VerifyReport verifyTrace(const trace::Trace &trace,
                          StreamLifetimeChecker::Options options = {});
+
+/** Check a compiled bytecode program: decode back to event order and
+ *  run the shared event checker, so both trace forms are verified
+ *  against one contract. */
+VerifyReport
+verifyBytecode(const trace::BytecodeProgram &program,
+               StreamLifetimeChecker::Options options = {});
 
 } // namespace sc::analysis
 

@@ -3,12 +3,14 @@
 #include <chrono>
 #include <optional>
 
+#include "analysis/trace_check.hh"
 #include "analysis/verifying_backend.hh"
 #include "backend/cpu_backend.hh"
 #include "backend/sparsecore_backend.hh"
 #include "common/logging.hh"
 #include "common/parallel_for.hh"
 #include "gpm/executor.hh"
+#include "trace/compile.hh"
 #include "trace/recorder.hh"
 #include "trace/replay.hh"
 
@@ -100,13 +102,16 @@ secondsBetween(std::chrono::steady_clock::time_point from,
  * The capture-once/replay-twice comparison core: the workload runs
  * functionally against a TraceRecorder once; the captured trace is
  * then replayed onto the CPU baseline and SparseCore concurrently on
- * `pool`. The timing is bit-identical to running the workload
- * directly on each backend (see tests/trace_test.cc).
+ * `pool`. In Bytecode mode (the default) the trace is compiled once
+ * and both substrates replay the shared program through the
+ * devirtualized loops. The timing is bit-identical to running the
+ * workload directly on each backend and identical across replay
+ * modes (see tests/trace_test.cc).
  */
 template <typename CaptureFn>
 Comparison
 compareViaTrace(const arch::SparseCoreConfig &config, ThreadPool &pool,
-                CaptureFn &&capture)
+                const RunOptions &options, CaptureFn &&capture)
 {
     Comparison cmp;
     const auto t0 = std::chrono::steady_clock::now();
@@ -115,25 +120,57 @@ compareViaTrace(const arch::SparseCoreConfig &config, ThreadPool &pool,
     const trace::Trace tr = recorder.takeTrace();
     const auto t1 = std::chrono::steady_clock::now();
 
+    const trace::ReplayMode mode =
+        trace::resolveReplayMode(options.replayMode);
+    cmp.trace.replayMode = trace::replayModeName(mode);
+
     trace::ReplayResult cpu, sc;
-    parallelInvoke(
-        pool,
-        [&] {
-            backend::CpuBackend be(config.core, config.mem);
-            cpu = trace::replay(tr, be);
-        },
-        [&] {
-            backend::SparseCoreBackend be(config);
-            sc = trace::replay(tr, be);
-        });
-    const auto t2 = std::chrono::steady_clock::now();
+    auto t2 = t1;
+    if (mode == trace::ReplayMode::Bytecode) {
+        // Verify the trace once up front (the compile preserves event
+        // order), compile once, replay the shared program twice.
+        if (options.verify.value_or(analysis::verifyByDefault())) {
+            const analysis::VerifyReport report =
+                analysis::verifyTrace(tr);
+            if (report.hasErrors())
+                throw analysis::VerifyError(report.format());
+        }
+        const trace::BytecodeProgram bc = trace::compileTrace(tr);
+        t2 = std::chrono::steady_clock::now();
+        cmp.trace.bytecodeBytes = bc.codeBytes();
+        cmp.trace.compileSeconds = secondsBetween(t1, t2);
+        parallelInvoke(
+            pool,
+            [&] {
+                backend::CpuBackend be(config.core, config.mem);
+                cpu = trace::replayCompiled(bc, be, /*verify=*/false);
+            },
+            [&] {
+                backend::SparseCoreBackend be(config);
+                sc = trace::replayCompiled(bc, be, /*verify=*/false);
+            });
+    } else {
+        parallelInvoke(
+            pool,
+            [&] {
+                backend::CpuBackend be(config.core, config.mem);
+                cpu = trace::replay(tr, be, options.verify,
+                                    trace::ReplayMode::Event);
+            },
+            [&] {
+                backend::SparseCoreBackend be(config);
+                sc = trace::replay(tr, be, options.verify,
+                                   trace::ReplayMode::Event);
+            });
+    }
+    const auto t3 = std::chrono::steady_clock::now();
 
     cmp.baseline = {"cpu", cpu.cycles, cpu.breakdown};
     cmp.accelerated = {"sparsecore", sc.cycles, sc.breakdown};
     cmp.trace.events = tr.numEvents();
     cmp.trace.arenaBytes = tr.arenaBytes();
     cmp.trace.captureSeconds = secondsBetween(t0, t1);
-    cmp.trace.replaySeconds = secondsBetween(t1, t2);
+    cmp.trace.replaySeconds = secondsBetween(t2, t3);
     return cmp;
 }
 
@@ -192,7 +229,7 @@ Machine::compare(const RunRequest &request) const
         local.emplace(request.options.hostThreads);
     ThreadPool &pool = local ? *local : ThreadPool::global();
 
-    return compareViaTrace(config_, pool,
+    return compareViaTrace(config_, pool, request.options,
                            [&](trace::TraceRecorder &rec) {
                                return executeOn(request, rec)
                                    .functionalResult;

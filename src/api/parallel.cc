@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <memory>
 
+#include "analysis/trace_check.hh"
 #include "backend/cpu_backend.hh"
 #include "backend/sparsecore_backend.hh"
 #include "common/logging.hh"
 #include "common/parallel_for.hh"
 #include "gpm/executor.hh"
+#include "trace/compile.hh"
 #include "trace/recorder.hh"
 #include "trace/replay.hh"
 
@@ -74,6 +76,8 @@ mineParallel(gpm::GpmApp app, const graph::CsrGraph &g,
     const unsigned k = std::max(1u, host.chunksPerCore);
     const unsigned num_chunks = num_cores * k;
 
+    const trace::ReplayMode mode =
+        trace::resolveReplayMode(host.replayMode);
     const auto runs = parallelMap<ChunkRun>(
         pool, num_chunks, [&](std::size_t chunk) {
             trace::TraceRecorder recorder;
@@ -82,7 +86,8 @@ mineParallel(gpm::GpmApp app, const graph::CsrGraph &g,
                              num_chunks, root_stride, recorder);
             const trace::Trace tr = recorder.takeTrace();
             auto backend = make_backend();
-            const auto rep = trace::replay(tr, *backend);
+            const auto rep =
+                trace::replay(tr, *backend, std::nullopt, mode);
             return ChunkRun{run.embeddings, rep.cycles};
         });
 
@@ -152,7 +157,11 @@ compareParallelGpm(gpm::GpmApp app, const graph::CsrGraph &g,
 
     // One capture per chunk; the trace replays onto both substrates
     // within the same host task, so the chunk outcome stays a pure
-    // function of the chunk index.
+    // function of the chunk index. In Bytecode mode the chunk
+    // compiles its trace once and both substrates replay the shared
+    // program.
+    const trace::ReplayMode mode =
+        trace::resolveReplayMode(host.replayMode);
     const auto runs = parallelMap<ChunkCompare>(
         pool, num_chunks, [&](std::size_t chunk) {
             trace::TraceRecorder recorder;
@@ -162,9 +171,24 @@ compareParallelGpm(gpm::GpmApp app, const graph::CsrGraph &g,
             const trace::Trace tr = recorder.takeTrace();
             backend::CpuBackend cpu(config.core, config.mem);
             backend::SparseCoreBackend sc(config);
-            return ChunkCompare{run.embeddings,
-                                trace::replay(tr, cpu).cycles,
-                                trace::replay(tr, sc).cycles};
+            if (mode == trace::ReplayMode::Bytecode) {
+                if (analysis::verifyByDefault()) {
+                    const analysis::VerifyReport report =
+                        analysis::verifyTrace(tr);
+                    if (report.hasErrors())
+                        throw analysis::VerifyError(report.format());
+                }
+                const trace::BytecodeProgram bc =
+                    trace::compileTrace(tr);
+                return ChunkCompare{
+                    run.embeddings,
+                    trace::replayCompiled(bc, cpu, false).cycles,
+                    trace::replayCompiled(bc, sc, false).cycles};
+            }
+            return ChunkCompare{
+                run.embeddings,
+                trace::replay(tr, cpu, std::nullopt, mode).cycles,
+                trace::replay(tr, sc, std::nullopt, mode).cycles};
         });
 
     ParallelComparison cmp;

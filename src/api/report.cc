@@ -38,7 +38,15 @@ Comparison::str() const
            << trace.arenaBytes << " arena bytes, capture "
            << Table::num(trace.captureSeconds * 1e3, 1)
            << " ms, replay "
-           << Table::num(trace.replaySeconds * 1e3, 1) << " ms\n";
+           << Table::num(trace.replaySeconds * 1e3, 1) << " ms";
+        if (!trace.replayMode.empty())
+            os << " (" << trace.replayMode << ")";
+        os << "\n";
+        if (trace.bytecodeBytes) {
+            os << "bytecode: " << trace.bytecodeBytes
+               << " bytes, compile "
+               << Table::num(trace.compileSeconds * 1e3, 1) << " ms\n";
+        }
     }
     return os.str();
 }

@@ -31,7 +31,14 @@ struct TraceStats
 {
     std::size_t events = 0;     ///< captured events
     std::size_t arenaBytes = 0; ///< interned key-arena bytes
+    /** Compiled bytecode program bytes (0 when replayMode=event). */
+    std::size_t bytecodeBytes = 0;
+    /** Replay engine used: "event" or "bytecode". */
+    std::string replayMode;
     double captureSeconds = 0;  ///< host wall-clock of the capture run
+    /** Host wall-clock of the trace -> bytecode compile (0 when
+     *  replayMode=event); paid once, amortized over both replays. */
+    double compileSeconds = 0;
     double replaySeconds = 0;   ///< host wall-clock of both replays
 };
 

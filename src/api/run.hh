@@ -32,6 +32,7 @@
 #include "streams/simd/kernel_table.hh"
 #include "tensor/csf_tensor.hh"
 #include "tensor/sparse_matrix.hh"
+#include "trace/replay.hh"
 
 namespace sc::api {
 
@@ -67,6 +68,16 @@ struct RunOptions
      * the backend transparently and never changes simulated cycles.
      */
     std::optional<bool> verify;
+    /**
+     * Replay engine for compare()'s trace-driven legs: Auto resolves
+     * from SC_REPLAY (default Bytecode — the trace compiles once and
+     * both substrates replay the devirtualized bytecode loop); Event
+     * forces the original per-event walker. Both engines issue the
+     * identical backend call sequence, so simulated cycles never
+     * depend on this — it only moves host wall-clock (the A/B
+     * escape hatch tests/trace_test.cc pins).
+     */
+    trace::ReplayMode replayMode = trace::ReplayMode::Auto;
 };
 
 /**

@@ -35,8 +35,9 @@ struct CpuCostParams
     unsigned opsPerStreamSetup = 2;
 };
 
-/** The CPU baseline backend. */
-class CpuBackend : public ExecBackend
+/** The CPU baseline backend. Final so the bytecode replay loop's
+ *  per-backend instantiation devirtualizes every call. */
+class CpuBackend final : public ExecBackend
 {
   public:
     explicit CpuBackend(const sim::CoreParams &core = sim::CoreParams{},

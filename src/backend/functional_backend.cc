@@ -1,8 +1,32 @@
 #include "backend/functional_backend.hh"
 
+#include "trace/bytecode.hh"
+
 namespace sc::backend {
 
-FunctionalBackend::FunctionalBackend() = default;
+static_assert(FunctionalBackend::numSetOpKinds ==
+                  trace::EventProfile::numSetOpKinds,
+              "profile and backend disagree on set-op kinds");
+
+FunctionalBackend::FunctionalBackend()
+    : streamLoads_(stats_.counter("streamLoads")),
+      streamLoadsKv_(stats_.counter("streamLoadsKv")),
+      streamFrees_(stats_.counter("streamFrees")),
+      setOpElements_(stats_.counter("setOpElements")),
+      valueIntersects_(stats_.counter("valueIntersects")),
+      valueMatches_(stats_.counter("valueMatches")),
+      valueMerges_(stats_.counter("valueMerges")),
+      nestedIntersects_(stats_.counter("nestedIntersects")),
+      nestedElements_(stats_.counter("nestedElements"))
+{
+    for (std::size_t k = 0; k < numSetOpKinds; ++k) {
+        const char *name =
+            streams::setOpName(static_cast<streams::SetOpKind>(k));
+        setOps_[k] = &stats_.counter(std::string("setOp.") + name);
+        setOpCounts_[k] =
+            &stats_.counter(std::string("setOpCount.") + name);
+    }
+}
 
 void
 FunctionalBackend::begin()
@@ -23,7 +47,7 @@ BackendStream
 FunctionalBackend::streamLoad(Addr, std::uint32_t length, unsigned,
                               streams::KeySpan)
 {
-    ++stats_.counter("streamLoads");
+    ++streamLoads_;
     ++liveStreams_;
     lengthHist_.sample(length);
     return nextHandle();
@@ -33,7 +57,7 @@ BackendStream
 FunctionalBackend::streamLoadKv(Addr, Addr, std::uint32_t length,
                                 unsigned, streams::KeySpan)
 {
-    ++stats_.counter("streamLoadsKv");
+    ++streamLoadsKv_;
     ++liveStreams_;
     lengthHist_.sample(length);
     return nextHandle();
@@ -42,7 +66,7 @@ FunctionalBackend::streamLoadKv(Addr, Addr, std::uint32_t length,
 void
 FunctionalBackend::streamFree(BackendStream)
 {
-    ++stats_.counter("streamFrees");
+    ++streamFrees_;
     --liveStreams_;
 }
 
@@ -52,8 +76,8 @@ FunctionalBackend::setOp(streams::SetOpKind kind, BackendStream,
                          streams::KeySpan bk, Key, streams::KeySpan,
                          Addr)
 {
-    ++stats_.counter(std::string("setOp.") + streams::setOpName(kind));
-    stats_.counter("setOpElements") += ak.size() + bk.size();
+    ++*setOps_[static_cast<std::size_t>(kind)];
+    setOpElements_ += ak.size() + bk.size();
     lengthHist_.sample(ak.size());
     lengthHist_.sample(bk.size());
     ++liveStreams_;
@@ -65,9 +89,8 @@ FunctionalBackend::setOpCount(streams::SetOpKind kind, BackendStream,
                               BackendStream, streams::KeySpan ak,
                               streams::KeySpan bk, Key, std::uint64_t)
 {
-    ++stats_.counter(std::string("setOpCount.") +
-                     streams::setOpName(kind));
-    stats_.counter("setOpElements") += ak.size() + bk.size();
+    ++*setOpCounts_[static_cast<std::size_t>(kind)];
+    setOpElements_ += ak.size() + bk.size();
     lengthHist_.sample(ak.size());
     lengthHist_.sample(bk.size());
 }
@@ -79,8 +102,8 @@ FunctionalBackend::valueIntersect(BackendStream, BackendStream,
                                   std::span<const std::uint32_t> match_a,
                                   std::span<const std::uint32_t>)
 {
-    ++stats_.counter("valueIntersects");
-    stats_.counter("valueMatches") += match_a.size();
+    ++valueIntersects_;
+    valueMatches_ += match_a.size();
     lengthHist_.sample(ak.size());
     lengthHist_.sample(bk.size());
 }
@@ -90,7 +113,7 @@ FunctionalBackend::valueMerge(BackendStream, BackendStream,
                               streams::KeySpan ak, streams::KeySpan bk,
                               Addr, Addr, std::uint64_t, Addr)
 {
-    ++stats_.counter("valueMerges");
+    ++valueMerges_;
     lengthHist_.sample(ak.size());
     lengthHist_.sample(bk.size());
     ++liveStreams_;
@@ -98,11 +121,33 @@ FunctionalBackend::valueMerge(BackendStream, BackendStream,
 }
 
 void
+FunctionalBackend::applyProfile(const trace::EventProfile &p)
+{
+    streamLoads_ += p.streamLoads;
+    streamLoadsKv_ += p.streamLoadsKv;
+    streamFrees_ += p.streamFrees;
+    for (std::size_t k = 0; k < numSetOpKinds; ++k) {
+        *setOps_[k] += p.setOps[k];
+        *setOpCounts_[k] += p.setOpCounts[k];
+    }
+    setOpElements_ += p.setOpElements;
+    valueIntersects_ += p.valueIntersects;
+    valueMatches_ += p.valueMatches;
+    valueMerges_ += p.valueMerges;
+    nestedIntersects_ += p.nestedGroups;
+    nestedElements_ += p.nestedElements;
+    for (const auto &[length, occurrences] : p.lengthSamples)
+        lengthHist_.sample(length, occurrences);
+    liveStreams_ += p.liveStreamDelta;
+    next_ += static_cast<BackendStream>(p.streamsCreated);
+}
+
+void
 FunctionalBackend::nestedIntersect(BackendStream, streams::KeySpan,
                                    const std::vector<NestedItem> &elems)
 {
-    ++stats_.counter("nestedIntersects");
-    stats_.counter("nestedElements") += elems.size();
+    ++nestedIntersects_;
+    nestedElements_ += elems.size();
     for (const auto &elem : elems)
         lengthHist_.sample(elem.nested.size());
 }

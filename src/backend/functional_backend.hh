@@ -13,12 +13,19 @@
 #include "common/stats.hh"
 #include "streams/simd/kernel_table.hh"
 
+namespace sc::trace {
+struct EventProfile;
+} // namespace sc::trace
+
 namespace sc::backend {
 
-/** Structure-only backend. */
-class FunctionalBackend : public ExecBackend
+/** Structure-only backend. Final so the bytecode replay loop's
+ *  per-backend instantiation devirtualizes every call. */
+class FunctionalBackend final : public ExecBackend
 {
   public:
+    static constexpr std::size_t numSetOpKinds = 3;
+
     FunctionalBackend();
 
     std::string name() const override { return "functional"; }
@@ -68,6 +75,16 @@ class FunctionalBackend : public ExecBackend
     void nestedIntersect(BackendStream s, streams::KeySpan s_keys,
                          const std::vector<NestedItem> &elems) override;
 
+    /**
+     * Apply a compiled program's aggregate profile in one shot —
+     * exactly the state every hook of a per-event replay would leave
+     * (this backend is stateless across events: each hook is counter
+     * bumps plus order-independent histogram samples), at
+     * O(distinct lengths) instead of O(events). The bytecode replay
+     * path (trace::replayCompiled) uses this instead of walking.
+     */
+    void applyProfile(const trace::EventProfile &profile);
+
     const StatSet &stats() const { return stats_; }
     const Histogram &streamLengthHist() const { return lengthHist_; }
     /** Live streams (loads minus frees), for leak checks in tests. */
@@ -80,6 +97,23 @@ class FunctionalBackend : public ExecBackend
     std::int64_t liveStreams_ = 0;
     StatSet stats_{"functional"};
     Histogram lengthHist_{4, 512};
+
+    // Hot counters resolved once in the constructor instead of a
+    // string-keyed map lookup (plus a heap-allocated key for the
+    // per-kind names) on every event. StatSet::reset() zeroes values
+    // in place without erasing entries, so the references stay valid
+    // across begin().
+    Counter &streamLoads_;
+    Counter &streamLoadsKv_;
+    Counter &streamFrees_;
+    Counter &setOpElements_;
+    Counter &valueIntersects_;
+    Counter &valueMatches_;
+    Counter &valueMerges_;
+    Counter &nestedIntersects_;
+    Counter &nestedElements_;
+    Counter *setOps_[numSetOpKinds];
+    Counter *setOpCounts_[numSetOpKinds];
 };
 
 } // namespace sc::backend

@@ -14,8 +14,9 @@
 
 namespace sc::backend {
 
-/** The SparseCore substrate. */
-class SparseCoreBackend : public ExecBackend
+/** The SparseCore substrate. Final so the bytecode replay loop's
+ *  per-backend instantiation devirtualizes every call. */
+class SparseCoreBackend final : public ExecBackend
 {
   public:
     explicit SparseCoreBackend(

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * The compiled-trace bytecode: a captured Trace lowered into one flat,
+ * cache-resident buffer of fixed-layout opcodes, replayed by
+ * devirtualized per-backend loops (trace/replay.cc).
+ *
+ * Why a second form? The event walker reads ~112-byte Event records
+ * and pays a virtual ExecBackend call per event; for every benchmark
+ * sweep and DSE run, that walk IS the hot loop. The bytecode packs
+ * the same call sequence into 32-bit words — delta-encoded addresses
+ * (zigzag against a running register), implicit creation-order stream
+ * ids, inlined key-span references into an owned arena — so replay
+ * touches a fraction of the memory and decodes with one predictable
+ * switch per instruction. Runs of identical consecutive scalarOps
+ * events fuse into a single run-length instruction whose replay loop
+ * re-issues each call, keeping per-call cost-model semantics (and
+ * therefore cycles) bit-identical to the event walker.
+ *
+ * A program is self-contained: compile() copies the arena and the
+ * nested-entry table out of the source trace, so one program compiled
+ * per (app, dataset) replays onto any backend with no live Trace, and
+ * serializes standalone ("SCBC" image, sniffed by tools/scverify).
+ *
+ * Instruction encoding (see walkBytecode for the decoder, which is
+ * the layout's single source of truth shared with the compiler):
+ *
+ *   header word: op(8) | aux(8) | flags(8) | reserved(8)
+ *     flagWide           every u64-class operand takes 2 words
+ *     flagExplicitResult result handle follows as a trailing word
+ *                        (otherwise: next creation-order id)
+ *   operand classes:
+ *     u64-class  zigzag address deltas, lengths/counts, span offsets
+ *                (1 word narrow, 2 words wide)
+ *     u32        stream handles, span lengths, bounds, run counts
+ */
+
+#ifndef SPARSECORE_TRACE_BYTECODE_HH
+#define SPARSECORE_TRACE_BYTECODE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "trace/trace.hh"
+
+namespace sc::trace {
+
+/** Serialized SCBC format version (bump on any layout change). */
+constexpr std::uint32_t bytecodeFormatVersion = 1;
+
+/** Bytecode opcodes: EventKind plus the fused scalar-ops run. */
+enum class Op : std::uint8_t
+{
+    ScalarOps,           ///< [n]
+    ScalarOpsRun,        ///< [count][n] — count identical calls
+    ScalarBranch,        ///< aux=taken, [pcDelta]
+    ScalarLoad,          ///< [addrDelta]
+    StreamLoad,          ///< aux=prio, [addrDelta][len][s0][res?]
+    StreamLoadKv,        ///< aux=prio, [kD][vD][len][s0][res?]
+    StreamFree,          ///< [a]
+    SetOp,               ///< aux=kind, [a][b][s0][s1][bound][s2][outD][res?]
+    SetOpCount,          ///< aux=kind, [a][b][s0][s1][bound][n]
+    ValueIntersect,      ///< [a][b][s0][s1][aD][bD][s2][s3]
+    DenseValueIntersect, ///< as ValueIntersect
+    ValueMerge,          ///< [a][b][s0][s1][aD][bD][n][outD][res?]
+    NestedGroup,         ///< [a][s0][entryIndex][entryCount]
+    ConsumeStream,       ///< [a]
+    IterateStream,       ///< aux=ops, [a][n]
+    NumOps
+};
+
+const char *opName(Op op);
+
+using Word = std::uint32_t;
+
+constexpr Word opMask = 0xff;
+constexpr unsigned auxShift = 8;
+constexpr Word flagWide = Word{1} << 16;
+constexpr Word flagExplicitResult = Word{1} << 17;
+
+/** Zigzag a two's-complement u64 delta into an unsigned code. */
+constexpr std::uint64_t
+zigzagEncode(std::uint64_t delta)
+{
+    return (delta << 1) ^ (std::uint64_t{0} - (delta >> 63));
+}
+
+constexpr std::uint64_t
+zigzagDecode(std::uint64_t code)
+{
+    return (code >> 1) ^ (std::uint64_t{0} - (code & 1));
+}
+
+/**
+ * Backend-independent aggregate of every cost-model update a replay
+ * of the program performs: operation counts per hook, total set-op
+ * work, and the full multiset of stream-length histogram samples.
+ *
+ * This is the limit case of run batching: for a stateless substrate
+ * whose end state is a pure function of the trace (FunctionalBackend
+ * — every hook is a counter bump and/or an order-independent
+ * histogram sample), the whole program collapses into one profile
+ * application, so a compiled replay costs O(distinct lengths) instead
+ * of O(events). Derived at compile/deserialize time from the code
+ * itself; never serialized (the SCBC image stays at format v1).
+ */
+struct EventProfile
+{
+    static constexpr std::size_t numSetOpKinds = 3;
+
+    std::uint64_t streamLoads = 0;
+    std::uint64_t streamLoadsKv = 0;
+    std::uint64_t streamFrees = 0;
+    std::uint64_t setOps[numSetOpKinds] = {};
+    std::uint64_t setOpCounts[numSetOpKinds] = {};
+    std::uint64_t setOpElements = 0;   ///< sum |ak|+|bk| over both
+    std::uint64_t valueIntersects = 0; ///< dense folds in (same hook)
+    std::uint64_t valueMatches = 0;    ///< sum |match_a|
+    std::uint64_t valueMerges = 0;
+    std::uint64_t nestedGroups = 0;
+    std::uint64_t nestedElements = 0;
+    /** Streams created (loads + kv loads + set ops + merges). */
+    std::uint64_t streamsCreated = 0;
+    /** Creations minus frees — the end-of-replay live count. */
+    std::int64_t liveStreamDelta = 0;
+    /** Every stream-length histogram sample the event walk would
+     *  make, aggregated to (length, occurrences), sorted by length. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> lengthSamples;
+};
+
+/**
+ * One compiled trace: flat code + owned key arena + nested-entry
+ * table. Immutable after compile()/deserialize(); concurrent replays
+ * of one program are safe.
+ */
+class BytecodeProgram
+{
+  public:
+    BytecodeProgram() = default;
+
+    const std::vector<Word> &code() const { return code_; }
+    streams::KeySpan
+    span(const SpanRef &ref) const
+    {
+        return {arena_.data() + ref.off, ref.len};
+    }
+    const NestedEntry &nestedEntry(std::size_t i) const
+    {
+        return nested_[i];
+    }
+    std::size_t numNestedEntries() const { return nested_.size(); }
+    TraceStream handleCount() const { return handleCount_; }
+    /** Aggregate cost-model profile (see EventProfile). */
+    const EventProfile &profile() const { return profile_; }
+
+    // ---------------- statistics ----------------
+    std::size_t numInstructions() const { return numInstructions_; }
+    /** Events of the source trace (fused runs count each event). */
+    std::size_t numSourceEvents() const { return numSourceEvents_; }
+    std::size_t codeBytes() const { return code_.size() * sizeof(Word); }
+    std::size_t arenaKeys() const { return arena_.size(); }
+    /** Total owned bytes (code + arena + nested entries). */
+    std::size_t memoryBytes() const;
+
+    /**
+     * Decode back to the event form. The decoded sequence is exactly
+     * the source trace's event list (fused runs re-expand), which the
+     * round-trip property test pins and the shared event-order
+     * checker (analysis::verifyEvents) consumes.
+     */
+    std::vector<Event> decodeEvents() const;
+
+    // ---------------- serialization ----------------
+    /** Versioned standalone binary image ("SCBC", little-endian). */
+    std::string serialize() const;
+    /** Parse an SCBC image; panics on malformed/mismatched input. */
+    static BytecodeProgram deserialize(std::string_view bytes);
+    void saveFile(const std::string &path) const;
+    static BytecodeProgram loadFile(const std::string &path);
+
+    /**
+     * Re-walk the code and panic unless every operand is in range
+     * (handles below handleCount or sentinel, spans inside the arena,
+     * nested groups inside the entry table) and the header counts
+     * match. compileTrace() output satisfies this by construction;
+     * deserialize() calls it so the unchecked replay loops can trust
+     * any loaded image.
+     */
+    void validate() const;
+
+  private:
+    friend BytecodeProgram compileTrace(const Trace &trace,
+                                        bool fuse_scalar_runs);
+
+    /** One fused walk validating the code AND rebuilding profile_
+     *  (derived data — the serialized image carries none of it).
+     *  Called by compileTrace() and deserialize(); subsumes
+     *  validate(). */
+    void finalize();
+
+    std::vector<Word> code_;
+    std::vector<Key> arena_;
+    std::vector<NestedEntry> nested_;
+    TraceStream handleCount_ = 0;
+    std::size_t numInstructions_ = 0;
+    std::size_t numSourceEvents_ = 0;
+    EventProfile profile_;
+};
+
+/**
+ * Decode the program, invoking one handler method per instruction.
+ * This is the single decoder both the devirtualized replay loops and
+ * decodeEvents() share, so the encoding has exactly one reader.
+ *
+ * The handler mirrors the ExecBackend surface with trace-level
+ * operands (TraceStream handles, SpanRefs into program.span()):
+ *
+ *   scalarOps(n, repeat)           repeat identical scalarOps(n) calls
+ *   scalarBranch(pc, taken)
+ *   scalarLoad(addr)
+ *   streamLoad(res, addr, len, prio, s0)
+ *   streamLoadKv(res, kAddr, vAddr, len, prio, s0)
+ *   streamFree(a)
+ *   setOp(res, kind, a, b, s0, s1, bound, s2, outAddr)
+ *   setOpCount(kind, a, b, s0, s1, bound, n)
+ *   valueIntersect(dense, a, b, s0, s1, aVal, bVal, s2, s3)
+ *   valueMerge(res, a, b, s0, s1, aVal, bVal, n, outAddr)
+ *   nestedGroup(a, s0, entryIndex, entryCount)
+ *   consumeStream(a)
+ *   iterateStream(a, n, ops)
+ */
+template <typename Handler>
+void
+walkBytecode(const BytecodeProgram &program, Handler &&handler)
+{
+    const Word *p = program.code().data();
+    const Word *const end = p + program.code().size();
+    std::uint64_t last_addr = 0;
+    TraceStream next_result = 0;
+
+    while (p < end) {
+        const Word hdr = *p++;
+        const auto op = static_cast<Op>(hdr & opMask);
+        const auto aux =
+            static_cast<std::uint8_t>((hdr >> auxShift) & 0xff);
+        const bool wide = (hdr & flagWide) != 0;
+
+        // u64-class operand: 1 word narrow, low/high pair wide.
+        auto u64 = [&]() -> std::uint64_t {
+            std::uint64_t v = *p++;
+            if (wide)
+                v |= std::uint64_t{*p++} << 32;
+            return v;
+        };
+        auto addr = [&]() -> std::uint64_t {
+            last_addr += zigzagDecode(u64());
+            return last_addr;
+        };
+        auto span = [&]() -> SpanRef {
+            SpanRef ref;
+            ref.off = u64();
+            ref.len = *p++;
+            return ref;
+        };
+        auto handle = [&]() -> TraceStream { return *p++; };
+        // Trailing result handle: implicit creation-order id unless
+        // the (rare, hand-built-trace) explicit form is flagged.
+        auto result = [&]() -> TraceStream {
+            if (hdr & flagExplicitResult)
+                return *p++;
+            return next_result++;
+        };
+
+        switch (op) {
+        case Op::ScalarOps:
+            handler.scalarOps(u64(), 1);
+            break;
+        case Op::ScalarOpsRun: {
+            const Word count = *p++;
+            handler.scalarOps(u64(), count);
+            break;
+        }
+        case Op::ScalarBranch:
+            handler.scalarBranch(addr(), aux != 0);
+            break;
+        case Op::ScalarLoad:
+            handler.scalarLoad(addr());
+            break;
+        case Op::StreamLoad: {
+            const std::uint64_t a0 = addr();
+            const std::uint64_t len = u64();
+            const SpanRef s0 = span();
+            handler.streamLoad(result(), a0, len, aux, s0);
+            break;
+        }
+        case Op::StreamLoadKv: {
+            const std::uint64_t a0 = addr();
+            const std::uint64_t a1 = addr();
+            const std::uint64_t len = u64();
+            const SpanRef s0 = span();
+            handler.streamLoadKv(result(), a0, a1, len, aux, s0);
+            break;
+        }
+        case Op::StreamFree:
+            handler.streamFree(handle());
+            break;
+        case Op::SetOp: {
+            const TraceStream a = handle();
+            const TraceStream b = handle();
+            const SpanRef s0 = span();
+            const SpanRef s1 = span();
+            const Key bound = *p++;
+            const SpanRef s2 = span();
+            const std::uint64_t out_addr = addr();
+            handler.setOp(result(), aux, a, b, s0, s1, bound, s2,
+                          out_addr);
+            break;
+        }
+        case Op::SetOpCount: {
+            const TraceStream a = handle();
+            const TraceStream b = handle();
+            const SpanRef s0 = span();
+            const SpanRef s1 = span();
+            const Key bound = *p++;
+            handler.setOpCount(aux, a, b, s0, s1, bound, u64());
+            break;
+        }
+        case Op::ValueIntersect:
+        case Op::DenseValueIntersect: {
+            const TraceStream a = handle();
+            const TraceStream b = handle();
+            const SpanRef s0 = span();
+            const SpanRef s1 = span();
+            const std::uint64_t a_val = addr();
+            const std::uint64_t b_val = addr();
+            const SpanRef s2 = span();
+            const SpanRef s3 = span();
+            handler.valueIntersect(op == Op::DenseValueIntersect, a,
+                                   b, s0, s1, a_val, b_val, s2, s3);
+            break;
+        }
+        case Op::ValueMerge: {
+            const TraceStream a = handle();
+            const TraceStream b = handle();
+            const SpanRef s0 = span();
+            const SpanRef s1 = span();
+            const std::uint64_t a_val = addr();
+            const std::uint64_t b_val = addr();
+            const std::uint64_t n = u64();
+            const std::uint64_t out_addr = addr();
+            handler.valueMerge(result(), a, b, s0, s1, a_val, b_val,
+                               n, out_addr);
+            break;
+        }
+        case Op::NestedGroup: {
+            const TraceStream a = handle();
+            const SpanRef s0 = span();
+            const std::uint64_t index = u64();
+            const Word count = *p++;
+            handler.nestedGroup(a, s0, index, count);
+            break;
+        }
+        case Op::ConsumeStream:
+            handler.consumeStream(handle());
+            break;
+        case Op::IterateStream: {
+            const TraceStream a = handle();
+            handler.iterateStream(a, u64(), aux);
+            break;
+        }
+        case Op::NumOps:
+            panic("bytecode replay: corrupt opcode");
+        }
+    }
+}
+
+} // namespace sc::trace
+
+#endif // SPARSECORE_TRACE_BYTECODE_HH

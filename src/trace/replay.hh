@@ -6,6 +6,23 @@
  * backends that key costs off handle values (e.g. the CPU baseline's
  * per-site branch pcs) see identical numbering — making replayed
  * cycles and breakdowns bit-identical to direct execution.
+ *
+ * Two replay engines produce that call sequence:
+ *
+ *  - Event: the original walker over the captured Event records, one
+ *    virtual ExecBackend call per event.
+ *  - Bytecode: the trace is lowered once (trace/compile.hh) into the
+ *    flat bytecode form (trace/bytecode.hh) and driven by a
+ *    template-specialized loop instantiated per concrete backend, so
+ *    every backend call devirtualizes and inlines. The compiled
+ *    program is reusable across backends and replays — the intended
+ *    shape for sweeps is compile once, replayCompiled() many times.
+ *
+ * Both engines issue the identical call sequence, so cycles and
+ * breakdowns are bit-identical; the mode is a pure wall-clock choice.
+ * SC_REPLAY=event|bytecode forces a mode process-wide (the escape
+ * hatch for A/B tests); explicit mode arguments win over the
+ * environment.
  */
 
 #ifndef SPARSECORE_TRACE_REPLAY_HH
@@ -14,6 +31,7 @@
 #include <optional>
 
 #include "backend/exec_backend.hh"
+#include "trace/bytecode.hh"
 #include "trace/trace.hh"
 
 namespace sc::trace {
@@ -24,6 +42,23 @@ struct ReplayResult
     Cycles cycles = 0;
     sim::CycleBreakdown breakdown;
 };
+
+/** Which replay engine to use. */
+enum class ReplayMode : std::uint8_t
+{
+    Auto,     ///< resolve from SC_REPLAY (default: Bytecode)
+    Event,    ///< walk the captured Event records (virtual dispatch)
+    Bytecode, ///< compile to bytecode, run the devirtualized loop
+};
+
+const char *replayModeName(ReplayMode mode);
+
+/** The process-wide default: SC_REPLAY=event|bytecode, else
+ *  Bytecode. Read once and cached (panics on unknown values). */
+ReplayMode defaultReplayMode();
+
+/** Auto -> defaultReplayMode(), anything else passes through. */
+ReplayMode resolveReplayMode(ReplayMode mode);
 
 /**
  * Replay the trace onto a backend (begin() .. finish()). Nested
@@ -38,11 +73,29 @@ struct ReplayResult
  * the trace, so a verified replay's cycles are identical to an
  * unverified one.
  *
+ * In Bytecode mode the trace is compiled on every call; callers that
+ * replay one trace repeatedly should compileTrace() once and use
+ * replayCompiled().
+ *
  * Thread safety: the trace is only read; concurrent replays of one
  * trace onto distinct backends are safe.
  */
 ReplayResult replay(const Trace &trace, backend::ExecBackend &backend,
-                    std::optional<bool> verify = std::nullopt);
+                    std::optional<bool> verify = std::nullopt,
+                    ReplayMode mode = ReplayMode::Auto);
+
+/**
+ * Replay a compiled program (compile once per (app, dataset), replay
+ * onto any backend). Dispatch devirtualizes for the concrete backend
+ * types (CpuBackend, SparseCoreBackend, FunctionalBackend); other
+ * ExecBackends run through a generic loop that still skips the Event
+ * materialization. Verification decodes back to event order and runs
+ * the shared checker. Concurrent replays of one program onto
+ * distinct backends are safe.
+ */
+ReplayResult replayCompiled(const BytecodeProgram &program,
+                            backend::ExecBackend &backend,
+                            std::optional<bool> verify = std::nullopt);
 
 } // namespace sc::trace
 

@@ -5,10 +5,14 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "trace/wire.hh"
 
 namespace sc::trace {
 
 namespace {
+
+using wire::put;
+using wire::Reader;
 
 /** FNV-1a over the span's raw bytes. */
 std::uint64_t
@@ -21,47 +25,6 @@ contentHash(streams::KeySpan keys)
     }
     return h;
 }
-
-// ---- little-endian scalar encoding (byte-stable across hosts) ----
-
-template <typename T>
-void
-put(std::string &out, T value)
-{
-    static_assert(std::is_unsigned_v<T>);
-    for (unsigned i = 0; i < sizeof(T); ++i)
-        out.push_back(
-            static_cast<char>((value >> (8 * i)) & 0xff));
-}
-
-/** Bounds-checked little-endian reader over a serialized image. */
-class Reader
-{
-  public:
-    explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-    template <typename T>
-    T
-    get()
-    {
-        static_assert(std::is_unsigned_v<T>);
-        if (pos_ + sizeof(T) > bytes_.size())
-            panic("truncated trace image at byte %zu", pos_);
-        T value = 0;
-        for (unsigned i = 0; i < sizeof(T); ++i)
-            value |= static_cast<T>(
-                         static_cast<unsigned char>(bytes_[pos_ + i]))
-                     << (8 * i);
-        pos_ += sizeof(T);
-        return value;
-    }
-
-    bool done() const { return pos_ == bytes_.size(); }
-
-  private:
-    std::string_view bytes_;
-    std::size_t pos_ = 0;
-};
 
 void
 putSpan(std::string &out, const SpanRef &ref)
@@ -182,8 +145,7 @@ Trace::serialize() const
     put<std::uint32_t>(out, handleCount_);
 
     put<std::uint64_t>(out, arena_.size());
-    for (const Key k : arena_)
-        put<std::uint32_t>(out, k);
+    wire::putArray(out, arena_.data(), arena_.size());
 
     put<std::uint64_t>(out, nested_.size());
     for (const NestedEntry &ne : nested_) {
@@ -233,9 +195,8 @@ Trace::deserialize(std::string_view bytes)
     t.handleCount_ = r.get<std::uint32_t>();
 
     const auto arena_len = r.get<std::uint64_t>();
-    t.arena_.reserve(arena_len);
-    for (std::uint64_t i = 0; i < arena_len; ++i)
-        t.arena_.push_back(r.get<std::uint32_t>());
+    t.arena_.resize(arena_len);
+    r.getArray(t.arena_.data(), arena_len);
 
     auto check_span = [&](const SpanRef &ref) {
         if (ref.off + ref.len > t.arena_.size())
@@ -306,16 +267,9 @@ Trace::saveFile(const std::string &path) const
 Trace
 Trace::loadFile(const std::string &path)
 {
-    FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        panic("cannot read trace file '%s'", path.c_str());
-    std::string bytes;
-    char buf[1 << 16];
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        bytes.append(buf, n);
-    std::fclose(f);
-    return deserialize(bytes);
+    // Single presized read (wire::readWholeFile) instead of the old
+    // 64K-chunk append loop — one allocation for the whole image.
+    return deserialize(wire::readWholeFile(path));
 }
 
 std::string

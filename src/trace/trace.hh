@@ -155,6 +155,16 @@ class Trace
     {
         return nested_[i];
     }
+    /** Whole interned arena (the bytecode compiler copies it). */
+    streams::KeySpan
+    arenaSpan() const
+    {
+        return {arena_.data(), arena_.size()};
+    }
+    const std::vector<NestedEntry> &nestedEntries() const
+    {
+        return nested_;
+    }
     /** Stream handles the capture run created (map size for replay). */
     TraceStream handleCount() const { return handleCount_; }
 

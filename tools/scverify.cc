@@ -3,14 +3,20 @@
  * scverify: command-line front end for the stream-program static
  * verifier (src/analysis).
  *
- *     scverify prog.s another.s trace.bin
+ *     scverify prog.s another.s trace.bin program.scbc
  *
  * Each input is sniffed by content: files starting with the "SCTR"
- * magic are deserialized traces checked with the event-order lifetime
- * checker; everything else is assembled as stream-ISA text and run
- * through the branch-aware static pass. Exits 1 when any input draws
- * an error diagnostic (or a warning under --werror), 2 on usage, I/O
- * or parse failures, 0 when everything is clean.
+ * magic are deserialized traces, files starting with "SCBC" are
+ * compiled bytecode programs decoded back to event order — both
+ * checked with the shared event-order lifetime checker; everything
+ * else is assembled as stream-ISA text and run through the
+ * branch-aware static pass. Exits 1 when any input draws an error
+ * diagnostic (or a warning under --werror), 2 on usage, I/O or parse
+ * failures, 0 when everything is clean.
+ *
+ * --compile-bytecode <trace.bin> <out.scbc> lowers a trace to the
+ * bytecode form (after verifying it) — how the golden SCBC fixture
+ * is (re)generated.
  */
 
 #include <cstdint>
@@ -26,6 +32,7 @@
 #include "analysis/verifier.hh"
 #include "common/logging.hh"
 #include "isa/assembler.hh"
+#include "trace/compile.hh"
 #include "trace/trace.hh"
 
 namespace {
@@ -47,8 +54,9 @@ usage(std::ostream &os, int code)
     os << "usage: scverify [options] <file>...\n"
           "\n"
           "Statically verify stream-ISA assembly programs and check\n"
-          "serialized SparseCore traces (SCTR binaries, sniffed by\n"
-          "magic) against the stream dataflow contract.\n"
+          "serialized SparseCore traces (SCTR binaries) and compiled\n"
+          "bytecode programs (SCBC binaries), both sniffed by magic,\n"
+          "against the stream dataflow contract.\n"
           "\n"
           "options:\n"
           "  --werror       exit nonzero on warnings too\n"
@@ -58,6 +66,9 @@ usage(std::ostream &os, int code)
        << ")\n"
           "  --dump-cfg     print each program's basic-block CFG\n"
           "  --list-rules   print the rule table and exit\n"
+          "  --compile-bytecode <trace.bin> <out.scbc>\n"
+          "                 verify a trace, lower it to bytecode and\n"
+          "                 write the SCBC image, then exit\n"
           "  --help         this text\n"
           "\n"
           "exit status: 0 clean, 1 diagnostics, 2 bad input\n";
@@ -92,6 +103,41 @@ bool
 looksLikeTrace(const std::string &bytes)
 {
     return bytes.size() >= 4 && bytes.compare(0, 4, "SCTR") == 0;
+}
+
+bool
+looksLikeBytecode(const std::string &bytes)
+{
+    return bytes.size() >= 4 && bytes.compare(0, 4, "SCBC") == 0;
+}
+
+/** --compile-bytecode: verify trace.bin, lower, write out.scbc. */
+int
+compileBytecode(const Cli &cli, const std::string &trace_path,
+                const std::string &out_path)
+{
+    try {
+        const trace::Trace tr = trace::Trace::loadFile(trace_path);
+        analysis::StreamLifetimeChecker::Options options;
+        options.maxLiveStreams = cli.maxLive;
+        const auto report = analysis::verifyTrace(tr, options);
+        for (const auto &d : report.diagnostics)
+            std::cout << trace_path << ": " << d.format() << "\n";
+        if (report.hasErrors() ||
+            (cli.werror && report.warningCount() != 0))
+            return 1;
+        const trace::BytecodeProgram bc = trace::compileTrace(tr);
+        bc.saveFile(out_path);
+        if (!cli.quiet)
+            std::cout << out_path << ": " << bc.numInstructions()
+                      << " instructions, " << bc.codeBytes()
+                      << " code bytes (" << tr.numEvents()
+                      << " events)\n";
+        return 0;
+    } catch (const SimError &e) {
+        std::cerr << "scverify: " << e.what() << "\n";
+        return 2;
+    }
 }
 
 void
@@ -132,6 +178,15 @@ checkFile(const Cli &cli, const std::string &path)
             options.maxLiveStreams = cli.maxLive;
             return analysis::verifyTrace(tr, options);
         }
+        if (looksLikeBytecode(bytes)) {
+            const trace::BytecodeProgram bc =
+                trace::BytecodeProgram::deserialize(bytes);
+            analysis::StreamLifetimeChecker::Options options;
+            options.maxLiveStreams = cli.maxLive;
+            // Decode back to event order; both trace forms share one
+            // checker, so coverage is identical.
+            return analysis::verifyBytecode(bc, options);
+        }
         const isa::Program program = isa::assemble(bytes);
         if (cli.dumpCfg) {
             std::printf("%s: cfg\n", path.c_str());
@@ -152,13 +207,19 @@ int
 main(int argc, char **argv)
 {
     Cli cli;
+    std::vector<std::string> compile_args;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h")
             return usage(std::cout, 0);
         if (arg == "--list-rules")
             return listRules();
-        if (arg == "--werror") {
+        if (arg == "--compile-bytecode") {
+            if (i + 2 >= argc)
+                return usage(std::cerr, 2);
+            compile_args = {argv[i + 1], argv[i + 2]};
+            i += 2;
+        } else if (arg == "--werror") {
             cli.werror = true;
         } else if (arg == "--quiet" || arg == "-q") {
             cli.quiet = true;
@@ -175,6 +236,12 @@ main(int argc, char **argv)
         } else {
             cli.files.push_back(arg);
         }
+    }
+    if (!compile_args.empty()) {
+        if (!cli.files.empty())
+            return usage(std::cerr, 2);
+        return compileBytecode(cli, compile_args[0],
+                               compile_args[1]);
     }
     if (cli.files.empty())
         return usage(std::cerr, 2);
