@@ -4,8 +4,9 @@
  * SU-count and bandwidth sweeps): the SU parallel-comparison window,
  * the scratchpad, the nested-intersection translator, and the
  * software-side IEP optimization that demonstrates the architecture's
- * flexibility claim (§1). Each config ladder captures the workload's
- * event trace once and replays it per configuration.
+ * flexibility claim (§1). Each config ladder fetches the workload's
+ * trace and compiled program from the ArtifactStore once and replays
+ * them per configuration.
  */
 
 #include <cstdio>
@@ -20,11 +21,11 @@
 namespace {
 
 sc::Cycles
-replayOn(const sc::trace::Trace &tr,
+replayOn(const sc::bench::GpmArtifacts &artifacts,
          const sc::arch::SparseCoreConfig &config)
 {
     sc::backend::SparseCoreBackend be(config);
-    return sc::trace::replay(tr, be).cycles;
+    return sc::bench::replayArtifacts(artifacts, be).cycles;
 }
 
 } // namespace
@@ -44,8 +45,7 @@ main()
     // T on W feeds three ladders (SU window, nested intersection,
     // translation buffer): captured once, replayed per config.
     const unsigned t_stride = bench::autoStride(w, GpmApp::T);
-    const trace::Trace t_on_w = bench::captureGpmTrace(
-        w, gpm::gpmAppPlans(GpmApp::T), t_stride);
+    const auto t_on_w = bench::gpmArtifacts(GpmApp::T, w, t_stride);
 
     // ---- 1. SU comparator window (Fig. 6 parallel comparison) ----
     {
@@ -69,8 +69,8 @@ main()
     {
         Table t({"scratchpad", "cycles"});
         const unsigned stride = bench::autoStride(e, GpmApp::TT);
-        const trace::Trace tt_on_e = bench::captureGpmTrace(
-            e, gpm::gpmAppPlans(GpmApp::TT), stride);
+        const auto tt_on_e =
+            bench::gpmArtifacts(GpmApp::TT, e, stride);
         const std::vector<unsigned> sizes_kb = {0, 4, 16, 64};
         const auto cycles = bench::runPoints<Cycles>(
             sizes_kb.size(), [&](std::size_t p) {
@@ -104,8 +104,8 @@ main()
         const auto cycles = bench::runPoints<Pair>(
             apps.size(), [&](std::size_t p) {
                 const unsigned stride = bench::autoStride(w, apps[p]);
-                const trace::Trace tr = bench::captureGpmTrace(
-                    w, gpm::gpmAppPlans(apps[p]), stride);
+                const auto tr =
+                    bench::gpmArtifacts(apps[p], w, stride);
                 arch::SparseCoreConfig off = base;
                 off.nestedIntersection = false;
                 return Pair{replayOn(tr, base), replayOn(tr, off)};
@@ -151,8 +151,8 @@ main()
                 const graph::CsrGraph &g = graph::loadGraph(keys[p]);
                 const unsigned stride =
                     bench::autoStride(g, GpmApp::TC);
-                const trace::Trace tr = bench::captureGpmTrace(
-                    g, gpm::gpmAppPlans(GpmApp::TC), stride);
+                const auto tr =
+                    bench::gpmArtifacts(GpmApp::TC, g, stride);
                 backend::SparseCoreBackend iep_be(base);
                 const auto i =
                     gpm::runThreeChainIep(g, iep_be, stride);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 
 #include "backend/functional_backend.hh"
 #include "common/logging.hh"
@@ -27,10 +30,39 @@ printHeader(const std::string &figure, const std::string &title,
                     config.mem.l3.sizeBytes / (1024 * 1024)));
 }
 
+bool
+benchSmoke()
+{
+    static const bool smoke = [] {
+        const char *env = std::getenv("SC_BENCH_SMOKE");
+        return env && *env && std::strcmp(env, "0") != 0;
+    }();
+    return smoke;
+}
+
+std::string
+benchResultsDir()
+{
+    static const std::string dir = [] {
+        const char *env = std::getenv("SC_BENCH_DIR");
+        std::string d = (env && *env) ? env : "bench_results";
+        std::error_code ec;
+        std::filesystem::create_directories(d, ec);
+        if (ec)
+            warn("cannot create bench results dir %s: %s", d.c_str(),
+                 ec.message().c_str());
+        return d;
+    }();
+    return dir;
+}
+
 unsigned
 autoStride(const graph::CsrGraph &g, gpm::GpmApp app,
            std::uint64_t target_elements)
 {
+    if (benchSmoke())
+        target_elements = std::max<std::uint64_t>(
+            1, target_elements / 64);
     // Probe at a coarse stride; work scales ~linearly with the root
     // count, so extrapolate and clamp.
     const unsigned probe =
@@ -65,6 +97,48 @@ captureGpmTrace(const graph::CsrGraph &g,
     if (embeddings)
         *embeddings = run.embeddings;
     return recorder.takeTrace();
+}
+
+GpmArtifacts
+gpmArtifacts(gpm::GpmApp app, const graph::CsrGraph &g,
+             unsigned root_stride)
+{
+    GpmArtifacts artifacts;
+    if (api::ArtifactStore::resolveEnabled(std::nullopt)) {
+        artifacts.key =
+            api::ArtifactStore::gpmTraceKey(app, g, root_stride);
+        artifacts.cached = api::ArtifactStore::global().trace(
+            artifacts.key, [&](trace::TraceRecorder &recorder) {
+                gpm::PlanExecutor executor(g, recorder);
+                executor.setRootStride(root_stride);
+                return executor.runMany(gpm::gpmAppPlans(app))
+                    .embeddings;
+            });
+    } else {
+        auto local =
+            std::make_shared<api::ArtifactStore::CachedTrace>();
+        local->trace =
+            captureGpmTrace(g, gpm::gpmAppPlans(app), root_stride,
+                            &local->functionalResult);
+        artifacts.cached = std::move(local);
+    }
+    artifacts.embeddings = artifacts.cached->functionalResult;
+    return artifacts;
+}
+
+trace::ReplayResult
+replayArtifacts(const GpmArtifacts &artifacts,
+                backend::ExecBackend &be)
+{
+    const trace::ReplayMode mode =
+        trace::resolveReplayMode(trace::ReplayMode::Auto);
+    if (!artifacts.key.empty() &&
+        mode == trace::ReplayMode::Bytecode) {
+        const auto bc = api::ArtifactStore::global().program(
+            artifacts.key, artifacts.cached->trace);
+        return trace::replayCompiled(*bc, be, /*verify=*/false);
+    }
+    return trace::replay(artifacts.cached->trace, be);
 }
 
 void
@@ -103,8 +177,12 @@ BenchReport::finish()
     std::printf("host wall clock: %.3f s on %u host thread%s "
                 "(SC_HOST_THREADS to pin)\n",
                 seconds, threads, threads == 1 ? "" : "s");
+    const api::ArtifactStoreStats store =
+        api::ArtifactStore::global().stats();
+    std::printf("%s\n", store.str().c_str());
 
-    const std::string path = "BENCH_" + name_ + ".json";
+    const std::string path =
+        benchResultsDir() + "/BENCH_" + name_ + ".json";
     FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
         warn("cannot write %s", path.c_str());
@@ -112,8 +190,17 @@ BenchReport::finish()
     }
     std::fprintf(f,
                  "{\"bench\":\"%s\",\"host_threads\":%u,"
-                 "\"host_wall_seconds\":%.6f,\"tables\":[",
-                 name_.c_str(), threads, seconds);
+                 "\"host_wall_seconds\":%.6f,"
+                 "\"artifact_store\":{"
+                 "\"trace_hits\":%llu,\"trace_misses\":%llu,"
+                 "\"program_hits\":%llu,\"program_misses\":%llu},"
+                 "\"tables\":[",
+                 name_.c_str(), threads, seconds,
+                 static_cast<unsigned long long>(store.traces.hits),
+                 static_cast<unsigned long long>(store.traces.misses),
+                 static_cast<unsigned long long>(store.programs.hits),
+                 static_cast<unsigned long long>(
+                     store.programs.misses));
     for (std::size_t t = 0; t < tables_.size(); ++t) {
         if (t)
             std::fputc(',', f);

@@ -12,15 +12,18 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "api/artifact_store.hh"
 #include "arch/config.hh"
 #include "common/parallel_for.hh"
 #include "common/table.hh"
 #include "graph/datasets.hh"
 #include "gpm/apps.hh"
+#include "trace/replay.hh"
 #include "trace/trace.hh"
 
 namespace sc::bench {
@@ -35,10 +38,22 @@ void printHeader(const std::string &figure, const std::string &title,
  * (app, graph) cell's set-operation work; the returned stride caps
  * the full run near `target_elements`. The same stride is applied to
  * every substrate, so reported speedups (cycle ratios) stay
- * meaningful. See EXPERIMENTS.md.
+ * meaningful. SC_BENCH_SMOKE=1 shrinks the target 64x for CI-speed
+ * sweeps (the check.sh cold/warm leg). See EXPERIMENTS.md.
  */
 unsigned autoStride(const graph::CsrGraph &g, gpm::GpmApp app,
                     std::uint64_t target_elements = 16'000'000);
+
+/** SC_BENCH_SMOKE=1: tiny sweep points for CI. Read once. */
+bool benchSmoke();
+
+/**
+ * Directory BENCH_*.json reports land in: SC_BENCH_DIR, default
+ * "bench_results" under the current directory. Created on first use —
+ * every bench binary writes through this one path, so runs no longer
+ * scatter JSON files across whatever directory they started in.
+ */
+std::string benchResultsDir();
 
 /** Print the table plus a CSV block for downstream plotting. */
 void emitTable(const Table &table);
@@ -53,6 +68,42 @@ trace::Trace captureGpmTrace(const graph::CsrGraph &g,
                              const std::vector<gpm::MiningPlan> &plans,
                              unsigned root_stride,
                              std::uint64_t *embeddings = nullptr);
+
+/**
+ * One (app, graph, stride) point's shareable artifacts, fetched from
+ * the process-wide ArtifactStore: the captured trace with its
+ * functional result, addressed by content key. Sweep drivers fetch
+ * this once per point and hand it to replayArtifacts() per ladder
+ * configuration — the capture and the trace->bytecode compile then
+ * happen exactly once per (app, dataset) for the whole binary, and
+ * are shared with every other driver in the same process. With
+ * SC_ARTIFACT_CACHE=off the key stays empty and the point owns a
+ * private capture (the legacy behavior); cycles are bit-identical
+ * either way.
+ */
+struct GpmArtifacts
+{
+    /** Store key; empty when the store is bypassed. */
+    std::string key;
+    std::shared_ptr<const api::ArtifactStore::CachedTrace> cached;
+    std::uint64_t embeddings = 0;
+
+    const trace::Trace &trace() const { return cached->trace; }
+};
+
+/** Fetch (or capture) the artifacts for one GPM sweep point. */
+GpmArtifacts gpmArtifacts(gpm::GpmApp app, const graph::CsrGraph &g,
+                          unsigned root_stride);
+
+/**
+ * Replay one sweep point onto `be`. In Bytecode mode (the default)
+ * the compiled program comes out of the store — compiled on the
+ * first ladder configuration, a hit on every later one. Issues the
+ * same backend call sequence as trace::replay, so cycles never
+ * depend on the store.
+ */
+trace::ReplayResult replayArtifacts(const GpmArtifacts &artifacts,
+                                    backend::ExecBackend &be);
 
 /** steady_clock stopwatch for host wall-clock reporting. */
 class WallTimer

@@ -48,22 +48,23 @@ main()
                 const std::string &key = keys[p];
                 const graph::CsrGraph &g = graph::loadGraph(key);
                 const unsigned stride = bench::autoStride(g, app);
-                const trace::Trace tr =
-                    bench::captureGpmTrace(g, plans, stride);
+                const auto artifacts =
+                    bench::gpmArtifacts(app, g, stride);
 
                 backend::SparseCoreBackend sc_be(config);
                 const Cycles sc_cycles =
-                    trace::replay(tr, sc_be).cycles;
+                    bench::replayArtifacts(artifacts, sc_be).cycles;
 
                 baselines::FlexMinerBackend fm;
-                const Cycles fm_cycles = trace::replay(tr, fm).cycles;
+                const Cycles fm_cycles =
+                    bench::replayArtifacts(artifacts, fm).cycles;
 
                 std::string tj_cell = "n/a (vertex-induced)";
                 if (triejax_supported) {
                     baselines::TrieJaxBackend tj(redundancy,
                                                  g.numEdgeSlots());
                     const Cycles tj_cycles =
-                        trace::replay(tr, tj).cycles;
+                        bench::replayArtifacts(artifacts, tj).cycles;
                     tj_cell = Table::speedup(
                         static_cast<double>(tj_cycles) /
                         static_cast<double>(sc_cycles), 1);
@@ -92,14 +93,16 @@ main()
             const graph::CsrGraph &g = graph::loadGraph(key);
             const unsigned stride =
                 bench::autoStride(g, gpm::GpmApp::TM);
-            const trace::Trace tr = bench::captureGpmTrace(
-                g, gpm::gpmAppPlans(gpm::GpmApp::TM), stride);
+            const auto artifacts =
+                bench::gpmArtifacts(gpm::GpmApp::TM, g, stride);
 
             backend::SparseCoreBackend sc_be(config);
-            const Cycles sc_cycles = trace::replay(tr, sc_be).cycles;
+            const Cycles sc_cycles =
+                bench::replayArtifacts(artifacts, sc_be).cycles;
 
             backend::CpuBackend cpu;
-            const Cycles cpu_cycles = trace::replay(tr, cpu).cycles;
+            const Cycles cpu_cycles =
+                bench::replayArtifacts(artifacts, cpu).cycles;
 
             // GRAMER explores the whole graph; scale to the sampled
             // fraction for a like-for-like ratio.

@@ -45,19 +45,21 @@ main()
                 const std::string &key = keys[p];
                 const graph::CsrGraph &g = graph::loadGraph(key);
                 const unsigned stride = bench::autoStride(g, app);
-                const trace::Trace tr =
-                    bench::captureGpmTrace(g, plans, stride);
+                const auto artifacts =
+                    bench::gpmArtifacts(app, g, stride);
 
                 backend::SparseCoreBackend sc_be(config);
                 const Cycles sc_cycles =
-                    trace::replay(tr, sc_be).cycles;
+                    bench::replayArtifacts(artifacts, sc_be).cycles;
 
                 baselines::GpuBackend gpu_with(true, redundancy);
-                const Cycles gw = trace::replay(tr, gpu_with).cycles;
+                const Cycles gw =
+                    bench::replayArtifacts(artifacts, gpu_with).cycles;
 
                 baselines::GpuBackend gpu_without(false, redundancy);
                 const Cycles gwo =
-                    trace::replay(tr, gpu_without).cycles;
+                    bench::replayArtifacts(artifacts, gpu_without)
+                        .cycles;
 
                 return Row{
                     key + (stride > 1 ? "*" : ""),

@@ -2,8 +2,9 @@
  * @file
  * Figure 12: SparseCore speedup (vs the 1-SU configuration) with 1,
  * 2, 4, 8, 16 SUs, for all nine GPM apps on B, E, F, W. Each (app,
- * graph) point captures its event trace once and replays it across
- * the SU ladder independently on the host pool.
+ * graph) point fetches its trace and compiled program from the
+ * ArtifactStore — captured and compiled exactly once — and replays
+ * them across the SU ladder independently on the host pool.
  */
 
 #include <cstdio>
@@ -24,7 +25,6 @@ main()
     bench::BenchReport report("fig12");
     const std::vector<unsigned> su_counts = {1, 2, 4, 8, 16};
     for (const gpm::GpmApp app : gpm::allGpmApps()) {
-        const auto plans = gpm::gpmAppPlans(app);
         const auto keys = graph::smallGraphKeys();
         using Row = std::vector<std::string>;
         const auto rows = bench::runPoints<Row>(
@@ -33,15 +33,16 @@ main()
                 const graph::CsrGraph &g = graph::loadGraph(key);
                 const unsigned stride =
                     bench::autoStride(g, app, 8'000'000);
-                const trace::Trace tr =
-                    bench::captureGpmTrace(g, plans, stride);
+                const auto artifacts =
+                    bench::gpmArtifacts(app, g, stride);
                 Row row = {key + (stride > 1 ? "*" : "")};
                 Cycles one_su = 0;
                 for (const unsigned sus : su_counts) {
                     arch::SparseCoreConfig config = base;
                     config.numSus = sus;
                     backend::SparseCoreBackend be(config);
-                    const Cycles cyc = trace::replay(tr, be).cycles;
+                    const Cycles cyc =
+                        bench::replayArtifacts(artifacts, be).cycles;
                     if (sus == 1)
                         one_su = cyc;
                     row.push_back(Table::speedup(

@@ -3,8 +3,10 @@
  * Figure 13: SparseCore speedup (vs 2 elements/cycle) with aggregated
  * S-Cache + scratchpad bandwidth of 2, 4, 8, 16, 32, 64
  * elements/cycle, for all nine GPM apps on B, E, F, W. Each (app,
- * graph) point captures its event trace once and replays it across
- * the bandwidth ladder; points run concurrently on the host pool.
+ * graph) point fetches its trace and compiled program from the
+ * ArtifactStore (captured/compiled once, shared with other sweeps)
+ * and replays them across the bandwidth ladder; points run
+ * concurrently on the host pool.
  */
 
 #include <string>
@@ -25,7 +27,6 @@ main()
 
     const std::vector<unsigned> bandwidths = {2, 4, 8, 16, 32, 64};
     for (const gpm::GpmApp app : gpm::allGpmApps()) {
-        const auto plans = gpm::gpmAppPlans(app);
         const auto keys = graph::smallGraphKeys();
         using Row = std::vector<std::string>;
         const auto rows = bench::runPoints<Row>(
@@ -34,15 +35,16 @@ main()
                 const graph::CsrGraph &g = graph::loadGraph(key);
                 const unsigned stride =
                     bench::autoStride(g, app, 8'000'000);
-                const trace::Trace tr =
-                    bench::captureGpmTrace(g, plans, stride);
+                const auto artifacts =
+                    bench::gpmArtifacts(app, g, stride);
                 Row row = {key + (stride > 1 ? "*" : "")};
                 Cycles slowest = 0;
                 for (const unsigned bw : bandwidths) {
                     arch::SparseCoreConfig config = base;
                     config.aggregateBandwidth = bw;
                     backend::SparseCoreBackend be(config);
-                    const Cycles cyc = trace::replay(tr, be).cycles;
+                    const Cycles cyc =
+                        bench::replayArtifacts(artifacts, be).cycles;
                     if (bw == 2)
                         slowest = cyc;
                     row.push_back(Table::speedup(

@@ -6,12 +6,15 @@
 # the golden trace and the golden bytecode program, a clang-tidy leg
 # (skipped when the tool is absent),
 # then a ThreadSanitizer build running the concurrency-sensitive
-# suites (thread pool, host-parallel mining, machine comparisons),
-# then an ASan+UBSan build running the trace
-# capture/replay/serialization suites (arena ownership and
-# event-decoding bugs show up here), then a forced-scalar kernel
-# build (SIMD TUs omitted) with the full suite under
-# SC_FORCE_KERNEL=scalar, and a kernel microbench smoke run.
+# suites (thread pool, host-parallel mining, machine comparisons,
+# artifact-store/LRU-cache races), then an ASan+UBSan build running
+# the trace capture/replay/serialization + artifact-store suites
+# (arena ownership and event-decoding bugs show up here), then a
+# forced-scalar kernel build (SIMD TUs omitted) with the full suite
+# under SC_FORCE_KERNEL=scalar, kernel and replay microbench smoke
+# runs, and an artifact-store cold/warm sweep leg: fig12 with
+# SC_ARTIFACT_CACHE=off and =on must emit bit-identical cycles while
+# the warm run compiles each (app, dataset) exactly once.
 #
 # Usage: scripts/check.sh [build-dir-prefix]
 set -euo pipefail
@@ -73,7 +76,7 @@ echo "=== TSan build + parallel suites ==="
 cmake -B "${prefix}-tsan" -S . -DSPARSECORE_SANITIZE=thread >/dev/null
 cmake --build "${prefix}-tsan" -j"$(nproc)" --target sparsecore_tests
 "${prefix}-tsan/tests/sparsecore_tests" \
-    --gtest_filter='ThreadPool.*:HostParallel.*:Parallel.*:Machine*.*'
+    --gtest_filter='ThreadPool.*:HostParallel.*:Parallel.*:Machine*.*:LruCache.*:ArtifactStore.*'
 
 echo
 echo "=== ASan+UBSan build + trace/replay suites ==="
@@ -81,7 +84,7 @@ cmake -B "${prefix}-asan" -S . \
     -DSPARSECORE_SANITIZE=address,undefined >/dev/null
 cmake --build "${prefix}-asan" -j"$(nproc)" --target sparsecore_tests
 "${prefix}-asan/tests/sparsecore_tests" \
-    --gtest_filter='Trace*:Seeds/TraceReplay*:Bytecode*'
+    --gtest_filter='Trace*:Seeds/TraceReplay*:Bytecode*:ArtifactStore.*:LruCache.*'
 
 echo
 echo "=== forced-scalar kernel build + full ctest ==="
@@ -101,11 +104,36 @@ echo "=== replay microbench smoke ==="
 # substrate) and the cross-engine cycle checksums.
 (cd "${prefix}" && bench/replay_microbench --smoke)
 
+echo
+echo "=== artifact store: cold vs warm sweep bit-identity ==="
+# fig12 replays each of its 36 (app, graph) points across a 5-SU
+# ladder. With the store on, every point must capture and compile
+# exactly once (36 trace misses, 36 program misses) while the other
+# 144 ladder replays hit the shared program — and the emitted cycle
+# numbers must match the store-off run bit for bit.
+fig12_bin="$(cd "${prefix}" && pwd)/bench/fig12_su_sweep"
+store_tmp="$(mktemp -d)"
+(cd "${store_tmp}" && SC_BENCH_SMOKE=1 SC_ARTIFACT_CACHE=off \
+    "${fig12_bin}" > off.txt)
+(cd "${store_tmp}" && SC_BENCH_SMOKE=1 SC_ARTIFACT_CACHE=on \
+    "${fig12_bin}" > on.txt)
+sed -n '/-- csv --/,/^$/p' "${store_tmp}/off.txt" > "${store_tmp}/off.csv"
+sed -n '/-- csv --/,/^$/p' "${store_tmp}/on.txt" > "${store_tmp}/on.csv"
+diff "${store_tmp}/off.csv" "${store_tmp}/on.csv"
+grep -q 'traces 0 hits / 36 misses | programs 144 hits / 36 misses' \
+    "${store_tmp}/on.txt"
+grep -q 'traces 0 hits / 0 misses | programs 0 hits / 0 misses' \
+    "${store_tmp}/off.txt"
+rm -rf "${store_tmp}"
+echo "cold/warm cycles bit-identical; warm run compiled 36/36 once"
+
 # Keep the tracked bench snapshots in sync with what this run
 # produced (bench/results/README.md describes provenance; re-bless
 # them from a full, non-smoke run before committing perf claims).
+# Bench binaries write into bench_results/ under their cwd
+# (SC_BENCH_DIR overrides).
 mkdir -p bench/results
-cp -f "${prefix}"/BENCH_*.json bench/results/
+cp -f "${prefix}"/bench_results/BENCH_*.json bench/results/
 
 echo
 echo "All checks passed."

@@ -1,0 +1,214 @@
+#include "api/artifact_store.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "analysis/trace_check.hh"
+#include "common/logging.hh"
+
+namespace sc::api {
+
+namespace {
+
+std::size_t
+cachedTraceBytes(const ArtifactStore::CachedTrace &cached)
+{
+    return cached.trace.memoryBytes() + sizeof(cached.functionalResult);
+}
+
+std::size_t
+programBytes(const trace::BytecodeProgram &program)
+{
+    return program.memoryBytes();
+}
+
+void
+appendCounters(std::ostringstream &os, const char *name,
+               const CacheStats &stats)
+{
+    os << name << " " << stats.hits << " hits / " << stats.misses
+       << " misses";
+    if (stats.evictions)
+        os << " / " << stats.evictions << " evicted";
+}
+
+} // namespace
+
+std::string
+ArtifactStoreStats::str() const
+{
+    std::ostringstream os;
+    os << "artifact store: ";
+    appendCounters(os, "graphs", graphs);
+    os << " | ";
+    appendCounters(os, "traces", traces);
+    os << " | ";
+    appendCounters(os, "programs", programs);
+    os << " | resident "
+       << (graphs.bytes + labeledGraphs.bytes + traces.bytes +
+           programs.bytes)
+       << " bytes";
+    return os.str();
+}
+
+ArtifactStore::ArtifactStore(std::size_t capacity_bytes)
+    : traces_(capacity_bytes, cachedTraceBytes),
+      programs_(capacity_bytes, programBytes)
+{
+}
+
+ArtifactStore &
+ArtifactStore::global()
+{
+    static ArtifactStore store;
+    return store;
+}
+
+bool
+ArtifactStore::enabledByDefault()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("SC_ARTIFACT_CACHE");
+        if (!env || !*env)
+            return true;
+        if (!std::strcmp(env, "on") || !std::strcmp(env, "1"))
+            return true;
+        if (!std::strcmp(env, "off") || !std::strcmp(env, "0"))
+            return false;
+        fatal("SC_ARTIFACT_CACHE must be off|on|0|1, got '%s'", env);
+    }();
+    return enabled;
+}
+
+bool
+ArtifactStore::resolveEnabled(std::optional<bool> override_)
+{
+    return override_.value_or(enabledByDefault());
+}
+
+std::size_t
+ArtifactStore::defaultCapacityBytes()
+{
+    static const std::size_t capacity = [] {
+        const char *env = std::getenv("SC_ARTIFACT_CACHE_BYTES");
+        if (!env || !*env)
+            return std::size_t{1} << 30; // 1 GiB per cache
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end == env || *end)
+            fatal("SC_ARTIFACT_CACHE_BYTES must be a byte count, "
+                  "got '%s'",
+                  env);
+        return static_cast<std::size_t>(v);
+    }();
+    return capacity;
+}
+
+std::shared_ptr<const ArtifactStore::CachedTrace>
+ArtifactStore::trace(const std::string &key, const CaptureFn &capture)
+{
+    return traces_.getOrBuild(key, [&] {
+        auto cached = std::make_shared<CachedTrace>();
+        trace::TraceRecorder recorder;
+        cached->functionalResult = capture(recorder);
+        cached->trace = recorder.takeTrace();
+        return std::shared_ptr<const CachedTrace>(std::move(cached));
+    });
+}
+
+std::shared_ptr<const trace::BytecodeProgram>
+ArtifactStore::program(const std::string &trace_key,
+                       const trace::Trace &tr,
+                       std::optional<bool> verify)
+{
+    return programs_.getOrBuild(programKey(trace_key), [&] {
+        if (verify.value_or(analysis::verifyByDefault())) {
+            const analysis::VerifyReport report =
+                analysis::verifyTrace(tr);
+            if (report.hasErrors())
+                throw analysis::VerifyError(report.format());
+        }
+        return std::make_shared<const trace::BytecodeProgram>(
+            trace::compileTrace(tr));
+    });
+}
+
+std::shared_ptr<const graph::CsrGraph>
+ArtifactStore::graph(const std::string &dataset_key) const
+{
+    return graph::loadGraphShared(dataset_key);
+}
+
+std::shared_ptr<const graph::LabeledGraph>
+ArtifactStore::labeledGraph(const std::string &dataset_key,
+                            std::uint32_t num_labels) const
+{
+    return graph::loadLabeledGraphShared(dataset_key, num_labels);
+}
+
+ArtifactStoreStats
+ArtifactStore::stats() const
+{
+    ArtifactStoreStats stats;
+    stats.graphs = graph::graphCacheStats();
+    stats.labeledGraphs = graph::labeledGraphCacheStats();
+    stats.traces = traces_.stats();
+    stats.programs = programs_.stats();
+    return stats;
+}
+
+void
+ArtifactStore::clear()
+{
+    traces_.clear();
+    programs_.clear();
+}
+
+std::string
+ArtifactStore::gpmTraceKey(gpm::GpmApp app, const graph::CsrGraph &g,
+                           unsigned root_stride)
+{
+    std::ostringstream os;
+    os << "gpm/" << gpm::gpmAppName(app) << "/g" << std::hex
+       << g.fingerprint() << std::dec << "/s" << root_stride << "/tr"
+       << trace::traceFormatVersion;
+    return os.str();
+}
+
+std::string
+ArtifactStore::gpmChunkTraceKey(gpm::GpmApp app,
+                                const graph::CsrGraph &g,
+                                unsigned root_stride, unsigned chunk,
+                                unsigned num_chunks)
+{
+    std::ostringstream os;
+    os << "gpm/" << gpm::gpmAppName(app) << "/g" << std::hex
+       << g.fingerprint() << std::dec << "/s" << root_stride << "/c"
+       << chunk << "of" << num_chunks << "/tr"
+       << trace::traceFormatVersion;
+    return os.str();
+}
+
+std::string
+ArtifactStore::fsmTraceKey(const graph::LabeledGraph &g,
+                           std::uint64_t min_support)
+{
+    std::ostringstream os;
+    os << "fsm/lg" << std::hex << g.fingerprint() << std::dec
+       << "/sup" << min_support << "/tr"
+       << trace::traceFormatVersion;
+    return os.str();
+}
+
+std::string
+ArtifactStore::programKey(const std::string &trace_key, bool fused)
+{
+    std::ostringstream os;
+    os << trace_key << "/scbc" << trace::bytecodeFormatVersion;
+    if (fused)
+        os << "f";
+    return os.str();
+}
+
+} // namespace sc::api

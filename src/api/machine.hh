@@ -8,25 +8,25 @@
  * benchmarks use; lower layers (backends, engine, plans) remain
  * public for advanced use.
  *
+ * GPM and FSM requests route their captured traces and compiled
+ * bytecode through the content-keyed ArtifactStore
+ * (api/artifact_store.hh), so repeated runs of one (app, dataset)
+ * across substrates, configs or sweep points pay the functional
+ * enumeration and the trace->bytecode compile once. Cached and cold
+ * paths are bit-identical (results and cycles); SC_ARTIFACT_CACHE or
+ * RunOptions::artifactCache opt out.
+ *
  * The legacy positional-argument overloads (mineSparseCore,
- * compareGpm, spmspmCpu, ...) are deprecated shims over run()/
- * compare(); migrate to RunRequest.
+ * compareGpm, spmspmCpu, ...) that survived PR 3 as deprecated shims
+ * are gone; use RunRequest.
  */
 
 #ifndef SPARSECORE_API_MACHINE_HH
 #define SPARSECORE_API_MACHINE_HH
 
-#include <memory>
-#include <string>
-
 #include "api/report.hh"
 #include "api/run.hh"
 #include "arch/config.hh"
-#include "gpm/apps.hh"
-#include "gpm/fsm.hh"
-#include "kernels/spmspm.hh"
-#include "kernels/ttm.hh"
-#include "kernels/ttv.hh"
 
 namespace sc::api {
 
@@ -45,55 +45,6 @@ class Machine
     /** Execute a request on both substrates (one functional capture,
      *  two concurrent replays) and report the speedup. */
     Comparison compare(const RunRequest &request) const;
-
-    // ------------- deprecated positional-arg shims -------------
-    /** @deprecated run(RunRequest::gpm(...), Substrate::SparseCore) */
-    [[deprecated("use run(RunRequest::gpm(...))")]] gpm::GpmRunResult
-    mineSparseCore(gpm::GpmApp app, const graph::CsrGraph &g,
-                   unsigned root_stride = 1) const;
-    /** @deprecated run(RunRequest::gpm(...), Substrate::Cpu) */
-    [[deprecated("use run(RunRequest::gpm(...))")]] gpm::GpmRunResult
-    mineCpu(gpm::GpmApp app, const graph::CsrGraph &g,
-            unsigned root_stride = 1) const;
-    /** @deprecated compare(RunRequest::gpm(...)) */
-    [[deprecated("use compare(RunRequest::gpm(...))")]] Comparison
-    compareGpm(gpm::GpmApp app, const graph::CsrGraph &g,
-               unsigned root_stride = 1) const;
-
-    /** @deprecated compare(RunRequest::fsm(...)) */
-    [[deprecated("use compare(RunRequest::fsm(...))")]] Comparison
-    compareFsm(const graph::LabeledGraph &g,
-               std::uint64_t min_support) const;
-
-    /** @deprecated run(RunRequest::spmspm(...)) */
-    [[deprecated("use run(RunRequest::spmspm(...))")]]
-    kernels::TensorRunResult
-    spmspmSparseCore(const tensor::SparseMatrix &a,
-                     const tensor::SparseMatrix &b,
-                     kernels::SpmspmAlgorithm algorithm,
-                     unsigned stride = 1,
-                     tensor::SparseMatrix *result = nullptr) const;
-    /** @deprecated run(RunRequest::spmspm(...)) */
-    [[deprecated("use run(RunRequest::spmspm(...))")]]
-    kernels::TensorRunResult
-    spmspmCpu(const tensor::SparseMatrix &a, const tensor::SparseMatrix &b,
-              kernels::SpmspmAlgorithm algorithm, unsigned stride = 1,
-              tensor::SparseMatrix *result = nullptr) const;
-    /** @deprecated compare(RunRequest::spmspm(...)) */
-    [[deprecated("use compare(RunRequest::spmspm(...))")]] Comparison
-    compareSpmspm(const tensor::SparseMatrix &a,
-                  const tensor::SparseMatrix &b,
-                  kernels::SpmspmAlgorithm algorithm,
-                  unsigned stride = 1) const;
-
-    /** @deprecated compare(RunRequest::ttv(...)) */
-    [[deprecated("use compare(RunRequest::ttv(...))")]] Comparison
-    compareTtv(const tensor::CsfTensor &a, const std::vector<Value> &vec,
-               unsigned stride = 1) const;
-    /** @deprecated compare(RunRequest::ttm(...)) */
-    [[deprecated("use compare(RunRequest::ttm(...))")]] Comparison
-    compareTtm(const tensor::CsfTensor &a, const tensor::SparseMatrix &b,
-               unsigned stride = 1) const;
 
   private:
     arch::SparseCoreConfig config_;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "analysis/trace_check.hh"
+#include "api/artifact_store.hh"
 #include "backend/cpu_backend.hh"
 #include "backend/sparsecore_backend.hh"
 #include "common/logging.hh"
@@ -78,8 +79,40 @@ mineParallel(gpm::GpmApp app, const graph::CsrGraph &g,
 
     const trace::ReplayMode mode =
         trace::resolveReplayMode(host.replayMode);
+    const bool use_store =
+        ArtifactStore::resolveEnabled(host.artifactCache);
     const auto runs = parallelMap<ChunkRun>(
         pool, num_chunks, [&](std::size_t chunk) {
+            if (use_store) {
+                // Per-chunk content key: concurrent chunks dedup
+                // in-flight builds inside the store, and a warm run
+                // (same app/graph/split) skips capture and compile
+                // entirely.
+                const std::string key =
+                    ArtifactStore::gpmChunkTraceKey(
+                        app, g, root_stride,
+                        static_cast<unsigned>(chunk), num_chunks);
+                ArtifactStore &store = ArtifactStore::global();
+                const auto cached = store.trace(
+                    key, [&](trace::TraceRecorder &recorder) {
+                        return captureChunk(
+                                   plans, g,
+                                   static_cast<unsigned>(chunk),
+                                   num_chunks, root_stride, recorder)
+                            .embeddings;
+                    });
+                auto backend = make_backend();
+                trace::ReplayResult rep;
+                if (mode == trace::ReplayMode::Bytecode) {
+                    const auto bc = store.program(key, cached->trace);
+                    rep = trace::replayCompiled(*bc, *backend, false);
+                } else {
+                    rep = trace::replay(cached->trace, *backend,
+                                        std::nullopt,
+                                        trace::ReplayMode::Event);
+                }
+                return ChunkRun{cached->functionalResult, rep.cycles};
+            }
             trace::TraceRecorder recorder;
             const auto run =
                 captureChunk(plans, g, static_cast<unsigned>(chunk),
@@ -162,8 +195,42 @@ compareParallelGpm(gpm::GpmApp app, const graph::CsrGraph &g,
     // program.
     const trace::ReplayMode mode =
         trace::resolveReplayMode(host.replayMode);
+    const bool use_store =
+        ArtifactStore::resolveEnabled(host.artifactCache);
     const auto runs = parallelMap<ChunkCompare>(
         pool, num_chunks, [&](std::size_t chunk) {
+            if (use_store) {
+                const std::string key =
+                    ArtifactStore::gpmChunkTraceKey(
+                        app, g, root_stride,
+                        static_cast<unsigned>(chunk), num_chunks);
+                ArtifactStore &store = ArtifactStore::global();
+                const auto cached = store.trace(
+                    key, [&](trace::TraceRecorder &recorder) {
+                        return captureChunk(
+                                   plans, g,
+                                   static_cast<unsigned>(chunk),
+                                   num_chunks, root_stride, recorder)
+                            .embeddings;
+                    });
+                backend::CpuBackend cpu(config.core, config.mem);
+                backend::SparseCoreBackend sc(config);
+                if (mode == trace::ReplayMode::Bytecode) {
+                    const auto bc = store.program(key, cached->trace);
+                    return ChunkCompare{
+                        cached->functionalResult,
+                        trace::replayCompiled(*bc, cpu, false).cycles,
+                        trace::replayCompiled(*bc, sc, false).cycles};
+                }
+                return ChunkCompare{
+                    cached->functionalResult,
+                    trace::replay(cached->trace, cpu, std::nullopt,
+                                  trace::ReplayMode::Event)
+                        .cycles,
+                    trace::replay(cached->trace, sc, std::nullopt,
+                                  trace::ReplayMode::Event)
+                        .cycles};
+            }
             trace::TraceRecorder recorder;
             const auto run =
                 captureChunk(plans, g, static_cast<unsigned>(chunk),

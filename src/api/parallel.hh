@@ -88,6 +88,15 @@ struct HostOptions
      * tests/parallel_test.cc asserts the cycle identity.
      */
     trace::ReplayMode replayMode = trace::ReplayMode::Auto;
+    /**
+     * Share per-chunk traces and compiled bytecode across runs
+     * through the content-keyed ArtifactStore (same contract as
+     * RunOptions::artifactCache): a warm mining or comparison call
+     * skips every chunk's functional capture and compile. nullopt =
+     * SC_ARTIFACT_CACHE (default on); cached and cold runs are
+     * bit-identical in results and cycles.
+     */
+    std::optional<bool> artifactCache;
 };
 
 /**

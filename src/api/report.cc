@@ -35,17 +35,25 @@ Comparison::str() const
     os << "speedup: " << Table::speedup(speedup()) << "\n";
     if (trace.events) {
         os << "trace: " << trace.events << " events, "
-           << trace.arenaBytes << " arena bytes, capture "
-           << Table::num(trace.captureSeconds * 1e3, 1)
-           << " ms, replay "
-           << Table::num(trace.replaySeconds * 1e3, 1) << " ms";
+           << trace.arenaBytes << " arena bytes, ";
+        if (trace.traceCacheHit)
+            os << "capture skipped (store hit)";
+        else
+            os << "capture "
+               << Table::num(trace.captureSeconds * 1e3, 1) << " ms";
+        os << ", replay " << Table::num(trace.replaySeconds * 1e3, 1)
+           << " ms";
         if (!trace.replayMode.empty())
             os << " (" << trace.replayMode << ")";
         os << "\n";
         if (trace.bytecodeBytes) {
-            os << "bytecode: " << trace.bytecodeBytes
-               << " bytes, compile "
-               << Table::num(trace.compileSeconds * 1e3, 1) << " ms\n";
+            os << "bytecode: " << trace.bytecodeBytes << " bytes, ";
+            if (trace.bytecodeCacheHit)
+                os << "compile skipped (store hit)\n";
+            else
+                os << "compile "
+                   << Table::num(trace.compileSeconds * 1e3, 1)
+                   << " ms\n";
         }
     }
     return os.str();

@@ -35,6 +35,12 @@ struct TraceStats
     std::size_t bytecodeBytes = 0;
     /** Replay engine used: "event" or "bytecode". */
     std::string replayMode;
+    /** The trace came out of the ArtifactStore warm: the functional
+     *  capture run was skipped entirely. */
+    bool traceCacheHit = false;
+    /** The compiled program came out of the store warm: the
+     *  trace->bytecode compile was skipped. */
+    bool bytecodeCacheHit = false;
     double captureSeconds = 0;  ///< host wall-clock of the capture run
     /** Host wall-clock of the trace -> bytecode compile (0 when
      *  replayMode=event); paid once, amortized over both replays. */

@@ -13,8 +13,8 @@
  *   const auto run = machine.run(req, api::Substrate::SparseCore);
  *   const auto cmp = machine.compare(req); // both substrates
  *
- * The old overloads survive as thin [[deprecated]] shims
- * (tests/api_shim_test.cc keeps them honest).
+ * The old overloads survived PR 3 as [[deprecated]] shims and were
+ * removed in PR 7; RunRequest is the only entry point.
  */
 
 #ifndef SPARSECORE_API_RUN_HH
@@ -78,6 +78,15 @@ struct RunOptions
      * escape hatch tests/trace_test.cc pins).
      */
     trace::ReplayMode replayMode = trace::ReplayMode::Auto;
+    /**
+     * Share captured traces and compiled bytecode across run()/
+     * compare() calls through the content-keyed ArtifactStore
+     * (api/artifact_store.hh). nullopt = SC_ARTIFACT_CACHE (default
+     * on). Cached and cold paths are bit-identical in results and
+     * simulated cycles — the store only moves host wall-clock
+     * (tests/artifact_store_test.cc pins the identity).
+     */
+    std::optional<bool> artifactCache;
 };
 
 /**

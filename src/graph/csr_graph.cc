@@ -34,6 +34,24 @@ CsrGraph::CsrGraph(std::vector<std::uint64_t> offsets,
     // Align the edge array to a cache line for clean prefetch modeling.
     edgeArrayBase_ = (edgeArrayBase_ + 63) & ~Addr{63};
 
+    // Content fingerprint (FNV-1a over both CSR arrays): the
+    // artifact store keys traces by it, so structurally identical
+    // graphs share captured/compiled artifacts regardless of name.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(n);
+    mix(edges_.size());
+    for (const std::uint64_t off : offsets_)
+        mix(off);
+    for (const VertexId e : edges_)
+        mix(e);
+    fingerprint_ = h;
+
     index_ = streams::setindex::StreamSetIndex::build(offsets_, edges_);
     registerSetIndex();
 }
@@ -51,7 +69,8 @@ CsrGraph::registerSetIndex()
 CsrGraph::CsrGraph(const CsrGraph &other)
     : offsets_(other.offsets_), edges_(other.edges_),
       aboveOffsets_(other.aboveOffsets_), maxDegree_(other.maxDegree_),
-      name_(other.name_), vertexArrayBase_(other.vertexArrayBase_),
+      fingerprint_(other.fingerprint_), name_(other.name_),
+      vertexArrayBase_(other.vertexArrayBase_),
       edgeArrayBase_(other.edgeArrayBase_), index_(other.index_)
 {
     registerSetIndex();
@@ -67,6 +86,7 @@ CsrGraph::operator=(const CsrGraph &other)
     edges_ = other.edges_;
     aboveOffsets_ = other.aboveOffsets_;
     maxDegree_ = other.maxDegree_;
+    fingerprint_ = other.fingerprint_;
     name_ = other.name_;
     vertexArrayBase_ = other.vertexArrayBase_;
     edgeArrayBase_ = other.edgeArrayBase_;
@@ -79,7 +99,8 @@ CsrGraph::CsrGraph(CsrGraph &&other) noexcept
     : offsets_(std::move(other.offsets_)),
       edges_(std::move(other.edges_)),
       aboveOffsets_(std::move(other.aboveOffsets_)),
-      maxDegree_(other.maxDegree_), name_(std::move(other.name_)),
+      maxDegree_(other.maxDegree_), fingerprint_(other.fingerprint_),
+      name_(std::move(other.name_)),
       vertexArrayBase_(other.vertexArrayBase_),
       edgeArrayBase_(other.edgeArrayBase_),
       index_(std::move(other.index_))
@@ -101,6 +122,7 @@ CsrGraph::operator=(CsrGraph &&other) noexcept
     edges_ = std::move(other.edges_);
     aboveOffsets_ = std::move(other.aboveOffsets_);
     maxDegree_ = other.maxDegree_;
+    fingerprint_ = other.fingerprint_;
     name_ = std::move(other.name_);
     vertexArrayBase_ = other.vertexArrayBase_;
     edgeArrayBase_ = other.edgeArrayBase_;

@@ -120,6 +120,22 @@ class CsrGraph
     const std::vector<std::uint64_t> &offsets() const { return offsets_; }
     const std::vector<VertexId> &edges() const { return edges_; }
 
+    /** Content fingerprint (FNV-1a over the CSR arrays, name
+     *  excluded): identical for structurally identical graphs.
+     *  Computed once at construction; the artifact store's content
+     *  keys (api/artifact_store.hh) are built from it. */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /** Approximate resident bytes of the CSR arrays + offset array
+     *  (artifact-store byte accounting). */
+    std::size_t
+    memoryBytes() const
+    {
+        return offsets_.size() * sizeof(std::uint64_t) +
+               edges_.size() * sizeof(VertexId) +
+               aboveOffsets_.size() * sizeof(std::uint32_t);
+    }
+
     /** Hybrid bitmap/array stream set index over this graph's
      *  adjacency lists (null for empty or non-indexable graphs).
      *  Shared by copies — the permutation and bitmap chunks are
@@ -137,6 +153,7 @@ class CsrGraph
     std::vector<VertexId> edges_;
     std::vector<std::uint32_t> aboveOffsets_;
     std::uint32_t maxDegree_ = 0;
+    std::uint64_t fingerprint_ = 0;
     std::string name_;
 
     // Synthetic address map: vertex array first, edge array after it,

@@ -1,17 +1,37 @@
 #include "graph/datasets.hh"
 
-#include <map>
-#include <mutex>
-
 #include "common/logging.hh"
 #include "graph/generators.hh"
 
 namespace sc::graph {
 
 namespace {
-/** Guards the memoization caches: benchmark sweep points run on the
- *  host pool and may load datasets concurrently. */
-std::mutex cacheMutex;
+
+/**
+ * The dataset registry caches, built on the shared artifact-cache
+ * primitive: one entry per generated dataset, built exactly once even
+ * when concurrent sweep points request the same key (the in-flight
+ * dedup replaces the old race-and-discard scheme). Capacity is
+ * unbounded — loadGraph() hands out plain references, and every
+ * downstream artifact (trace, bytecode, set-index registration) keys
+ * off the resident graph.
+ */
+LruCache<std::string, CsrGraph> &
+graphCache()
+{
+    static LruCache<std::string, CsrGraph> cache(
+        0, [](const CsrGraph &g) { return g.memoryBytes(); });
+    return cache;
+}
+
+LruCache<std::string, LabeledGraph> &
+labeledGraphCache()
+{
+    static LruCache<std::string, LabeledGraph> cache(
+        0, [](const LabeledGraph &g) { return g.memoryBytes(); });
+    return cache;
+}
+
 } // namespace
 
 const std::vector<GraphDataset> &
@@ -52,56 +72,61 @@ graphDataset(const std::string &key)
     fatal("unknown graph dataset key '%s'", key.c_str());
 }
 
+std::shared_ptr<const CsrGraph>
+loadGraphShared(const std::string &key)
+{
+    return graphCache().getOrBuild(key, [&key] {
+        const GraphDataset &ds = graphDataset(key);
+        // Seed derived from the key so every dataset is distinct but
+        // reproducible across runs.
+        std::uint64_t seed = 0x5ca1ab1e;
+        for (char c : ds.key)
+            seed = seed * 131 + static_cast<unsigned char>(c);
+        return std::make_shared<const CsrGraph>(generateChungLu(
+            ds.numVertices, ds.numEdges, ds.maxDegree, ds.alpha, seed,
+            ds.name));
+    });
+}
+
 const CsrGraph &
 loadGraph(const std::string &key)
 {
-    static std::map<std::string, CsrGraph> cache;
-    {
-        std::lock_guard<std::mutex> lock(cacheMutex);
-        auto it = cache.find(key);
-        if (it != cache.end())
-            return it->second;
-    }
+    // The registry cache is unbounded, so the shared_ptr it retains
+    // keeps the graph alive for the process; the reference is stable.
+    return *loadGraphShared(key);
+}
 
-    const GraphDataset &ds = graphDataset(key);
-    // Seed derived from the key so every dataset is distinct but
-    // reproducible across runs.
-    std::uint64_t seed = 0x5ca1ab1e;
-    for (char c : ds.key)
-        seed = seed * 131 + static_cast<unsigned char>(c);
-    CsrGraph graph = generateChungLu(ds.numVertices, ds.numEdges,
-                                     ds.maxDegree, ds.alpha, seed,
-                                     ds.name);
-    // Generation is deterministic, so a racing loser's copy is
-    // identical; emplace keeps the first and map nodes are stable.
-    std::lock_guard<std::mutex> lock(cacheMutex);
-    auto [pos, inserted] = cache.emplace(key, std::move(graph));
-    (void)inserted;
-    return pos->second;
+std::shared_ptr<const LabeledGraph>
+loadLabeledGraphShared(const std::string &key, std::uint32_t num_labels)
+{
+    const std::string cache_key =
+        key + "/" + std::to_string(num_labels);
+    return labeledGraphCache().getOrBuild(cache_key, [&] {
+        std::uint64_t seed = 0x1abe1ed;
+        for (char c : key)
+            seed = seed * 131 + static_cast<unsigned char>(c);
+        return std::make_shared<const LabeledGraph>(
+            LabeledGraph::withRandomLabels(loadGraph(key), num_labels,
+                                           seed));
+    });
 }
 
 const LabeledGraph &
 loadLabeledGraph(const std::string &key, std::uint32_t num_labels)
 {
-    static std::map<std::string, LabeledGraph> cache;
-    const std::string cache_key =
-        key + "/" + std::to_string(num_labels);
-    {
-        std::lock_guard<std::mutex> lock(cacheMutex);
-        auto it = cache.find(cache_key);
-        if (it != cache.end())
-            return it->second;
-    }
+    return *loadLabeledGraphShared(key, num_labels);
+}
 
-    std::uint64_t seed = 0x1abe1ed;
-    for (char c : key)
-        seed = seed * 131 + static_cast<unsigned char>(c);
-    LabeledGraph labeled = LabeledGraph::withRandomLabels(
-        loadGraph(key), num_labels, seed);
-    std::lock_guard<std::mutex> lock(cacheMutex);
-    auto [pos, inserted] = cache.emplace(cache_key, std::move(labeled));
-    (void)inserted;
-    return pos->second;
+CacheStats
+graphCacheStats()
+{
+    return graphCache().stats();
+}
+
+CacheStats
+labeledGraphCacheStats()
+{
+    return labeledGraphCache().stats();
 }
 
 std::vector<std::string>

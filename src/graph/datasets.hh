@@ -13,9 +13,11 @@
 #ifndef SPARSECORE_GRAPH_DATASETS_HH
 #define SPARSECORE_GRAPH_DATASETS_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cache.hh"
 #include "graph/csr_graph.hh"
 #include "graph/labeled_graph.hh"
 
@@ -39,12 +41,34 @@ const std::vector<GraphDataset> &graphDatasets();
 /** Lookup by one-letter key ("C".."L"); fatal() on unknown keys. */
 const GraphDataset &graphDataset(const std::string &key);
 
-/** Generate (and memoize) the graph for a dataset key. */
+/**
+ * Generate (and memoize) the graph for a dataset key. The memo is a
+ * common/cache.hh LruCache shared with the artifact store's report:
+ * a graph is generated (and its StreamSetIndex built) exactly once
+ * per process, even under concurrent sweep points. Returned
+ * references stay valid for the process lifetime (the registry cache
+ * is unbounded — dataset graphs are the roots every other artifact
+ * hangs off).
+ */
 const CsrGraph &loadGraph(const std::string &key);
+
+/** loadGraph with shared ownership, for callers that manage artifact
+ *  lifetime explicitly (api::ArtifactStore). */
+std::shared_ptr<const CsrGraph> loadGraphShared(const std::string &key);
 
 /** Labeled variant of a dataset (FSM); labels drawn from num_labels. */
 const LabeledGraph &loadLabeledGraph(const std::string &key,
                                      std::uint32_t num_labels = 8);
+
+/** Shared-ownership variant of loadLabeledGraph. */
+std::shared_ptr<const LabeledGraph>
+loadLabeledGraphShared(const std::string &key,
+                       std::uint32_t num_labels = 8);
+
+/** Hit/miss counters of the dataset registry caches (graphs,
+ *  labeled graphs) — surfaced through api::ArtifactStore::stats(). */
+CacheStats graphCacheStats();
+CacheStats labeledGraphCacheStats();
 
 /** The dataset keys used by each figure's x-axis. */
 std::vector<std::string> smallGraphKeys();  ///< B,E,F,W (Figs. 12/13)

@@ -17,6 +17,14 @@ LabeledGraph::LabeledGraph(CsrGraph graph, std::vector<Label> labels)
                      ? 0
                      : *std::max_element(labels_.begin(), labels_.end()) +
                            1;
+
+    // Content fingerprint: the graph's, mixed with every label.
+    std::uint64_t h = graph_.fingerprint() ^ 0x9e3779b97f4a7c15ull;
+    for (const Label label : labels_) {
+        h ^= label;
+        h *= 0x100000001b3ull;
+    }
+    fingerprint_ = h;
 }
 
 LabeledGraph

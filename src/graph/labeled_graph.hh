@@ -33,10 +33,22 @@ class LabeledGraph
     const std::vector<Label> &labels() const { return labels_; }
     std::uint32_t numLabels() const { return numLabels_; }
 
+    /** Content fingerprint (graph fingerprint mixed with the label
+     *  array); artifact-store FSM trace keys are built from it. */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /** Approximate resident bytes (artifact-store accounting). */
+    std::size_t
+    memoryBytes() const
+    {
+        return graph_.memoryBytes() + labels_.size() * sizeof(Label);
+    }
+
   private:
     CsrGraph graph_;
     std::vector<Label> labels_;
     std::uint32_t numLabels_ = 0;
+    std::uint64_t fingerprint_ = 0;
 };
 
 } // namespace sc::graph

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Semantics of the shared artifact-lifecycle primitive
+ * (common/cache.hh): build-once, LRU eviction under a byte budget,
+ * pinning of in-use values, in-flight build deduplication under
+ * concurrency, and exception propagation. The ArtifactStore and the
+ * dataset registry both ride on these guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cache.hh"
+
+using namespace sc;
+
+namespace {
+
+using Cache = LruCache<std::string, int>;
+
+Cache::ValuePtr
+boxed(int v)
+{
+    return std::make_shared<const int>(v);
+}
+
+/** Bytes function charging a fixed 10 bytes per entry. */
+std::size_t
+tenBytes(const int &)
+{
+    return 10;
+}
+
+} // namespace
+
+TEST(LruCache, BuildsOnceThenHits)
+{
+    Cache cache;
+    int builds = 0;
+    const auto build = [&] {
+        ++builds;
+        return boxed(42);
+    };
+    EXPECT_EQ(*cache.getOrBuild("k", build), 42);
+    EXPECT_EQ(*cache.getOrBuild("k", build), 42);
+    EXPECT_EQ(builds, 1);
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(LruCache, FindDoesNotBuild)
+{
+    Cache cache;
+    EXPECT_EQ(cache.find("missing"), nullptr);
+    cache.getOrBuild("k", [] { return boxed(7); });
+    const auto v = cache.find("k");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 7);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsedAtCapacity)
+{
+    // 10 bytes per entry, 25-byte budget: two entries fit, the third
+    // pushes the least recently used one out.
+    Cache cache(25, tenBytes);
+    cache.getOrBuild("a", [] { return boxed(1); });
+    cache.getOrBuild("b", [] { return boxed(2); });
+    cache.getOrBuild("a", [] { return boxed(1); }); // a is now MRU
+    cache.getOrBuild("c", [] { return boxed(3); }); // evicts b
+    EXPECT_EQ(cache.find("b"), nullptr);
+    EXPECT_NE(cache.find("a"), nullptr);
+    EXPECT_NE(cache.find("c"), nullptr);
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.bytes, 20u);
+}
+
+TEST(LruCache, PinnedEntriesSurviveEviction)
+{
+    Cache cache(15, tenBytes); // budget for one entry
+    // Hold the first value: the entry is pinned and must survive any
+    // amount of pressure, even while the cache runs over budget.
+    const auto pinned = cache.getOrBuild("pin", [] { return boxed(1); });
+    cache.getOrBuild("b", [] { return boxed(2); });
+    cache.getOrBuild("c", [] { return boxed(3); });
+    EXPECT_NE(cache.find("pin"), nullptr);
+    EXPECT_GE(cache.stats().bytes, 10u);
+    // Release the pin: the next eviction pass may drop it.
+    const int value = *pinned;
+    EXPECT_EQ(value, 1);
+    // (pinned still held here, so setCapacity(0 bytes) keeps it)
+    cache.setCapacity(5);
+    EXPECT_NE(cache.find("pin"), nullptr);
+}
+
+TEST(LruCache, ReleasedPinIsEvictable)
+{
+    Cache cache(15, tenBytes);
+    {
+        const auto held =
+            cache.getOrBuild("a", [] { return boxed(1); });
+        cache.getOrBuild("b", [] { return boxed(2); });
+        // Over budget with "a" pinned: an eviction pass drops the
+        // unpinned "b" instead.
+        cache.setCapacity(15);
+        EXPECT_NE(cache.find("a"), nullptr);
+        EXPECT_EQ(cache.find("b"), nullptr);
+    }
+    // Pin released: the next pass can evict "a".
+    cache.getOrBuild("c", [] { return boxed(3); });
+    EXPECT_EQ(cache.find("a"), nullptr);
+    EXPECT_NE(cache.find("c"), nullptr);
+}
+
+TEST(LruCache, BuilderExceptionLeavesNoEntry)
+{
+    Cache cache;
+    EXPECT_THROW(cache.getOrBuild(
+                     "k",
+                     []() -> Cache::ValuePtr {
+                         throw std::runtime_error("build failed");
+                     }),
+                 std::runtime_error);
+    // The failed build left nothing behind; a retry builds again.
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(*cache.getOrBuild("k", [] { return boxed(9); }), 9);
+}
+
+TEST(LruCache, ConcurrentRequestsBuildOnce)
+{
+    // Many threads racing on few keys: each key's builder runs
+    // exactly once; everyone gets the shared value.
+    Cache cache;
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 4;
+    constexpr int kRounds = 50;
+    std::atomic<int> builds{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < kRounds; ++r) {
+                const int k = r % kKeys;
+                const auto v = cache.getOrBuild(
+                    "key" + std::to_string(k), [&] {
+                        ++builds;
+                        return boxed(k);
+                    });
+                EXPECT_EQ(*v, k);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(builds.load(), kKeys);
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, static_cast<std::uint64_t>(kKeys));
+    EXPECT_EQ(s.hits + s.misses,
+              static_cast<std::uint64_t>(kThreads) * kRounds);
+}
+
+TEST(LruCache, ClearDropsEntriesButKeepsExternalRefs)
+{
+    Cache cache;
+    const auto held = cache.getOrBuild("k", [] { return boxed(5); });
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().bytes, 0u);
+    EXPECT_EQ(*held, 5); // external shared_ptr stays valid
+}
