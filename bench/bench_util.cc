@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "backend/functional_backend.hh"
+#include "common/config.hh"
 #include "common/logging.hh"
 #include "gpm/executor.hh"
 #include "trace/recorder.hh"
@@ -33,19 +34,14 @@ printHeader(const std::string &figure, const std::string &title,
 bool
 benchSmoke()
 {
-    static const bool smoke = [] {
-        const char *env = std::getenv("SC_BENCH_SMOKE");
-        return env && *env && std::strcmp(env, "0") != 0;
-    }();
-    return smoke;
+    return config().benchSmoke;
 }
 
 std::string
 benchResultsDir()
 {
     static const std::string dir = [] {
-        const char *env = std::getenv("SC_BENCH_DIR");
-        std::string d = (env && *env) ? env : "bench_results";
+        std::string d = config().benchDir;
         std::error_code ec;
         std::filesystem::create_directories(d, ec);
         if (ec)
@@ -167,6 +163,12 @@ BenchReport::emit(const std::string &title, const Table &table)
 }
 
 void
+BenchReport::setExtra(const std::string &key, JsonValue value)
+{
+    extras_.emplace_back(key, std::move(value));
+}
+
+void
 BenchReport::finish()
 {
     if (finished_)
@@ -181,6 +183,37 @@ BenchReport::finish()
         api::ArtifactStore::global().stats();
     std::printf("%s\n", store.str().c_str());
 
+    // One emission path (common/json) shared with the job server and
+    // the CLI --json mode — this used to be hand-rolled fprintf.
+    JsonValue out = JsonValue::object();
+    out.set("bench", JsonValue::str(name_));
+    out.set("host_threads",
+            JsonValue::number(std::uint64_t{threads}));
+    out.set("host_wall_seconds", JsonValue::number(seconds));
+    JsonValue store_json = JsonValue::object();
+    store_json.set("trace_hits", JsonValue::number(store.traces.hits));
+    store_json.set("trace_misses",
+                   JsonValue::number(store.traces.misses));
+    store_json.set("program_hits",
+                   JsonValue::number(store.programs.hits));
+    store_json.set("program_misses",
+                   JsonValue::number(store.programs.misses));
+    out.set("artifact_store", std::move(store_json));
+    JsonValue tables = JsonValue::array();
+    for (const auto &[title, json] : tables_) {
+        JsonValue entry = JsonValue::object();
+        entry.set("title", JsonValue::str(title));
+        // Table::json() emits trusted JSON; re-parse so the dump is
+        // one well-formed document rather than spliced text.
+        JsonParseResult parsed = parseJson(json);
+        entry.set("table", parsed.ok() ? std::move(*parsed.value)
+                                       : JsonValue::str(json));
+        tables.push(std::move(entry));
+    }
+    out.set("tables", std::move(tables));
+    for (auto &[key, value] : extras_)
+        out.set(key, std::move(value));
+
     const std::string path =
         benchResultsDir() + "/BENCH_" + name_ + ".json";
     FILE *f = std::fopen(path.c_str(), "w");
@@ -188,27 +221,9 @@ BenchReport::finish()
         warn("cannot write %s", path.c_str());
         return;
     }
-    std::fprintf(f,
-                 "{\"bench\":\"%s\",\"host_threads\":%u,"
-                 "\"host_wall_seconds\":%.6f,"
-                 "\"artifact_store\":{"
-                 "\"trace_hits\":%llu,\"trace_misses\":%llu,"
-                 "\"program_hits\":%llu,\"program_misses\":%llu},"
-                 "\"tables\":[",
-                 name_.c_str(), threads, seconds,
-                 static_cast<unsigned long long>(store.traces.hits),
-                 static_cast<unsigned long long>(store.traces.misses),
-                 static_cast<unsigned long long>(store.programs.hits),
-                 static_cast<unsigned long long>(
-                     store.programs.misses));
-    for (std::size_t t = 0; t < tables_.size(); ++t) {
-        if (t)
-            std::fputc(',', f);
-        std::fprintf(f, "{\"title\":\"%s\",\"table\":%s}",
-                     tables_[t].first.c_str(),
-                     tables_[t].second.c_str());
-    }
-    std::fprintf(f, "]}\n");
+    const std::string text = out.dump();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
 }

@@ -19,6 +19,7 @@
 
 #include "api/artifact_store.hh"
 #include "arch/config.hh"
+#include "common/json.hh"
 #include "common/parallel_for.hh"
 #include "common/table.hh"
 #include "graph/datasets.hh"
@@ -152,6 +153,10 @@ class BenchReport
     /** emitTable() + record the table for the JSON dump. */
     void emit(const std::string &title, const Table &table);
 
+    /** Attach an extra top-level member to BENCH_<name>.json (e.g.
+     *  queue stats); later values win on duplicate keys. */
+    void setExtra(const std::string &key, JsonValue value);
+
     /** Print wall clock + thread count, write BENCH_<name>.json. */
     void finish();
 
@@ -159,6 +164,7 @@ class BenchReport
     std::string name_;
     WallTimer timer_;
     std::vector<std::pair<std::string, std::string>> tables_;
+    std::vector<std::pair<std::string, JsonValue>> extras_;
     bool finished_ = false;
 };
 

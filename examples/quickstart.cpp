@@ -1,7 +1,9 @@
 /**
  * @file
- * Quickstart: build a graph, count triangles on the CPU baseline and
- * on SparseCore, and print the speedup with its cycle breakdown.
+ * Quickstart: describe a job as data (api::JobSpec), resolve it
+ * against the dataset registry, and compare the CPU baseline with
+ * SparseCore — the same admission path the job server and the CLI
+ * run.
  *
  * Build & run:
  *     cmake -B build -G Ninja && cmake --build build
@@ -10,40 +12,57 @@
 
 #include <cstdio>
 
-#include "api/machine.hh"
-#include "graph/generators.hh"
+#include "api/job_queue.hh"
 
 int
 main()
 {
     using namespace sc;
 
-    // 1. A synthetic social-network-like graph: 4000 vertices, ~40K
-    //    edges, power-law degrees (max ~300).
-    const graph::CsrGraph g =
-        graph::generateChungLu(4000, 40000, 300, 2.0, /*seed=*/1);
-    std::printf("graph: %u vertices, %llu edges, max degree %u\n",
-                g.numVertices(),
-                static_cast<unsigned long long>(g.numEdges()),
-                g.maxDegree());
+    // 1. A job is a value: workload + dataset reference + options.
+    //    This one counts triangles on the WikiVote-class graph from
+    //    the Table-4 registry ("W") and compares both substrates.
+    api::JobSpec spec;
+    spec.workload = api::RunRequest::Workload::Gpm;
+    spec.app = gpm::GpmApp::T;
+    spec.dataset = "W";
+    spec.mode = api::JobMode::Compare;
+    std::printf("job: %s\n\n", spec.toJson().c_str());
 
-    // 2. A SparseCore machine with the paper's default configuration
-    //    (Table 2: 4 SUs, 16 stream registers, 4KB S-Cache, 16KB
-    //    scratchpad).
-    api::Machine machine;
-    std::printf("%s\n\n", machine.config().describe().c_str());
+    // 2. Admission: resolve the dataset reference to in-memory data.
+    //    Bad references come back as structured diagnostics, not
+    //    exceptions — try spec.dataset = "nope".
+    api::JobResolve resolved = api::resolveJob(spec);
+    if (!resolved.ok()) {
+        for (const api::JobDiag &e : resolved.errors)
+            std::fprintf(stderr, "%s: %s\n", e.field.c_str(),
+                         e.message.c_str());
+        return 1;
+    }
+    const api::ResolvedJob &job = *resolved.job;
+    std::printf("graph: %u vertices, %llu edges\n",
+                job.graph->numVertices(),
+                static_cast<unsigned long long>(
+                    job.graph->numEdges()));
+    std::printf("%s\n\n", job.config.describe().c_str());
 
-    // 3. Count triangles on both substrates. The same plan (with
-    //    symmetry breaking and nested intersection) runs on each;
-    //    only the timing model differs.
-    const api::Comparison cmp =
-        machine.compare(api::RunRequest::gpm(gpm::GpmApp::T, g));
+    // 3. Execute. The same plan (with symmetry breaking and nested
+    //    intersection) runs on each substrate; only the timing model
+    //    differs.
+    api::Machine machine(job.config);
+    const api::Comparison cmp = machine.compare(job.request);
     std::printf("triangle counting\n%s\n", cmp.str().c_str());
 
-    // 4. The stream ISA also accelerates bounded set operations in
-    //    deeper patterns: 4-cliques.
-    const api::Comparison c4 =
-        machine.compare(api::RunRequest::gpm(gpm::GpmApp::C4, g));
-    std::printf("4-clique counting\n%s", c4.str().c_str());
+    // 4. Jobs are serializable, so they also arrive as JSON — this
+    //    is one line of the server's stdin protocol. The stream ISA
+    //    accelerates deeper patterns too: 4-cliques.
+    api::JobSpecParse parsed = api::parseJobSpec(
+        R"({"version":1,"workload":"gpm","app":"4C","dataset":"W"})");
+    api::JobResolve c4 = api::resolveJob(*parsed.spec);
+    const api::Comparison cmp4 = machine.compare(c4.job->request);
+    std::printf("4-clique counting\n%s", cmp4.str().c_str());
+
+    // 5. Batches go through api::JobQueue (futures + shared artifact
+    //    store) — see examples/sparsecore_server.cpp.
     return 0;
 }

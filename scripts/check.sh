@@ -12,9 +12,13 @@
 # (arena ownership and event-decoding bugs show up here), then a
 # forced-scalar kernel build (SIMD TUs omitted) with the full suite
 # under SC_FORCE_KERNEL=scalar, kernel and replay microbench smoke
-# runs, and an artifact-store cold/warm sweep leg: fig12 with
+# runs, an artifact-store cold/warm sweep leg: fig12 with
 # SC_ARTIFACT_CACHE=off and =on must emit bit-identical cycles while
-# the warm run compiles each (app, dataset) exactly once.
+# the warm run compiles each (app, dataset) exactly once, and a job
+# server smoke leg: a 12-job mixed batch through the jsonl front end
+# must be byte-identical queued vs sequential with deterministic
+# artifact-store hit counts (the TSan leg also soaks JobQueue under
+# concurrent submitters).
 #
 # Usage: scripts/check.sh [build-dir-prefix]
 set -euo pipefail
@@ -76,7 +80,7 @@ echo "=== TSan build + parallel suites ==="
 cmake -B "${prefix}-tsan" -S . -DSPARSECORE_SANITIZE=thread >/dev/null
 cmake --build "${prefix}-tsan" -j"$(nproc)" --target sparsecore_tests
 "${prefix}-tsan/tests/sparsecore_tests" \
-    --gtest_filter='ThreadPool.*:HostParallel.*:Parallel.*:Machine*.*:LruCache.*:ArtifactStore.*'
+    --gtest_filter='ThreadPool.*:HostParallel.*:Parallel.*:Machine*.*:LruCache.*:ArtifactStore.*:JobQueue.*'
 
 echo
 echo "=== ASan+UBSan build + trace/replay suites ==="
@@ -126,6 +130,45 @@ grep -q 'traces 0 hits / 0 misses | programs 0 hits / 0 misses' \
     "${store_tmp}/off.txt"
 rm -rf "${store_tmp}"
 echo "cold/warm cycles bit-identical; warm run compiled 36/36 once"
+
+echo
+echo "=== job server: queued vs sequential bit-identity ==="
+# A 12-job mixed multi-tenant batch (every workload class, both
+# modes, shared datasets) through the jsonl server front end. The
+# queued run — any width, warm or cold store — must emit reports
+# byte-identical to sequential Machine execution; with a single
+# worker the artifact-store hit counts are deterministic: g1/g2
+# share the (T, W) trace+program, f1/f2 share the FSM key, g3 and
+# g4 are distinct misses, tensor jobs are not store-keyed.
+server_bin="$(cd "${prefix}" && pwd)/examples/example_sparsecore_server"
+server_tmp="$(mktemp -d)"
+cat > "${server_tmp}/batch12.jsonl" <<'EOF'
+{"version":1,"id":"g1","workload":"gpm","app":"T","dataset":"W"}
+{"version":1,"id":"g2","workload":"gpm","app":"T","dataset":"W","mode":"run","substrate":"sparsecore"}
+{"version":1,"id":"g3","workload":"gpm","app":"TC","dataset":"W","mode":"run","substrate":"cpu"}
+{"version":1,"id":"g4","workload":"gpm","app":"T","dataset":"C"}
+{"version":1,"id":"f1","workload":"fsm","dataset":"C","min_support":500}
+{"version":1,"id":"f2","workload":"fsm","dataset":"C","min_support":500,"mode":"run","substrate":"sparsecore"}
+{"version":1,"id":"s1","workload":"spmspm","dataset":"C"}
+{"version":1,"id":"s2","workload":"spmspm","dataset":"C","algorithm":"inner","mode":"run","substrate":"cpu"}
+{"version":1,"id":"s3","workload":"spmspm","dataset":"E","options":{"stride":4}}
+{"version":1,"id":"t1","workload":"ttv","dataset":"Ch","options":{"stride":8}}
+{"version":1,"id":"t2","workload":"ttv","dataset":"Ch","options":{"stride":8},"mode":"run","substrate":"cpu"}
+{"version":1,"id":"t3","workload":"ttm","dataset":"U","options":{"stride":16}}
+EOF
+"${server_bin}" --sequential --no-timing \
+    < "${server_tmp}/batch12.jsonl" > "${server_tmp}/seq.jsonl"
+"${server_bin}" --no-timing \
+    < "${server_tmp}/batch12.jsonl" > "${server_tmp}/queued.jsonl"
+diff "${server_tmp}/seq.jsonl" "${server_tmp}/queued.jsonl"
+"${server_bin}" --jobs-threads 1 --stats \
+    < "${server_tmp}/batch12.jsonl" > "${server_tmp}/ordered.jsonl"
+grep -q '"trace_hits":2' "${server_tmp}/ordered.jsonl"
+grep -q '"trace_misses":4' "${server_tmp}/ordered.jsonl"
+grep -q '"program_hits":2' "${server_tmp}/ordered.jsonl"
+grep -q '"program_misses":4' "${server_tmp}/ordered.jsonl"
+rm -rf "${server_tmp}"
+echo "12-job batch: queued == sequential; store hits deterministic"
 
 # Keep the tracked bench snapshots in sync with what this run
 # produced (bench/results/README.md describes provenance; re-bless

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/config.hh"
+
 namespace sc::analysis {
 
 const char *
@@ -100,8 +102,10 @@ VerifyReport::format() const
 bool
 verifyByDefault()
 {
-    if (const char *env = std::getenv("SC_VERIFY"))
-        return env[0] != '0';
+    // SC_VERIFY through the common/config loader; unset falls back
+    // to the build type.
+    if (const auto verify = config().verify)
+        return *verify;
 #ifdef NDEBUG
     return false;
 #else

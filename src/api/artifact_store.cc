@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/trace_check.hh"
+#include "common/config.hh"
 #include "common/logging.hh"
 
 namespace sc::api {
@@ -68,17 +69,8 @@ ArtifactStore::global()
 bool
 ArtifactStore::enabledByDefault()
 {
-    static const bool enabled = [] {
-        const char *env = std::getenv("SC_ARTIFACT_CACHE");
-        if (!env || !*env)
-            return true;
-        if (!std::strcmp(env, "on") || !std::strcmp(env, "1"))
-            return true;
-        if (!std::strcmp(env, "off") || !std::strcmp(env, "0"))
-            return false;
-        fatal("SC_ARTIFACT_CACHE must be off|on|0|1, got '%s'", env);
-    }();
-    return enabled;
+    // SC_ARTIFACT_CACHE, validated by the common/config loader.
+    return config().artifactCache;
 }
 
 bool
@@ -90,19 +82,8 @@ ArtifactStore::resolveEnabled(std::optional<bool> override_)
 std::size_t
 ArtifactStore::defaultCapacityBytes()
 {
-    static const std::size_t capacity = [] {
-        const char *env = std::getenv("SC_ARTIFACT_CACHE_BYTES");
-        if (!env || !*env)
-            return std::size_t{1} << 30; // 1 GiB per cache
-        char *end = nullptr;
-        const unsigned long long v = std::strtoull(env, &end, 10);
-        if (end == env || *end)
-            fatal("SC_ARTIFACT_CACHE_BYTES must be a byte count, "
-                  "got '%s'",
-                  env);
-        return static_cast<std::size_t>(v);
-    }();
-    return capacity;
+    // SC_ARTIFACT_CACHE_BYTES, validated by the common/config loader.
+    return config().artifactCacheBytes;
 }
 
 std::shared_ptr<const ArtifactStore::CachedTrace>
@@ -120,9 +101,11 @@ ArtifactStore::trace(const std::string &key, const CaptureFn &capture)
 std::shared_ptr<const trace::BytecodeProgram>
 ArtifactStore::program(const std::string &trace_key,
                        const trace::Trace &tr,
-                       std::optional<bool> verify)
+                       std::optional<bool> verify, bool *compiled)
 {
-    return programs_.getOrBuild(programKey(trace_key), [&] {
+    bool built = false;
+    auto program = programs_.getOrBuild(programKey(trace_key), [&] {
+        built = true;
         if (verify.value_or(analysis::verifyByDefault())) {
             const analysis::VerifyReport report =
                 analysis::verifyTrace(tr);
@@ -132,6 +115,9 @@ ArtifactStore::program(const std::string &trace_key,
         return std::make_shared<const trace::BytecodeProgram>(
             trace::compileTrace(tr));
     });
+    if (compiled)
+        *compiled = built;
+    return program;
 }
 
 std::shared_ptr<const graph::CsrGraph>

@@ -1,0 +1,275 @@
+#include "api/job_queue.hh"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "analysis/diagnostics.hh"
+#include "common/logging.hh"
+
+namespace sc::api {
+
+namespace {
+
+double
+secondsBetween(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+/** Percentile over a sample vector (nearest-rank; 0 when empty). */
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0;
+    const std::size_t rank = std::min(
+        samples.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(
+                                         samples.size())));
+    std::nth_element(samples.begin(),
+                     samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                     samples.end());
+    return samples[rank];
+}
+
+} // namespace
+
+JsonValue
+JobReport::toJsonValue(bool include_timing) const
+{
+    JsonValue out = JsonValue::object();
+    out.set("id", JsonValue::str(id));
+    out.set("ok", JsonValue::boolean(ok));
+    out.set("workload",
+            JsonValue::str(workloadName(spec.workload)));
+    out.set("mode", JsonValue::str(jobModeName(spec.mode)));
+    if (!spec.dataset.empty())
+        out.set("dataset", JsonValue::str(spec.dataset));
+    if (!errors.empty()) {
+        JsonValue errs = JsonValue::array();
+        for (const JobDiag &e : errors)
+            errs.push(e.toJsonValue());
+        out.set("errors", std::move(errs));
+    }
+    if (run) {
+        JsonValue r = jsonValue(*run);
+        if (!include_timing)
+            r.remove("trace");
+        out.set("run", std::move(r));
+    }
+    if (comparison) {
+        JsonValue c = jsonValue(*comparison);
+        if (!include_timing)
+            c.remove("trace");
+        out.set("compare", std::move(c));
+    }
+    if (include_timing) {
+        out.set("queue_seconds", JsonValue::number(queueSeconds));
+        out.set("exec_seconds", JsonValue::number(execSeconds));
+    }
+    return out;
+}
+
+std::string
+JobQueueStats::str() const
+{
+    std::ostringstream os;
+    os << "jobs: " << submitted << " submitted | " << rejected
+       << " rejected | " << completed << " completed | " << failed
+       << " failed";
+    os << " | " << jobsPerSecond << " jobs/s";
+    os << " | latency p50 " << p50LatencySeconds * 1e3 << " ms, p99 "
+       << p99LatencySeconds * 1e3 << " ms";
+    os << " | store: traces " << traceHits << " hits / "
+       << traceMisses << " misses, programs " << programHits
+       << " hits / " << programMisses << " misses";
+    return os.str();
+}
+
+JsonValue
+JobQueueStats::toJsonValue() const
+{
+    JsonValue out = JsonValue::object();
+    out.set("submitted", JsonValue::number(submitted));
+    out.set("rejected", JsonValue::number(rejected));
+    out.set("completed", JsonValue::number(completed));
+    out.set("failed", JsonValue::number(failed));
+    out.set("wall_seconds", JsonValue::number(wallSeconds));
+    out.set("jobs_per_second", JsonValue::number(jobsPerSecond));
+    out.set("p50_latency_seconds",
+            JsonValue::number(p50LatencySeconds));
+    out.set("p99_latency_seconds",
+            JsonValue::number(p99LatencySeconds));
+    JsonValue store = JsonValue::object();
+    store.set("trace_hits", JsonValue::number(traceHits));
+    store.set("trace_misses", JsonValue::number(traceMisses));
+    store.set("program_hits", JsonValue::number(programHits));
+    store.set("program_misses", JsonValue::number(programMisses));
+    out.set("artifact_store", std::move(store));
+    return out;
+}
+
+JobQueue::JobQueue(unsigned workers)
+    : start_(std::chrono::steady_clock::now()),
+      store_before_(ArtifactStore::global().stats())
+{
+    if (workers)
+        own_pool_.emplace(workers);
+}
+
+JobQueue::~JobQueue()
+{
+    drain();
+}
+
+std::future<JobReport>
+JobQueue::reject(JobReport &&report)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++submitted_;
+        ++rejected_;
+    }
+    std::promise<JobReport> done;
+    auto future = done.get_future();
+    done.set_value(std::move(report));
+    return future;
+}
+
+std::future<JobReport>
+JobQueue::submit(JobSpec spec)
+{
+    const auto admitted = std::chrono::steady_clock::now();
+
+    JobReport report;
+    report.id = spec.id;
+    report.spec = spec;
+
+    // Admission: resolve dataset references now, on the submitter's
+    // thread — a bad reference fails this job before it costs a pool
+    // slot, and the resolved shared_ptrs pin the data for the task.
+    JobResolve resolved = resolveJob(spec);
+    if (!resolved.ok()) {
+        report.errors = std::move(resolved.errors);
+        return reject(std::move(report));
+    }
+
+    auto job = std::make_shared<ResolvedJob>(std::move(*resolved.job));
+    auto done = std::make_shared<std::promise<JobReport>>();
+    auto future = done->get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++submitted_;
+        ++pending_;
+    }
+    pool().submit([this, job, done, admitted] {
+        execute(job, done, admitted);
+    });
+    return future;
+}
+
+std::future<JobReport>
+JobQueue::submitJson(std::string_view json_text)
+{
+    JobSpecParse parsed = parseJobSpec(json_text);
+    if (!parsed.ok()) {
+        JobReport report;
+        report.errors = std::move(parsed.errors);
+        return reject(std::move(report));
+    }
+    return submit(std::move(*parsed.spec));
+}
+
+void
+JobQueue::execute(const std::shared_ptr<ResolvedJob> &job,
+                  const std::shared_ptr<std::promise<JobReport>> &done,
+                  std::chrono::steady_clock::time_point admitted)
+{
+    const auto started = std::chrono::steady_clock::now();
+
+    JobReport report;
+    report.id = job->spec.id;
+    report.spec = job->spec;
+    report.queueSeconds = secondsBetween(admitted, started);
+
+    // An exception escaping a ThreadPool task is fatal; everything a
+    // job can throw (SimError from fatal(), VerifyError, bad_alloc)
+    // must land in the report instead — one broken job must not take
+    // down the batch.
+    try {
+        Machine machine(job->config);
+        if (job->spec.mode == JobMode::Run)
+            report.run = machine.run(job->request,
+                                     job->spec.substrate);
+        else
+            report.comparison = machine.compare(job->request);
+        report.ok = true;
+    } catch (const analysis::VerifyError &e) {
+        report.errors.push_back(
+            {"", std::string("verifier: ") + e.what()});
+    } catch (const std::exception &e) {
+        report.errors.push_back({"", e.what()});
+    }
+
+    const auto finished = std::chrono::steady_clock::now();
+    report.execSeconds = secondsBetween(started, finished);
+    recordFinished(report, secondsBetween(admitted, finished));
+    done->set_value(std::move(report));
+}
+
+void
+JobQueue::recordFinished(const JobReport &report, double latency)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (report.ok)
+        ++completed_;
+    else
+        ++failed_;
+    latencies_.push_back(latency);
+    if (--pending_ == 0)
+        idle_.notify_all();
+}
+
+void
+JobQueue::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+JobQueueStats
+JobQueue::stats() const
+{
+    JobQueueStats out;
+    std::vector<double> latencies;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.submitted = submitted_;
+        out.rejected = rejected_;
+        out.completed = completed_;
+        out.failed = failed_;
+        latencies = latencies_;
+    }
+    out.wallSeconds =
+        secondsBetween(start_, std::chrono::steady_clock::now());
+    const std::uint64_t finished = out.completed + out.failed;
+    out.jobsPerSecond = out.wallSeconds > 0
+                            ? static_cast<double>(finished) /
+                                  out.wallSeconds
+                            : 0;
+    out.p50LatencySeconds = percentile(latencies, 0.50);
+    out.p99LatencySeconds = percentile(latencies, 0.99);
+
+    const ArtifactStoreStats now = ArtifactStore::global().stats();
+    out.traceHits = now.traces.hits - store_before_.traces.hits;
+    out.traceMisses = now.traces.misses - store_before_.traces.misses;
+    out.programHits = now.programs.hits - store_before_.programs.hits;
+    out.programMisses =
+        now.programs.misses - store_before_.programs.misses;
+    return out;
+}
+
+} // namespace sc::api

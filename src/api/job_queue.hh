@@ -1,0 +1,163 @@
+/**
+ * @file
+ * api::JobQueue — the batched, multi-tenant job runtime on top of
+ * Machine.
+ *
+ * Submitters hand in JobSpecs (or raw JSON job descriptions) and get
+ * std::futures of per-job JobReports back; execution is asynchronous
+ * on the existing work-stealing ThreadPool. Every job routes through
+ * the process-wide ArtifactStore, so a batch of jobs naming one
+ * dataset captures the trace and compiles the bytecode exactly once
+ * — the rest of the batch replays warm artifacts (the queue-level
+ * stats expose the hit counts).
+ *
+ * Admission is synchronous and strict: the spec is validated and its
+ * dataset references resolved against the registries on the
+ * submitter's thread. A malformed or unresolvable job comes back as
+ * an already-satisfied future carrying structured JobDiags — it
+ * never reaches the pool and never aborts the batch. Execution
+ * errors (verifier violations, internal errors) are likewise caught
+ * and reported per job; ThreadPool::submit would make an escaping
+ * exception fatal, so the task wrapper must never leak one.
+ *
+ * Determinism: simulated cycles and functional results of a job are
+ * bit-identical to a sequential Machine::run / compare of the same
+ * spec, regardless of queue width or artifact sharing (the PR-2/PR-7
+ * replay invariants). Only host wall-clock moves. A JobQueue with
+ * workers=1 additionally executes jobs in submission order on the
+ * submitting thread (a size-1 pool runs submitted tasks inline),
+ * which the check.sh smoke leg uses to pin deterministic store hit
+ * counts.
+ */
+
+#ifndef SPARSECORE_API_JOB_QUEUE_HH
+#define SPARSECORE_API_JOB_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/artifact_store.hh"
+#include "api/jobspec.hh"
+#include "api/machine.hh"
+#include "common/thread_pool.hh"
+
+namespace sc::api {
+
+/** Outcome of one job: a result or structured diagnostics. */
+struct JobReport
+{
+    std::string id;  ///< echoed from the spec (may be empty)
+    JobSpec spec;    ///< the spec as admitted
+    bool ok = false; ///< result present, no errors
+
+    /** Admission (parse/validate/resolve) or execution errors. */
+    std::vector<JobDiag> errors;
+
+    /** mode=Run result (exactly one of run/comparison is set). */
+    std::optional<RunResult> run;
+    /** mode=Compare result. */
+    std::optional<Comparison> comparison;
+
+    double queueSeconds = 0; ///< admission -> execution start
+    double execSeconds = 0;  ///< execution start -> completion
+
+    /**
+     * The one JSON shape for job outcomes (the server's jsonl lines).
+     * `include_timing` = false omits host wall-clock and cache-hit
+     * fields so reports are byte-diffable across queue widths and
+     * warm/cold stores — everything left is deterministic.
+     */
+    JsonValue toJsonValue(bool include_timing = true) const;
+};
+
+/** Queue-level statistics (see str()/toJsonValue()). */
+struct JobQueueStats
+{
+    std::uint64_t submitted = 0; ///< submit() calls
+    std::uint64_t rejected = 0;  ///< failed admission
+    std::uint64_t completed = 0; ///< executed OK
+    std::uint64_t failed = 0;    ///< executed with errors
+    double wallSeconds = 0;      ///< queue lifetime so far
+    double jobsPerSecond = 0;    ///< completed+failed per wall second
+    /** Latency = admission to completion, over finished jobs. */
+    double p50LatencySeconds = 0;
+    double p99LatencySeconds = 0;
+    /** ArtifactStore counter deltas over the queue's lifetime. */
+    std::uint64_t traceHits = 0;
+    std::uint64_t traceMisses = 0;
+    std::uint64_t programHits = 0;
+    std::uint64_t programMisses = 0;
+
+    std::string str() const;
+    JsonValue toJsonValue() const;
+};
+
+/**
+ * The batched job runtime. Thread-safe: any number of submitter
+ * threads may call submit()/stats() concurrently. The destructor
+ * drains (waits for every admitted job to finish).
+ */
+class JobQueue
+{
+  public:
+    /**
+     * @param workers 0 = execute on the shared global ThreadPool;
+     *        N = a dedicated pool of N threads for this queue
+     *        (N = 1 executes inline at submit(), in order).
+     */
+    explicit JobQueue(unsigned workers = 0);
+    ~JobQueue();
+
+    JobQueue(const JobQueue &) = delete;
+    JobQueue &operator=(const JobQueue &) = delete;
+
+    /**
+     * Admit one job: validate + resolve now, execute asynchronously.
+     * The future always yields a JobReport — admission failures are
+     * already-satisfied futures with JobDiags, execution errors are
+     * caught into the report. Never throws on bad input.
+     */
+    std::future<JobReport> submit(JobSpec spec);
+
+    /** Parse a JSON job description, then submit. */
+    std::future<JobReport> submitJson(std::string_view json_text);
+
+    /** Block until every admitted job has finished. */
+    void drain();
+
+    /** Snapshot of the queue-level statistics. */
+    JobQueueStats stats() const;
+
+  private:
+    std::future<JobReport> reject(JobReport &&report);
+    void execute(const std::shared_ptr<ResolvedJob> &job,
+                 const std::shared_ptr<std::promise<JobReport>> &done,
+                 std::chrono::steady_clock::time_point admitted);
+    void recordFinished(const JobReport &report, double latency);
+
+    ThreadPool &pool() { return own_pool_ ? *own_pool_ : ThreadPool::global(); }
+
+    std::optional<ThreadPool> own_pool_;
+    const std::chrono::steady_clock::time_point start_;
+    const ArtifactStoreStats store_before_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable idle_;
+    std::uint64_t pending_ = 0;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t failed_ = 0;
+    std::vector<double> latencies_;
+};
+
+} // namespace sc::api
+
+#endif // SPARSECORE_API_JOB_QUEUE_HH

@@ -64,32 +64,42 @@ executeOn(const RunRequest &req, backend::ExecBackend &be)
         gpm::PlanExecutor executor(*req.graph, be);
         executor.setRootStride(req.options.rootStride);
         const auto r = executor.runMany(gpm::gpmAppPlans(req.app));
-        out = {r.embeddings, r.cycles, r.breakdown};
+        out.functionalResult = r.embeddings;
+        out.cycles = r.cycles;
+        out.breakdown = r.breakdown;
         break;
       }
       case RunRequest::Workload::Fsm: {
         const auto r =
             gpm::runFsm(*req.labeledGraph, be, req.minSupport);
-        out = {r.totalFrequent(), r.cycles, r.breakdown};
+        out.functionalResult = r.totalFrequent();
+        out.cycles = r.cycles;
+        out.breakdown = r.breakdown;
         break;
       }
       case RunRequest::Workload::Spmspm: {
         const auto r = kernels::runSpmspm(
             *req.matrixA, *req.matrixB, req.algorithm, be,
             req.options.stride, req.spmspmResult);
-        out = {r.valueOps, r.cycles, r.breakdown};
+        out.functionalResult = r.valueOps;
+        out.cycles = r.cycles;
+        out.breakdown = r.breakdown;
         break;
       }
       case RunRequest::Workload::Ttv: {
         const auto r = kernels::runTtv(*req.tensor, *req.vector, be,
                                        req.options.stride);
-        out = {r.valueOps, r.cycles, r.breakdown};
+        out.functionalResult = r.valueOps;
+        out.cycles = r.cycles;
+        out.breakdown = r.breakdown;
         break;
       }
       case RunRequest::Workload::Ttm: {
         const auto r = kernels::runTtm(*req.tensor, *req.matrixB, be,
                                        req.options.stride);
-        out = {r.valueOps, r.cycles, r.breakdown};
+        out.functionalResult = r.valueOps;
+        out.cycles = r.cycles;
+        out.breakdown = r.breakdown;
         break;
       }
     }
@@ -119,19 +129,24 @@ traceKeyFor(const RunRequest &req)
     }
 }
 
-/** Capture the request's trace into the store (or reuse it). */
+/** Capture the request's trace into the store (or reuse it).
+ *  `cache_hit` reports whether *this call* skipped the capture —
+ *  detected by a flag the capture lambda sets, which is race-free
+ *  under concurrent callers (the builder runs at most once),
+ *  unlike sampling the store's aggregate miss counters. */
 std::shared_ptr<const ArtifactStore::CachedTrace>
 storeTrace(const RunRequest &req, const std::string &key,
            bool *cache_hit)
 {
     ArtifactStore &store = ArtifactStore::global();
-    const std::uint64_t misses_before = store.stats().traces.misses;
+    bool captured = false;
     auto cached =
         store.trace(key, [&](trace::TraceRecorder &recorder) {
+            captured = true;
             return executeOn(req, recorder).functionalResult;
         });
     if (cache_hit)
-        *cache_hit = store.stats().traces.misses == misses_before;
+        *cache_hit = !captured;
     return cached;
 }
 
@@ -244,12 +259,10 @@ compareViaStore(const arch::SparseCoreConfig &config, ThreadPool &pool,
     trace::ReplayResult cpu, sc;
     auto t2 = t1;
     if (mode == trace::ReplayMode::Bytecode) {
-        ArtifactStore &store = ArtifactStore::global();
-        const std::uint64_t misses_before =
-            store.stats().programs.misses;
-        const auto bc = store.program(key, tr, options.verify);
-        cmp.trace.bytecodeCacheHit =
-            store.stats().programs.misses == misses_before;
+        bool compiled = false;
+        const auto bc = ArtifactStore::global().program(
+            key, tr, options.verify, &compiled);
+        cmp.trace.bytecodeCacheHit = !compiled;
         t2 = std::chrono::steady_clock::now();
         cmp.trace.bytecodeBytes = bc->codeBytes();
         cmp.trace.compileSeconds =
@@ -323,14 +336,31 @@ Machine::run(const RunRequest &request, Substrate substrate) const
             ? traceKeyFor(request)
             : std::string{};
     if (!key.empty()) {
-        const auto cached = storeTrace(request, key, nullptr);
+        RunResult out;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto cached =
+            storeTrace(request, key, &out.trace.traceCacheHit);
         const trace::Trace &tr = cached->trace;
+        const auto t1 = std::chrono::steady_clock::now();
         const trace::ReplayMode mode =
             trace::resolveReplayMode(request.options.replayMode);
+        out.trace.replayMode = trace::replayModeName(mode);
+        out.trace.events = tr.numEvents();
+        out.trace.arenaBytes = tr.arenaBytes();
+        out.trace.captureSeconds = out.trace.traceCacheHit
+                                       ? 0
+                                       : secondsBetween(t0, t1);
         trace::ReplayResult rep;
+        auto t2 = t1;
         if (mode == trace::ReplayMode::Bytecode) {
+            bool compiled = false;
             const auto bc = ArtifactStore::global().program(
-                key, tr, request.options.verify);
+                key, tr, request.options.verify, &compiled);
+            out.trace.bytecodeCacheHit = !compiled;
+            t2 = std::chrono::steady_clock::now();
+            out.trace.bytecodeBytes = bc->codeBytes();
+            out.trace.compileSeconds =
+                compiled ? secondsBetween(t1, t2) : 0;
             if (substrate == Substrate::Cpu) {
                 backend::CpuBackend be(config_.core, config_.mem);
                 rep = trace::replayCompiled(*bc, be, false);
@@ -347,7 +377,12 @@ Machine::run(const RunRequest &request, Substrate substrate) const
             rep = trace::replay(tr, be, request.options.verify,
                                 trace::ReplayMode::Event);
         }
-        return {cached->functionalResult, rep.cycles, rep.breakdown};
+        out.trace.replaySeconds = secondsBetween(
+            t2, std::chrono::steady_clock::now());
+        out.functionalResult = cached->functionalResult;
+        out.cycles = rep.cycles;
+        out.breakdown = rep.breakdown;
+        return out;
     }
 
     // Cold path: execute directly on the timing backend, optionally

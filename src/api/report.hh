@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "api/run.hh"
+#include "common/json.hh"
 #include "sim/core_model.hh"
 
 namespace sc::api {
@@ -20,32 +22,6 @@ struct SubstrateResult
     std::string substrate;
     Cycles cycles = 0;
     sim::CycleBreakdown breakdown;
-};
-
-/**
- * Capture/replay statistics of a trace-driven comparison: the
- * workload ran functionally once (capture) and each substrate was
- * timed by replaying the shared trace.
- */
-struct TraceStats
-{
-    std::size_t events = 0;     ///< captured events
-    std::size_t arenaBytes = 0; ///< interned key-arena bytes
-    /** Compiled bytecode program bytes (0 when replayMode=event). */
-    std::size_t bytecodeBytes = 0;
-    /** Replay engine used: "event" or "bytecode". */
-    std::string replayMode;
-    /** The trace came out of the ArtifactStore warm: the functional
-     *  capture run was skipped entirely. */
-    bool traceCacheHit = false;
-    /** The compiled program came out of the store warm: the
-     *  trace->bytecode compile was skipped. */
-    bool bytecodeCacheHit = false;
-    double captureSeconds = 0;  ///< host wall-clock of the capture run
-    /** Host wall-clock of the trace -> bytecode compile (0 when
-     *  replayMode=event); paid once, amortized over both replays. */
-    double compileSeconds = 0;
-    double replaySeconds = 0;   ///< host wall-clock of both replays
 };
 
 /** A two-substrate comparison (e.g. SparseCore vs CPU). */
@@ -71,6 +47,19 @@ struct Comparison
 
 /** Render a breakdown as "Cache 12.3% | Mispred. 8.4% | ...". */
 std::string breakdownStr(const sim::CycleBreakdown &breakdown);
+
+/**
+ * The one JSON shape for results — used verbatim by the server, the
+ * CLI's --json mode and the bench reports, so the three never drift
+ * (they used to be three slightly-different printf formats).
+ * Breakdowns emit absolute per-class cycles keyed by class name;
+ * TraceStats timing fields are seconds.
+ */
+JsonValue jsonValue(const sim::CycleBreakdown &breakdown);
+JsonValue jsonValue(const TraceStats &trace);
+JsonValue jsonValue(const SubstrateResult &result);
+JsonValue jsonValue(const RunResult &result);
+JsonValue jsonValue(const Comparison &comparison);
 
 } // namespace sc::api
 

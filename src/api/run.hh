@@ -183,6 +183,32 @@ struct RunRequest
     }
 };
 
+/**
+ * Capture/replay statistics of a trace-driven execution: the
+ * workload ran functionally once (capture) and the substrate(s) were
+ * timed by replaying the shared trace.
+ */
+struct TraceStats
+{
+    std::size_t events = 0;     ///< captured events
+    std::size_t arenaBytes = 0; ///< interned key-arena bytes
+    /** Compiled bytecode program bytes (0 when replayMode=event). */
+    std::size_t bytecodeBytes = 0;
+    /** Replay engine used: "event" or "bytecode". */
+    std::string replayMode;
+    /** The trace came out of the ArtifactStore warm: the functional
+     *  capture run was skipped entirely. */
+    bool traceCacheHit = false;
+    /** The compiled program came out of the store warm: the
+     *  trace->bytecode compile was skipped. */
+    bool bytecodeCacheHit = false;
+    double captureSeconds = 0;  ///< host wall-clock of the capture run
+    /** Host wall-clock of the trace -> bytecode compile (0 when
+     *  replayMode=event); paid once, amortized over both replays. */
+    double compileSeconds = 0;
+    double replaySeconds = 0;   ///< host wall-clock of the replay(s)
+};
+
 /** Outcome of run() on one substrate. */
 struct RunResult
 {
@@ -191,6 +217,9 @@ struct RunResult
     std::uint64_t functionalResult = 0;
     Cycles cycles = 0;
     sim::CycleBreakdown breakdown;
+    /** Capture/replay stats when the run was store-backed; zeroed
+     *  (empty replayMode) on the direct-execution cold path. */
+    TraceStats trace;
 };
 
 } // namespace sc::api

@@ -1,0 +1,681 @@
+#include "common/json.hh"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sc {
+
+JsonValue
+JsonValue::boolean(bool v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Bool;
+    out.bool_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::number(std::int64_t v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Int;
+    out.int_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::number(std::uint64_t v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Uint;
+    out.uint_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::number(double v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Double;
+    out.double_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::str(std::string v)
+{
+    JsonValue out;
+    out.kind_ = Kind::String;
+    out.string_ = std::move(v);
+    return out;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue out;
+    out.kind_ = Kind::Array;
+    return out;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue out;
+    out.kind_ = Kind::Object;
+    return out;
+}
+
+bool
+JsonValue::isInteger() const
+{
+    switch (kind_) {
+      case Kind::Int:
+      case Kind::Uint:
+        return true;
+      case Kind::Double:
+        return std::nearbyint(double_) == double_ &&
+               std::abs(double_) < 9.007199254740992e15; // 2^53
+      default:
+        return false;
+    }
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return int_;
+      case Kind::Uint:
+        return static_cast<std::int64_t>(uint_);
+      case Kind::Double:
+        return static_cast<std::int64_t>(double_);
+      default:
+        panic("JsonValue::asInt on a non-number");
+    }
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return static_cast<std::uint64_t>(int_);
+      case Kind::Uint:
+        return uint_;
+      case Kind::Double:
+        return static_cast<std::uint64_t>(double_);
+      default:
+        panic("JsonValue::asUint on a non-number");
+    }
+}
+
+double
+JsonValue::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return static_cast<double>(int_);
+      case Kind::Uint:
+        return static_cast<double>(uint_);
+      case Kind::Double:
+        return double_;
+      default:
+        panic("JsonValue::asDouble on a non-number");
+    }
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    if (kind_ != Kind::Array)
+        panic("JsonValue::push on a non-array");
+    items_.push_back(std::move(v));
+    return *this;
+}
+
+JsonValue &
+JsonValue::set(std::string key, JsonValue v)
+{
+    if (kind_ != Kind::Object)
+        panic("JsonValue::set on a non-object");
+    for (Member &m : members_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return *this;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+    return *this;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const Member &m : members_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+bool
+JsonValue::remove(std::string_view key)
+{
+    if (kind_ != Kind::Object)
+        return false;
+    for (auto it = members_.begin(); it != members_.end(); ++it) {
+        if (it->first == key) {
+            members_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+jsonQuote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char raw : s) {
+        const auto c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += raw;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace {
+
+void
+dumpTo(const JsonValue &v, std::string &out)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case JsonValue::Kind::Int: {
+        char buf[32];
+        const auto [p, ec] =
+            std::to_chars(buf, buf + sizeof(buf), v.asInt());
+        out.append(buf, p);
+        break;
+      }
+      case JsonValue::Kind::Uint: {
+        char buf[32];
+        const auto [p, ec] =
+            std::to_chars(buf, buf + sizeof(buf), v.asUint());
+        out.append(buf, p);
+        break;
+      }
+      case JsonValue::Kind::Double: {
+        const double d = v.asDouble();
+        if (!std::isfinite(d)) {
+            // JSON has no inf/nan; emit null (stable, parseable).
+            out += "null";
+            break;
+        }
+        char buf[40];
+        const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+        out.append(buf, p);
+        break;
+      }
+      case JsonValue::Kind::String:
+        out += jsonQuote(v.asString());
+        break;
+      case JsonValue::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue &item : v.items()) {
+            if (!first)
+                out += ',';
+            first = false;
+            dumpTo(item, out);
+        }
+        out += ']';
+        break;
+      }
+      case JsonValue::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, value] : v.members()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += jsonQuote(key);
+            out += ':';
+            dumpTo(value, out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+/** Recursive-descent parser with a hard nesting bound. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonParseResult
+    parse()
+    {
+        JsonParseResult result;
+        JsonValue value;
+        if (!parseValue(value, 0)) {
+            fillError(result);
+            return result;
+        }
+        skipWhitespace();
+        if (pos_ != text_.size()) {
+            error_ = "trailing characters after the JSON value";
+            fillError(result);
+            return result;
+        }
+        result.value = std::move(value);
+        return result;
+    }
+
+  private:
+    static constexpr std::size_t kMaxDepth = 64;
+
+    void
+    fillError(JsonParseResult &result) const
+    {
+        result.error = error_.empty() ? "malformed JSON" : error_;
+        result.line = 1;
+        result.column = 1;
+        for (std::size_t i = 0; i < errorPos_ && i < text_.size();
+             ++i) {
+            if (text_[i] == '\n') {
+                ++result.line;
+                result.column = 1;
+            } else {
+                ++result.column;
+            }
+        }
+    }
+
+    bool
+    fail(const std::string &message)
+    {
+        if (error_.empty()) {
+            error_ = message;
+            errorPos_ = pos_;
+        }
+        return false;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    parseValue(JsonValue &out, std::size_t depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input (expected a value)");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = JsonValue::str(std::move(s));
+            return true;
+          }
+          case 't':
+            if (!consumeLiteral("true"))
+                return fail("bad literal (expected 'true')");
+            out = JsonValue::boolean(true);
+            return true;
+          case 'f':
+            if (!consumeLiteral("false"))
+                return fail("bad literal (expected 'false')");
+            out = JsonValue::boolean(false);
+            return true;
+          case 'n':
+            if (!consumeLiteral("null"))
+                return fail("bad literal (expected 'null')");
+            out = JsonValue::null();
+            return true;
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber(out);
+            return fail(strprintf("unexpected character '%c'", c));
+        }
+    }
+
+    bool
+    consumeLiteral(const char *literal)
+    {
+        const std::size_t n = std::strlen(literal);
+        if (text_.substr(pos_, n) != literal)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseObject(JsonValue &out, std::size_t depth)
+    {
+        ++pos_; // '{'
+        out = JsonValue::object();
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWhitespace();
+            if (pos_ >= text_.size())
+                return fail("unexpected end of input inside object");
+            if (text_[pos_] != '"')
+                return fail("expected a quoted member name");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWhitespace();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after member name");
+            ++pos_;
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.set(std::move(key), std::move(value));
+            skipWhitespace();
+            if (pos_ >= text_.size())
+                return fail("unexpected end of input inside object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, std::size_t depth)
+    {
+        ++pos_; // '['
+        out = JsonValue::array();
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.push(std::move(value));
+            skipWhitespace();
+            if (pos_ >= text_.size())
+                return fail("unexpected end of input inside array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // '"'
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const char c = text_[pos_];
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            ++pos_;
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape sequence");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // Encode the BMP code point as UTF-8 (surrogate
+                // pairs are passed through as two 3-byte sequences;
+                // job specs are ASCII in practice).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape sequence");
+            }
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        bool negative = false;
+        bool integral = true;
+        if (text_[pos_] == '-') {
+            negative = true;
+            ++pos_;
+        }
+        if (pos_ >= text_.size() || text_[pos_] < '0' ||
+            text_[pos_] > '9')
+            return fail("malformed number");
+        // Leading zero must not be followed by more digits.
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9')
+            return fail("number has a leading zero");
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9')
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            integral = false;
+            ++pos_;
+            if (pos_ >= text_.size() || text_[pos_] < '0' ||
+                text_[pos_] > '9')
+                return fail("malformed fraction");
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || text_[pos_] < '0' ||
+                text_[pos_] > '9')
+                return fail("malformed exponent");
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        const std::string_view token =
+            text_.substr(start, pos_ - start);
+        if (integral) {
+            if (!negative) {
+                std::uint64_t u = 0;
+                const auto [p, ec] = std::from_chars(
+                    token.data(), token.data() + token.size(), u);
+                if (ec == std::errc{} &&
+                    p == token.data() + token.size()) {
+                    out = JsonValue::number(u);
+                    return true;
+                }
+            } else {
+                std::int64_t i = 0;
+                const auto [p, ec] = std::from_chars(
+                    token.data(), token.data() + token.size(), i);
+                if (ec == std::errc{} &&
+                    p == token.data() + token.size()) {
+                    out = JsonValue::number(i);
+                    return true;
+                }
+            }
+            // Out of 64-bit range: fall through to double.
+        }
+        double d = 0;
+        const auto [p, ec] = std::from_chars(
+            token.data(), token.data() + token.size(), d);
+        if (ec != std::errc{} || p != token.data() + token.size())
+            return fail("malformed number");
+        out = JsonValue::number(d);
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+    std::size_t errorPos_ = 0;
+};
+
+} // namespace
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpTo(*this, out);
+    return out;
+}
+
+std::string
+JsonParseResult::describe() const
+{
+    if (error.empty())
+        return {};
+    return strprintf("line %zu col %zu: %s", line, column,
+                     error.c_str());
+}
+
+JsonParseResult
+parseJson(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace sc

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Minimal JSON value model, strict parser and stable writer — the
+ * wire format of the service layer (api/jobspec.hh, the jsonl server)
+ * and of every BENCH_*.json / report emission.
+ *
+ * Scope is deliberately small: UTF-8 text, RFC 8259 syntax, objects
+ * preserve insertion order (so emission is byte-stable), numbers keep
+ * an exact-integer fast path (cycle counts are uint64 and must round
+ * trip losslessly). Parsing never throws: errors come back as a
+ * position-tagged message so callers can attach structured
+ * diagnostics to user input (a malformed job line must fail that one
+ * job, not the process).
+ */
+
+#ifndef SPARSECORE_COMMON_JSON_HH
+#define SPARSECORE_COMMON_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sc {
+
+/** One JSON value (tree). Objects keep insertion order. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        /** Number that parsed (or was built) as an exact integer. */
+        Int,
+        /** Unsigned integer too large for int64 (cycle counters). */
+        Uint,
+        Double,
+        String,
+        Array,
+        Object
+    };
+
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() = default;
+    static JsonValue null() { return JsonValue{}; }
+    static JsonValue boolean(bool v);
+    static JsonValue number(std::int64_t v);
+    static JsonValue number(std::uint64_t v);
+    static JsonValue number(double v);
+    static JsonValue str(std::string v);
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Uint ||
+               kind_ == Kind::Double;
+    }
+    /** Number with no fractional part that fits the target width. */
+    bool isInteger() const;
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return bool_; }
+    /** Integer value; call only when isInteger(). */
+    std::int64_t asInt() const;
+    std::uint64_t asUint() const;
+    double asDouble() const;
+    const std::string &asString() const { return string_; }
+
+    const std::vector<JsonValue> &items() const { return items_; }
+    const std::vector<Member> &members() const { return members_; }
+
+    /** Append to an array value. */
+    JsonValue &push(JsonValue v);
+    /** Set a member on an object value (replaces an existing key,
+     *  keeping its position; appends otherwise). */
+    JsonValue &set(std::string key, JsonValue v);
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+    /** Drop a member (no-op when absent or not an object); returns
+     *  whether a member was removed. */
+    bool remove(std::string_view key);
+
+    /** Compact, byte-stable serialization. */
+    std::string dump() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<Member> members_;
+};
+
+/** Outcome of parseJson: a value or a position-tagged error. */
+struct JsonParseResult
+{
+    std::optional<JsonValue> value;
+    std::string error; ///< empty on success
+    std::size_t line = 0;
+    std::size_t column = 0;
+
+    bool ok() const { return value.has_value(); }
+    /** "line L col C: message" (empty on success). */
+    std::string describe() const;
+};
+
+/**
+ * Parse one JSON document (trailing whitespace allowed, anything else
+ * after the value is an error). Never throws; malformed input —
+ * including truncation anywhere — produces a described error.
+ */
+JsonParseResult parseJson(std::string_view text);
+
+/** Escape and quote a string for JSON emission. */
+std::string jsonQuote(std::string_view s);
+
+} // namespace sc
+
+#endif // SPARSECORE_COMMON_JSON_HH

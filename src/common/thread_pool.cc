@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "common/config.hh"
 #include "common/logging.hh"
 
 namespace sc {
@@ -26,13 +27,10 @@ struct ThreadPool::ForEachState
 unsigned
 ThreadPool::defaultNumThreads()
 {
-    if (const char *env = std::getenv("SC_HOST_THREADS")) {
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end && *end == '\0' && v >= 1 && v <= 1024)
-            return static_cast<unsigned>(v);
-        warn("ignoring invalid SC_HOST_THREADS='%s'", env);
-    }
+    // SC_HOST_THREADS through the common/config loader (warn +
+    // fallback on unparseable values, clamped to 1..1024 there).
+    if (const unsigned threads = config().hostThreads)
+        return threads;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }

@@ -3,27 +3,20 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/config.hh"
 #include "common/logging.hh"
 
 namespace sc::streams::setindex {
 
 namespace {
 
-/** Process default from SC_FORCE_SETINDEX (warn + Auto on unknown). */
+/** Process default from SC_FORCE_SETINDEX via the common/config
+ *  loader (which warns and falls back to auto on unknown values). */
 IndexPolicy
 resolveDefault()
 {
-    const char *env = std::getenv("SC_FORCE_SETINDEX");
-    if (!env || !*env)
-        return IndexPolicy::Auto;
-    const auto policy = parseIndexPolicy(env);
-    if (!policy) {
-        warn("SC_FORCE_SETINDEX='%s' not recognized "
-             "(want auto|array|bitmap); using auto",
-             env);
-        return IndexPolicy::Auto;
-    }
-    return *policy;
+    return parseIndexPolicy(config().forceSetindex)
+        .value_or(IndexPolicy::Auto);
 }
 
 // -1 = unresolved / no override; otherwise an IndexPolicy value.

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/config.hh"
 #include "common/logging.hh"
 #include "streams/setindex/hybrid.hh"
 
@@ -51,26 +52,24 @@ bestAvailable()
     return &simd::scalarKernelTable();
 }
 
-/** Process default: SC_FORCE_KERNEL if set and usable, else CPUID. */
+/** Process default: SC_FORCE_KERNEL (via the common/config loader,
+ *  which warns and falls back to auto on unknown values) if usable,
+ *  else CPUID. */
 const KernelTable *
 resolveDefault()
 {
-    const char *env = std::getenv("SC_FORCE_KERNEL");
-    if (!env || !*env || std::string_view(env) == "auto")
+    const std::string &forced = config().forceKernel;
+    if (forced == "auto")
         return bestAvailable();
-    const auto level = parseKernelLevel(env);
-    if (!level) {
-        warn("SC_FORCE_KERNEL='%s' not recognized "
-             "(want scalar|sse|avx2|auto); auto-detecting",
-             env);
+    const auto level = parseKernelLevel(forced);
+    if (!level)
         return bestAvailable();
-    }
     if (const KernelTable *t = tableFor(*level))
         return t;
     const KernelTable *best = bestAvailable();
     warn("SC_FORCE_KERNEL=%s unavailable on this host/build; "
          "falling back to %s",
-         env, kernelLevelName(best->level));
+         forced.c_str(), kernelLevelName(best->level));
     return best;
 }
 

@@ -7,6 +7,7 @@
 #include "backend/cpu_backend.hh"
 #include "backend/functional_backend.hh"
 #include "backend/sparsecore_backend.hh"
+#include "common/config.hh"
 #include "common/logging.hh"
 #include "trace/compile.hh"
 
@@ -285,15 +286,11 @@ replayModeName(ReplayMode mode)
 ReplayMode
 defaultReplayMode()
 {
-    static const ReplayMode mode = [] {
-        const char *env = std::getenv("SC_REPLAY");
-        if (!env || !*env || std::strcmp(env, "auto") == 0 ||
-            std::strcmp(env, "bytecode") == 0)
-            return ReplayMode::Bytecode;
-        if (std::strcmp(env, "event") == 0)
-            return ReplayMode::Event;
-        panic("SC_REPLAY='%s' (expected 'event' or 'bytecode')", env);
-    }();
+    // config() validates SC_REPLAY; "auto" resolves to the bytecode
+    // engine (the default since PR 6).
+    static const ReplayMode mode =
+        config().replay == "event" ? ReplayMode::Event
+                                   : ReplayMode::Bytecode;
     return mode;
 }
 

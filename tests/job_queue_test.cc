@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for api::JobQueue: batched async submission, per-job futures,
+ * structured rejection of malformed jobs, bit-identity of queued
+ * results against sequential Machine execution, queue statistics, and
+ * a concurrent-submitter soak (the TSan target in check.sh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/job_queue.hh"
+#include "api/jobspec.hh"
+#include "api/machine.hh"
+
+using namespace sc;
+using api::JobQueue;
+using api::JobReport;
+
+namespace {
+
+/** A small mixed batch: every workload class, valid throughout. */
+std::vector<std::string>
+mixedBatch()
+{
+    return {
+        R"({"version":1,"id":"a","workload":"gpm","app":"T","dataset":"W"})",
+        R"({"version":1,"id":"b","workload":"gpm","app":"T","dataset":"W","mode":"run","substrate":"sparsecore"})",
+        R"({"version":1,"id":"c","workload":"fsm","dataset":"C","min_support":500})",
+        R"({"version":1,"id":"d","workload":"spmspm","dataset":"E","options":{"stride":4}})",
+        R"({"version":1,"id":"e","workload":"ttv","dataset":"Ch","options":{"stride":8}})",
+        R"({"version":1,"id":"f","workload":"ttm","dataset":"U","options":{"stride":128}})",
+    };
+}
+
+} // namespace
+
+TEST(JobQueue, BatchOfFuturesAllComplete)
+{
+    JobQueue queue;
+    std::vector<std::future<JobReport>> futures;
+    for (const std::string &line : mixedBatch())
+        futures.push_back(queue.submitJson(line));
+    for (auto &f : futures) {
+        const JobReport r = f.get();
+        EXPECT_TRUE(r.ok) << r.id << ": "
+                          << (r.errors.empty()
+                                  ? std::string("?")
+                                  : r.errors[0].message);
+        EXPECT_TRUE(r.run.has_value() || r.comparison.has_value());
+    }
+    const api::JobQueueStats stats = queue.stats();
+    EXPECT_EQ(stats.submitted, 6u);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.completed, 6u);
+    EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(JobQueue, MalformedJobsRejectWithoutAborting)
+{
+    JobQueue queue;
+    const char *bad[] = {
+        "{ not json",
+        R"({"version":1,"workload":"quantum","dataset":"W"})",
+        R"({"version":1,"workload":"gpm","dataset":"NOPE"})",
+        R"({"version":1,"workload":"gpm","dataset":"W",)"
+        R"("options":{"stride":0}})",
+        R"({"version":9,"workload":"gpm","dataset":"W"})",
+    };
+    for (const char *line : bad) {
+        auto f = queue.submitJson(line);
+        // Rejection is synchronous: the future is already satisfied.
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready)
+            << line;
+        const JobReport r = f.get();
+        EXPECT_FALSE(r.ok) << line;
+        EXPECT_FALSE(r.errors.empty()) << line;
+        EXPECT_FALSE(r.run.has_value());
+        EXPECT_FALSE(r.comparison.has_value());
+    }
+    // A valid job still runs after the rejects.
+    EXPECT_TRUE(queue
+                    .submitJson(R"({"version":1,"workload":"gpm",)"
+                                R"("app":"T","dataset":"W"})")
+                    .get()
+                    .ok);
+    const api::JobQueueStats stats = queue.stats();
+    EXPECT_EQ(stats.submitted, 6u);
+    EXPECT_EQ(stats.rejected, 5u);
+    EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(JobQueue, QueuedResultsMatchSequentialMachine)
+{
+    // Simulated results must not depend on how a job reached the
+    // Machine: queue at any width == direct sequential execution.
+    std::vector<JobReport> queued;
+    {
+        JobQueue queue;
+        std::vector<std::future<JobReport>> futures;
+        for (const std::string &line : mixedBatch())
+            futures.push_back(queue.submitJson(line));
+        for (auto &f : futures)
+            queued.push_back(f.get());
+    }
+    for (const JobReport &r : queued) {
+        ASSERT_TRUE(r.ok) << r.id;
+        const auto resolved = api::resolveJob(r.spec);
+        ASSERT_TRUE(resolved.ok()) << r.id;
+        api::Machine machine(resolved.job->config);
+        if (r.spec.mode == api::JobMode::Run) {
+            const api::RunResult direct = machine.run(
+                resolved.job->request, r.spec.substrate);
+            ASSERT_TRUE(r.run.has_value()) << r.id;
+            EXPECT_EQ(r.run->cycles, direct.cycles) << r.id;
+            EXPECT_EQ(r.run->functionalResult,
+                      direct.functionalResult)
+                << r.id;
+        } else {
+            const api::Comparison direct =
+                machine.compare(resolved.job->request);
+            ASSERT_TRUE(r.comparison.has_value()) << r.id;
+            EXPECT_EQ(r.comparison->accelerated.cycles,
+                      direct.accelerated.cycles)
+                << r.id;
+            EXPECT_EQ(r.comparison->baseline.cycles,
+                      direct.baseline.cycles)
+                << r.id;
+            EXPECT_EQ(r.comparison->functionalResult,
+                      direct.functionalResult)
+                << r.id;
+        }
+        // The deterministic report shape is byte-identical too.
+        EXPECT_EQ(r.toJsonValue(false).dump(),
+                  r.toJsonValue(false).dump());
+    }
+}
+
+TEST(JobQueue, SingleWorkerRunsInSubmissionOrder)
+{
+    // workers=1 executes inline at submit(): every future is ready
+    // the moment submit returns, in order.
+    JobQueue queue(1);
+    for (const std::string &line : mixedBatch()) {
+        auto f = queue.submitJson(line);
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_TRUE(f.get().ok);
+    }
+}
+
+TEST(JobQueue, StatsExposeArtifactSharing)
+{
+    // Two identical compare jobs: the second replays the first's
+    // captured trace and compiled program. The spec pins the
+    // bytecode engine so the program-hit assertion holds regardless
+    // of SC_REPLAY (JobSpec beats environment).
+    JobQueue queue(1);
+    const std::string job =
+        R"({"version":1,"workload":"gpm","app":"T","dataset":"W",)"
+        R"("options":{"replay":"bytecode"}})";
+    EXPECT_TRUE(queue.submitJson(job).get().ok);
+    EXPECT_TRUE(queue.submitJson(job).get().ok);
+    const api::JobQueueStats stats = queue.stats();
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_GE(stats.traceHits, 1u);
+    EXPECT_GE(stats.programHits, 1u);
+    EXPECT_GT(stats.jobsPerSecond, 0.0);
+    EXPECT_GE(stats.p99LatencySeconds, stats.p50LatencySeconds);
+    // The JSON form carries the same counters.
+    const std::string dumped = stats.toJsonValue().dump();
+    EXPECT_NE(dumped.find("\"jobs_per_second\""), std::string::npos);
+    EXPECT_NE(dumped.find("\"artifact_store\""), std::string::npos);
+}
+
+TEST(JobQueue, ConcurrentSubmittersSoak)
+{
+    // Multiple tenant threads hammer one queue with interleaved valid
+    // and invalid jobs. This is the TSan target: admission counters,
+    // the latency vector and the store routing must all be clean.
+    JobQueue queue;
+    constexpr unsigned kTenants = 4;
+    constexpr unsigned kJobsEach = 8;
+    std::vector<std::thread> tenants;
+    std::vector<std::vector<std::future<JobReport>>> futures(kTenants);
+    for (unsigned t = 0; t < kTenants; ++t) {
+        tenants.emplace_back([&queue, &futures, t] {
+            const auto mix = mixedBatch();
+            for (unsigned i = 0; i < kJobsEach; ++i) {
+                if (i % 4 == 3) // every 4th job is malformed
+                    futures[t].push_back(
+                        queue.submitJson("{\"version\":1"));
+                else
+                    futures[t].push_back(queue.submitJson(
+                        mix[(t + i) % mix.size()]));
+            }
+        });
+    }
+    for (auto &thread : tenants)
+        thread.join();
+    unsigned ok = 0, bad = 0;
+    for (auto &per_tenant : futures)
+        for (auto &f : per_tenant)
+            f.get().ok ? ++ok : ++bad;
+    EXPECT_EQ(ok, kTenants * kJobsEach * 3 / 4);
+    EXPECT_EQ(bad, kTenants * kJobsEach / 4);
+    const api::JobQueueStats stats = queue.stats();
+    EXPECT_EQ(stats.submitted, kTenants * kJobsEach);
+    EXPECT_EQ(stats.completed + stats.rejected, stats.submitted);
+}
+
+TEST(JobQueue, DrainWaitsForEverything)
+{
+    JobQueue queue;
+    std::vector<std::future<JobReport>> futures;
+    for (const std::string &line : mixedBatch())
+        futures.push_back(queue.submitJson(line));
+    queue.drain();
+    for (auto &f : futures)
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the strict JSON layer (common/json.hh): parse/dump
+ * round-trips, byte-stable emission, and the never-throwing error
+ * reporting (line/column diagnostics) the JobSpec API builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "common/json.hh"
+
+using namespace sc;
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null").value->isNull());
+    EXPECT_EQ(parseJson("true").value->asBool(), true);
+    EXPECT_EQ(parseJson("false").value->asBool(), false);
+    EXPECT_EQ(parseJson("42").value->asUint(), 42u);
+    EXPECT_EQ(parseJson("-7").value->asInt(), -7);
+    EXPECT_DOUBLE_EQ(parseJson("2.5").value->asDouble(), 2.5);
+    EXPECT_DOUBLE_EQ(parseJson("1e3").value->asDouble(), 1000.0);
+    EXPECT_EQ(parseJson("\"hi\"").value->asString(), "hi");
+}
+
+TEST(Json, ParsesContainers)
+{
+    const auto r = parseJson(R"({"a":[1,2,3],"b":{"c":"d"},"e":null})");
+    ASSERT_TRUE(r.ok());
+    const JsonValue &v = *r.value;
+    ASSERT_TRUE(v.isObject());
+    ASSERT_NE(v.find("a"), nullptr);
+    EXPECT_EQ(v.find("a")->items().size(), 3u);
+    EXPECT_EQ(v.find("b")->find("c")->asString(), "d");
+    EXPECT_TRUE(v.find("e")->isNull());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, DumpIsByteStableAndRoundTrips)
+{
+    const std::string text =
+        R"({"s":"a\"b\\c","n":-12,"u":18446744073709551615,"d":0.5,)"
+        R"("b":true,"x":null,"arr":[1,[2],{}],"o":{"k":"v"}})";
+    const auto r = parseJson(text);
+    ASSERT_TRUE(r.ok()) << r.describe();
+    const std::string once = r.value->dump();
+    const auto again = parseJson(once);
+    ASSERT_TRUE(again.ok());
+    // Fixed point after one dump: dump(parse(dump(x))) == dump(x).
+    EXPECT_EQ(again.value->dump(), once);
+}
+
+TEST(Json, EscapesControlCharactersAndUnicode)
+{
+    JsonValue v = JsonValue::str(std::string("a\nb\tc\x01") + "\"");
+    const std::string dumped = v.dump();
+    const auto r = parseJson(dumped);
+    ASSERT_TRUE(r.ok()) << dumped;
+    EXPECT_EQ(r.value->asString(), v.asString());
+    // \uXXXX escapes decode to UTF-8.
+    EXPECT_EQ(parseJson("\"A\\u00e9\"").value->asString(),
+              "A\xc3\xa9");
+}
+
+TEST(Json, ObjectSetReplacesAndRemoveErases)
+{
+    JsonValue o = JsonValue::object();
+    o.set("a", JsonValue::number(std::uint64_t{1}));
+    o.set("b", JsonValue::number(std::uint64_t{2}));
+    o.set("a", JsonValue::number(std::uint64_t{3})); // replace in place
+    EXPECT_EQ(o.dump(), R"({"a":3,"b":2})");
+    EXPECT_TRUE(o.remove("a"));
+    EXPECT_FALSE(o.remove("a"));
+    EXPECT_EQ(o.dump(), R"({"b":2})");
+}
+
+TEST(Json, IntegerClassification)
+{
+    EXPECT_TRUE(parseJson("7").value->isInteger());
+    EXPECT_TRUE(parseJson("7.0").value->isInteger());
+    EXPECT_FALSE(parseJson("7.5").value->isInteger());
+    // 2^53 + 1 is not exactly representable as double — when parsed
+    // as an integer literal it stays exact.
+    EXPECT_EQ(parseJson("9007199254740993").value->asUint(),
+              9007199254740993ull);
+}
+
+TEST(Json, ErrorsNeverThrowAndCarryPosition)
+{
+    const char *bad[] = {
+        "",             // empty input
+        "{",            // truncated object
+        "[1,2",         // truncated array
+        "{\"a\":}",     // missing value
+        "{\"a\" 1}",    // missing colon
+        "{a:1}",        // unquoted key
+        "[1,]",         // trailing comma
+        "\"unterminated", // unterminated string
+        "01",           // leading zero
+        "1.",           // malformed fraction
+        "1e",           // malformed exponent
+        "nul",          // bad keyword
+        "{} extra",     // trailing characters
+        "\"\x01\"",     // raw control character
+    };
+    for (const char *text : bad) {
+        const auto r = parseJson(text);
+        EXPECT_FALSE(r.ok()) << "accepted: " << text;
+        EXPECT_FALSE(r.error.empty());
+        EXPECT_GE(r.line, 1u);
+        EXPECT_NE(r.describe().find("line"), std::string::npos);
+    }
+}
+
+TEST(Json, ReportsLineAndColumn)
+{
+    const auto r = parseJson("{\"a\": 1,\n  \"b\": }\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.line, 2u);
+}
+
+TEST(Json, DepthLimitIsAnErrorNotACrash)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    const auto r = parseJson(deep);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("deep"), std::string::npos);
+}
+
+TEST(Json, NonFiniteDoublesDumpAsNull)
+{
+    EXPECT_EQ(JsonValue::number(
+                  std::numeric_limits<double>::infinity())
+                  .dump(),
+              "null");
+}

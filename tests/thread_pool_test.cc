@@ -11,9 +11,12 @@
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <optional>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/config.hh"
 #include "common/logging.hh"
 #include "common/parallel_for.hh"
 #include "common/thread_pool.hh"
@@ -86,20 +89,23 @@ TEST(ThreadPool, ZeroIterationsIsANoop)
     EXPECT_FALSE(ran);
 }
 
-TEST(ThreadPool, DefaultThreadsHonorsEnvVar)
+TEST(ThreadPool, DefaultThreadsHonorsConfig)
 {
-    const char *saved = std::getenv("SC_HOST_THREADS");
-    const std::string saved_value = saved ? saved : "";
-
-    setenv("SC_HOST_THREADS", "3", 1);
-    EXPECT_EQ(ThreadPool::defaultNumThreads(), 3u);
-    setenv("SC_HOST_THREADS", "bogus", 1);
+    // The process config is read once at startup (common/config.hh),
+    // so the env-var path is exercised through loadConfig's injected
+    // lookup rather than by mutating the live environment.
+    const auto with = [](const char *value) {
+        return loadConfig([value](const char *name)
+                              -> std::optional<std::string> {
+            if (std::string_view(name) == "SC_HOST_THREADS" && value)
+                return std::string(value);
+            return std::nullopt;
+        });
+    };
+    EXPECT_EQ(with("3").hostThreads, 3u);
+    EXPECT_EQ(with(nullptr).hostThreads, 0u); // 0 = hardware default
+    EXPECT_EQ(with("bogus").hostThreads, 0u); // warn + fall back
     EXPECT_GE(ThreadPool::defaultNumThreads(), 1u);
-
-    if (saved)
-        setenv("SC_HOST_THREADS", saved_value.c_str(), 1);
-    else
-        unsetenv("SC_HOST_THREADS");
 }
 
 TEST(ThreadPool, SubmittedTasksAllRun)
