@@ -40,6 +40,7 @@ usage(const char *argv0)
         "  --graph-file <path>     gpm: SNAP edge-list file\n"
         "  --min-support N         fsm\n"
         "  --sus N | --bw E | --window N | --no-nested   arch\n"
+        "  --priority N            scheduling priority 0..100\n"
         "  --cores N | --stride N | --compare | --json\n"
         "modes:\n"
         "  --job FILE            run a JSON job description\n"
@@ -165,6 +166,8 @@ main(int argc, char **argv)
                 spec.dataset.clear();
         } else if (arg == "--min-support")
             spec.minSupport = std::stoull(next());
+        else if (arg == "--priority")
+            spec.priority = static_cast<int>(std::stoul(next()));
         else if (arg == "--sus")
             spec.numSus = static_cast<unsigned>(std::stoul(next()));
         else if (arg == "--bw")

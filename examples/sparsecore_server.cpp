@@ -16,6 +16,8 @@
  * Flags:
  *   --jobs-threads N  queue worker threads (default 0 = the shared
  *                     global pool; 1 = inline, in submission order)
+ *   --sched P         scheduling policy: fifo | affinity (default:
+ *                     SC_JOB_SCHED, which defaults to affinity)
  *   --sequential      bypass the queue: resolve + run each job
  *                     inline with Machine — the bit-identity
  *                     reference the check.sh smoke leg diffs against
@@ -45,7 +47,8 @@ namespace {
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--jobs-threads N] [--sequential] "
+                 "usage: %s [--jobs-threads N] [--sched "
+                 "fifo|affinity] [--sequential] "
                  "[--no-timing] [--stats]\n"
                  "reads one JSON job per line on stdin, writes one "
                  "JSON report per job on stdout\n",
@@ -109,6 +112,7 @@ main(int argc, char **argv)
     setVerbose(false);
 
     unsigned jobs_threads = 0;
+    std::optional<api::SchedPolicy> policy;
     bool sequential = false;
     bool timing = true;
     bool stats = false;
@@ -120,6 +124,12 @@ main(int argc, char **argv)
                 usage(argv[0]);
             jobs_threads =
                 static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--sched") {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            policy = api::parseSchedPolicy(argv[++i]);
+            if (!policy)
+                usage(argv[0]);
         } else if (arg == "--sequential") {
             sequential = true;
         } else if (arg == "--no-timing") {
@@ -156,7 +166,7 @@ main(int argc, char **argv)
             stats_value = std::move(as);
         }
     } else {
-        api::JobQueue queue(jobs_threads);
+        api::JobQueue queue(jobs_threads, policy);
         std::vector<std::future<api::JobReport>> futures;
         futures.reserve(lines.size());
         for (const std::string &line : lines)

@@ -18,7 +18,11 @@
 # server smoke leg: a 12-job mixed batch through the jsonl front end
 # must be byte-identical queued vs sequential with deterministic
 # artifact-store hit counts (the TSan leg also soaks JobQueue under
-# concurrent submitters).
+# concurrent submitters), then a scheduler leg: the same batch under
+# --sched fifo vs --sched affinity must stay byte-identical while
+# affinity reports zero in-store waits (parked siblings instead of
+# blocked workers) and the throughput bench self-gates the >= 1.3x
+# affinity-vs-fifo claim on hosts with >= 4 cores.
 #
 # Usage: scripts/check.sh [build-dir-prefix]
 set -euo pipefail
@@ -80,7 +84,7 @@ echo "=== TSan build + parallel suites ==="
 cmake -B "${prefix}-tsan" -S . -DSPARSECORE_SANITIZE=thread >/dev/null
 cmake --build "${prefix}-tsan" -j"$(nproc)" --target sparsecore_tests
 "${prefix}-tsan/tests/sparsecore_tests" \
-    --gtest_filter='ThreadPool.*:HostParallel.*:Parallel.*:Machine*.*:LruCache.*:ArtifactStore.*:JobQueue.*'
+    --gtest_filter='ThreadPool.*:HostParallel.*:Parallel.*:Machine*.*:LruCache.*:ArtifactStore.*:JobQueue.*:Scheduler.*'
 
 echo
 echo "=== ASan+UBSan build + trace/replay suites ==="
@@ -167,8 +171,52 @@ grep -q '"trace_hits":2' "${server_tmp}/ordered.jsonl"
 grep -q '"trace_misses":4' "${server_tmp}/ordered.jsonl"
 grep -q '"program_hits":2' "${server_tmp}/ordered.jsonl"
 grep -q '"program_misses":4' "${server_tmp}/ordered.jsonl"
-rm -rf "${server_tmp}"
 echo "12-job batch: queued == sequential; store hits deterministic"
+
+echo
+echo "=== job scheduler: fifo vs affinity bit-identity + convoy counters ==="
+# The same 12-job batch under both scheduling policies at 2 workers.
+# Reports must stay byte-identical to the sequential reference for
+# any policy — the scheduler only reorders dispatch, never results.
+# With >= 2 workers, fifo sends same-dataset neighbours (g1/g2,
+# f1/f2) into the pool together, so one blocks on the other's
+# in-flight capture (store waits > 0); affinity parks the sibling
+# until its warmer lands, so it must report zero trace/program
+# waits, one warmer per keyed lane, and convoys avoided.
+"${server_bin}" --sched fifo --jobs-threads 2 --no-timing \
+    < "${server_tmp}/batch12.jsonl" > "${server_tmp}/fifo.jsonl"
+"${server_bin}" --sched affinity --jobs-threads 2 --no-timing \
+    < "${server_tmp}/batch12.jsonl" > "${server_tmp}/affinity.jsonl"
+diff "${server_tmp}/seq.jsonl" "${server_tmp}/fifo.jsonl"
+diff "${server_tmp}/seq.jsonl" "${server_tmp}/affinity.jsonl"
+"${server_bin}" --sched fifo --jobs-threads 2 --stats \
+    < "${server_tmp}/batch12.jsonl" | tail -1 \
+    > "${server_tmp}/fifo_stats.json"
+"${server_bin}" --sched affinity --jobs-threads 2 --stats \
+    < "${server_tmp}/batch12.jsonl" | tail -1 \
+    > "${server_tmp}/affinity_stats.json"
+grep -q '"policy":"affinity"' "${server_tmp}/affinity_stats.json"
+grep -q '"trace_waits":0,"program_waits":0' \
+    "${server_tmp}/affinity_stats.json"
+grep -q '"warmers":4' "${server_tmp}/affinity_stats.json"
+fifo_waits="$(grep -o '"trace_waits":[0-9]*' \
+    "${server_tmp}/fifo_stats.json" | grep -o '[0-9]*$')"
+aff_convoys="$(grep -o '"convoy_avoided":[0-9]*' \
+    "${server_tmp}/affinity_stats.json" | grep -o '[0-9]*$')"
+test "${fifo_waits}" -gt 0
+test "${aff_convoys}" -gt 0
+rm -rf "${server_tmp}"
+echo "policies bit-identical; fifo blocked in-store ${fifo_waits}x," \
+    "affinity parked instead (${aff_convoys} convoys avoided)"
+
+echo
+echo "=== server throughput bench smoke (scheduler gate) ==="
+# Gates the affinity-vs-fifo jobs/sec claim (>= 1.3x at >= 4
+# workers) on hosts wide enough to overlap captures — the binary
+# arms the gate itself when hardware_concurrency >= 4; narrower
+# hosts still assert per-job cycle bit-identity across every
+# policy x width cell.
+(cd "${prefix}" && SC_BENCH_SMOKE=1 bench/server_throughput)
 
 # Keep the tracked bench snapshots in sync with what this run
 # produced (bench/results/README.md describes provenance; re-bless

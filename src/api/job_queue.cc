@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/diagnostics.hh"
+#include "common/config.hh"
 #include "common/logging.hh"
 
 namespace sc::api {
@@ -33,6 +34,18 @@ percentile(std::vector<double> samples, double p)
                      samples.begin() + static_cast<std::ptrdiff_t>(rank),
                      samples.end());
     return samples[rank];
+}
+
+/** Concurrent-execution cap for the scheduler: how many jobs the
+ *  queue's pool can actually run at once. */
+unsigned
+schedSlots(unsigned workers)
+{
+    if (workers == 0)
+        return std::max(1u, ThreadPool::global().numWorkers());
+    if (workers == 1)
+        return 1; // inline at submit(): strictly sequential
+    return workers;
 }
 
 } // namespace
@@ -73,6 +86,32 @@ JobReport::toJsonValue(bool include_timing) const
     return out;
 }
 
+LatencyReservoir::LatencyReservoir(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      rng_(0x9e3779b97f4a7c15ULL)
+{
+}
+
+void
+LatencyReservoir::record(double seconds)
+{
+    ++seen_;
+    if (samples_.size() < capacity_) {
+        samples_.push_back(seconds);
+        return;
+    }
+    // Algorithm R: replace a random slot with probability
+    // capacity/seen, so every observation is retained with equal
+    // probability. Deterministic xorshift64 — percentiles of a
+    // given stream are reproducible.
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    const std::uint64_t slot = rng_ % seen_;
+    if (slot < capacity_)
+        samples_[static_cast<std::size_t>(slot)] = seconds;
+}
+
 std::string
 JobQueueStats::str() const
 {
@@ -80,12 +119,18 @@ JobQueueStats::str() const
     os << "jobs: " << submitted << " submitted | " << rejected
        << " rejected | " << completed << " completed | " << failed
        << " failed";
+    if (cancelled)
+        os << " | " << cancelled << " cancelled";
     os << " | " << jobsPerSecond << " jobs/s";
     os << " | latency p50 " << p50LatencySeconds * 1e3 << " ms, p99 "
        << p99LatencySeconds * 1e3 << " ms";
     os << " | store: traces " << traceHits << " hits / "
        << traceMisses << " misses, programs " << programHits
        << " hits / " << programMisses << " misses";
+    os << " | sched " << schedPolicyName(scheduler.policy) << ": "
+       << scheduler.warmers << " warmers, " << scheduler.convoyAvoided
+       << " convoys avoided, " << traceWaits + programWaits
+       << " store waits";
     return os.str();
 }
 
@@ -97,6 +142,7 @@ JobQueueStats::toJsonValue() const
     out.set("rejected", JsonValue::number(rejected));
     out.set("completed", JsonValue::number(completed));
     out.set("failed", JsonValue::number(failed));
+    out.set("cancelled", JsonValue::number(cancelled));
     out.set("wall_seconds", JsonValue::number(wallSeconds));
     out.set("jobs_per_second", JsonValue::number(jobsPerSecond));
     out.set("p50_latency_seconds",
@@ -108,16 +154,52 @@ JobQueueStats::toJsonValue() const
     store.set("trace_misses", JsonValue::number(traceMisses));
     store.set("program_hits", JsonValue::number(programHits));
     store.set("program_misses", JsonValue::number(programMisses));
+    store.set("trace_waits", JsonValue::number(traceWaits));
+    store.set("program_waits", JsonValue::number(programWaits));
     out.set("artifact_store", std::move(store));
+    JsonValue sched = JsonValue::object();
+    sched.set("policy",
+              JsonValue::str(schedPolicyName(scheduler.policy)));
+    sched.set("inflight", JsonValue::number(scheduler.inflight));
+    sched.set("parked", JsonValue::number(scheduler.parked));
+    sched.set("waiting_for_slot",
+              JsonValue::number(scheduler.waitingForSlot));
+    sched.set("warmers", JsonValue::number(scheduler.warmers));
+    sched.set("convoy_avoided",
+              JsonValue::number(scheduler.convoyAvoided));
+    sched.set("cancelled", JsonValue::number(scheduler.cancelled));
+    JsonValue lanes = JsonValue::array();
+    for (const auto &[dataset, jobs] : scheduler.laneJobs) {
+        JsonValue lane = JsonValue::object();
+        lane.set("dataset", JsonValue::str(dataset));
+        lane.set("jobs", JsonValue::number(jobs));
+        lanes.push(std::move(lane));
+    }
+    sched.set("lanes", std::move(lanes));
+    out.set("scheduler", std::move(sched));
     return out;
 }
 
-JobQueue::JobQueue(unsigned workers)
-    : start_(std::chrono::steady_clock::now()),
-      store_before_(ArtifactStore::global().stats())
+SchedPolicy
+JobQueue::defaultPolicy()
 {
-    if (workers)
-        own_pool_.emplace(workers);
+    // The loader rejected anything but fifo|affinity at startup.
+    const auto parsed = parseSchedPolicy(config().jobSched);
+    return parsed ? *parsed : SchedPolicy::Affinity;
+}
+
+JobQueue::JobQueue(unsigned workers, std::optional<SchedPolicy> policy)
+    : start_(std::chrono::steady_clock::now()),
+      store_before_(ArtifactStore::global().stats()),
+      sched_(policy ? *policy : defaultPolicy(), schedSlots(workers))
+{
+    // workers here means *concurrent executors*: a dedicated pool of
+    // N >= 2 spawns N worker threads (ThreadPool counts the caller,
+    // which never executes queue jobs, so size up by one).
+    if (workers == 1)
+        own_pool_.emplace(1);
+    else if (workers >= 2)
+        own_pool_.emplace(workers + 1);
 }
 
 JobQueue::~JobQueue()
@@ -157,17 +239,28 @@ JobQueue::submit(JobSpec spec)
         return reject(std::move(report));
     }
 
-    auto job = std::make_shared<ResolvedJob>(std::move(*resolved.job));
-    auto done = std::make_shared<std::promise<JobReport>>();
-    auto future = done->get_future();
+    Pending pending;
+    pending.job =
+        std::make_shared<ResolvedJob>(std::move(*resolved.job));
+    pending.done = std::make_shared<std::promise<JobReport>>();
+    pending.admitted = admitted;
+    auto future = pending.done->get_future();
+
+    std::uint64_t seq = 0;
+    bool dispatch_now = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++submitted_;
         ++pending_;
+        seq = nextSeq_++;
+        dispatch_now =
+            sched_.admit(seq, pending.job->affinityKey,
+                         pending.job->spec.priority, admitted);
+        if (!dispatch_now)
+            held_.emplace(seq, std::move(pending));
     }
-    pool().submit([this, job, done, admitted] {
-        execute(job, done, admitted);
-    });
+    if (dispatch_now)
+        dispatch(seq, std::move(pending));
     return future;
 }
 
@@ -184,28 +277,36 @@ JobQueue::submitJson(std::string_view json_text)
 }
 
 void
-JobQueue::execute(const std::shared_ptr<ResolvedJob> &job,
-                  const std::shared_ptr<std::promise<JobReport>> &done,
-                  std::chrono::steady_clock::time_point admitted)
+JobQueue::dispatch(std::uint64_t seq, Pending &&pending)
+{
+    // Never called with mutex_ held: a size-1 pool runs the task —
+    // and the whole job — inline right here.
+    pool().submit([this, seq, pending = std::move(pending)] {
+        execute(seq, pending);
+    });
+}
+
+void
+JobQueue::execute(std::uint64_t seq, const Pending &pending)
 {
     const auto started = std::chrono::steady_clock::now();
+    const ResolvedJob &job = *pending.job;
 
     JobReport report;
-    report.id = job->spec.id;
-    report.spec = job->spec;
-    report.queueSeconds = secondsBetween(admitted, started);
+    report.id = job.spec.id;
+    report.spec = job.spec;
+    report.queueSeconds = secondsBetween(pending.admitted, started);
 
     // An exception escaping a ThreadPool task is fatal; everything a
     // job can throw (SimError from fatal(), VerifyError, bad_alloc)
     // must land in the report instead — one broken job must not take
     // down the batch.
     try {
-        Machine machine(job->config);
-        if (job->spec.mode == JobMode::Run)
-            report.run = machine.run(job->request,
-                                     job->spec.substrate);
+        Machine machine(job.config);
+        if (job.spec.mode == JobMode::Run)
+            report.run = machine.run(job.request, job.spec.substrate);
         else
-            report.comparison = machine.compare(job->request);
+            report.comparison = machine.compare(job.request);
         report.ok = true;
     } catch (const analysis::VerifyError &e) {
         report.errors.push_back(
@@ -216,21 +317,71 @@ JobQueue::execute(const std::shared_ptr<ResolvedJob> &job,
 
     const auto finished = std::chrono::steady_clock::now();
     report.execSeconds = secondsBetween(started, finished);
-    recordFinished(report, secondsBetween(admitted, finished));
-    done->set_value(std::move(report));
+
+    // Tell the scheduler this slot is free; it hands back the jobs to
+    // dispatch next (a completed warmer releases its parked lane).
+    std::vector<std::pair<std::uint64_t, Pending>> next;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (report.ok)
+            ++completed_;
+        else
+            ++failed_;
+        latencies_.record(secondsBetween(pending.admitted, finished));
+        for (const std::uint64_t s : sched_.onComplete(seq, finished)) {
+            const auto it = held_.find(s);
+            if (it == held_.end())
+                continue; // cancelled between decisions: impossible
+                          // today (both run under mutex_), belt only
+            next.emplace_back(s, std::move(it->second));
+            held_.erase(it);
+        }
+    }
+    pending.done->set_value(std::move(report));
+    for (auto &[s, p] : next)
+        dispatch(s, std::move(p));
+    // Count this job done only after its future is satisfied, so a
+    // returning drain() means every future is ready, not just every
+    // execution finished.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0)
+            idle_.notify_all();
+    }
 }
 
-void
-JobQueue::recordFinished(const JobReport &report, double latency)
+std::size_t
+JobQueue::cancel(const std::string &id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (report.ok)
-        ++completed_;
-    else
-        ++failed_;
-    latencies_.push_back(latency);
-    if (--pending_ == 0)
-        idle_.notify_all();
+    std::vector<Pending> dropped;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = held_.begin(); it != held_.end();) {
+            if (it->second.job->spec.id == id &&
+                sched_.cancel(it->first)) {
+                dropped.push_back(std::move(it->second));
+                it = held_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        cancelled_ += dropped.size();
+    }
+    for (Pending &pending : dropped) {
+        JobReport report;
+        report.id = pending.job->spec.id;
+        report.spec = pending.job->spec;
+        report.errors.push_back(
+            {"", "cancelled by JobQueue::cancel()"});
+        pending.done->set_value(std::move(report));
+    }
+    if (!dropped.empty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_ -= dropped.size();
+        if (pending_ == 0)
+            idle_.notify_all();
+    }
+    return dropped.size();
 }
 
 void
@@ -251,7 +402,9 @@ JobQueue::stats() const
         out.rejected = rejected_;
         out.completed = completed_;
         out.failed = failed_;
-        latencies = latencies_;
+        out.cancelled = cancelled_;
+        out.scheduler = sched_.stats();
+        latencies = latencies_.samples();
     }
     out.wallSeconds =
         secondsBetween(start_, std::chrono::steady_clock::now());
@@ -269,6 +422,10 @@ JobQueue::stats() const
     out.programHits = now.programs.hits - store_before_.programs.hits;
     out.programMisses =
         now.programs.misses - store_before_.programs.misses;
+    out.traceWaits = now.traces.inflightWaits -
+                     store_before_.traces.inflightWaits;
+    out.programWaits = now.programs.inflightWaits -
+                       store_before_.programs.inflightWaits;
     return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "api/artifact_store.hh"
 #include "common/logging.hh"
 #include "graph/datasets.hh"
 #include "graph/io.hh"
@@ -116,6 +117,9 @@ JobSpec::toJsonValue() const
     out.set("version", JsonValue::number(kSchemaVersion));
     if (!id.empty())
         out.set("id", JsonValue::str(id));
+    if (priority != 0)
+        out.set("priority",
+                JsonValue::number(std::uint64_t(priority)));
     out.set("workload", JsonValue::str(workloadName(workload)));
     if (mode != JobMode::Compare)
         out.set("mode", JsonValue::str(jobModeName(mode)));
@@ -413,6 +417,9 @@ parseJobSpec(std::string_view json_text)
             }
         } else if (name == "id") {
             reader.readString(name, value, spec.id);
+        } else if (name == "priority") {
+            if (reader.readUint(name, value, u, 0, 100))
+                spec.priority = static_cast<int>(u);
         } else if (name == "workload") {
             saw_workload = true;
             if (reader.readChoice(
@@ -606,6 +613,8 @@ validateJobSpec(const JobSpec &spec)
     if (spec.options.hostThreads > 1024)
         diag(errors, "options.host_threads",
              "out of range (expected 0..1024)");
+    if (spec.priority < 0 || spec.priority > 100)
+        diag(errors, "priority", "out of range (expected 0..100)");
     return errors;
 }
 
@@ -786,6 +795,25 @@ resolveJob(const JobSpec &spec)
         break;
       }
     }
+
+    // Dataset-affinity key = the store trace key this job will hit
+    // (mirrors Machine's routing: gpm/fsm go through the store, the
+    // tensor workloads don't, and a disabled cache shares nothing).
+    if (ArtifactStore::resolveEnabled(spec.options.artifactCache)) {
+        switch (spec.workload) {
+          case RunRequest::Workload::Gpm:
+            job.affinityKey = ArtifactStore::gpmTraceKey(
+                spec.app, *job.graph, spec.options.rootStride);
+            break;
+          case RunRequest::Workload::Fsm:
+            job.affinityKey = ArtifactStore::fsmTraceKey(
+                *job.labeledGraph, spec.minSupport);
+            break;
+          default:
+            break;
+        }
+    }
+
     out.job = std::move(job);
     return out;
 }

@@ -68,6 +68,12 @@ struct JobSpec
 
     std::string id; ///< optional client tag, echoed in the report
 
+    /** Scheduling priority, 0 (default) .. 100. Higher runs earlier
+     *  under SchedPolicy::Affinity when jobs wait for a worker slot;
+     *  starvation-free aging keeps low-priority jobs progressing.
+     *  Never changes results — only dispatch order. */
+    int priority = 0;
+
     RunRequest::Workload workload = RunRequest::Workload::Gpm;
     JobMode mode = JobMode::Compare;
     /** Substrate for mode=Run (Compare always times both). */
@@ -141,6 +147,13 @@ struct ResolvedJob
     JobSpec spec;
     arch::SparseCoreConfig config;
     RunRequest request;
+
+    /** Dataset-affinity key: the ArtifactStore trace key this job
+     *  will capture or replay (workload + dataset content fingerprint
+     *  + sampling), or "" when the job shares no store artifacts
+     *  (tensor workloads; artifact cache disabled). The JobQueue's
+     *  affinity scheduler groups jobs into lanes by this key. */
+    std::string affinityKey;
 
     std::shared_ptr<const graph::CsrGraph> graph;
     std::shared_ptr<const graph::LabeledGraph> labeledGraph;

@@ -43,6 +43,9 @@ struct CacheStats
     std::uint64_t hits = 0;      ///< ready or in-flight entry reused
     std::uint64_t misses = 0;    ///< builder invocations (== builds)
     std::uint64_t evictions = 0; ///< entries dropped by the LRU bound
+    /** Hits that blocked on another thread's in-flight build — the
+     *  convoy signal the affinity job scheduler minimizes. */
+    std::uint64_t inflightWaits = 0;
     std::size_t entries = 0;     ///< resident entries
     std::size_t bytes = 0;       ///< resident bytes (pinned included)
     std::size_t capacityBytes = 0; ///< 0 = unbounded
@@ -101,6 +104,7 @@ class LruCache
             // its result instead of building twice.
             auto future = in->second;
             ++hits_;
+            ++inflightWaits_;
             lock.unlock();
             return future.get();
         }
@@ -177,6 +181,7 @@ class LruCache
         s.hits = hits_;
         s.misses = misses_;
         s.evictions = evictions_;
+        s.inflightWaits = inflightWaits_;
         s.entries = map_.size();
         s.bytes = bytes_;
         s.capacityBytes = capacity_;
@@ -188,7 +193,7 @@ class LruCache
     resetStats()
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        hits_ = misses_ = evictions_ = 0;
+        hits_ = misses_ = evictions_ = inflightWaits_ = 0;
     }
 
   private:
@@ -232,6 +237,7 @@ class LruCache
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t inflightWaits_ = 0;
     std::size_t bytes_ = 0;
 };
 

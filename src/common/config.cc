@@ -42,6 +42,13 @@ loadConfig(
         cfg.replay = *v;
     }
 
+    if (const auto v = lookup("SC_JOB_SCHED")) {
+        if (!oneOf(*v, {"fifo", "affinity"}))
+            fatal("SC_JOB_SCHED='%s' (expected fifo|affinity)",
+                  v->c_str());
+        cfg.jobSched = *v;
+    }
+
     if (const auto v = lookup("SC_VERIFY"))
         cfg.verify = (*v)[0] != '0';
 
@@ -128,6 +135,11 @@ describeConfig()
         "SC_REPLAY", cfg.replay, set("SC_REPLAY"),
         "auto|event|bytecode",
         "trace replay engine (auto = bytecode)"));
+    knobs.push_back(row(
+        "SC_JOB_SCHED", cfg.jobSched, set("SC_JOB_SCHED"),
+        "fifo|affinity",
+        "JobQueue scheduling policy (affinity parks cold-dataset "
+        "siblings)"));
     knobs.push_back(row(
         "SC_VERIFY",
         cfg.verify ? (*cfg.verify ? "1" : "0") : "build-type",

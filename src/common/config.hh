@@ -16,6 +16,7 @@
  * The knobs:
  *
  *   SC_REPLAY              auto|event|bytecode   trace replay engine
+ *   SC_JOB_SCHED           fifo|affinity         JobQueue scheduling policy
  *   SC_VERIFY              0|1                   stream-lifetime verifier
  *   SC_ARTIFACT_CACHE      off|on|0|1            content-keyed store
  *   SC_ARTIFACT_CACHE_BYTES <bytes>              per-cache LRU budget
@@ -49,6 +50,8 @@ struct Config
 {
     /** SC_REPLAY: "auto" (= bytecode), "event" or "bytecode". */
     std::string replay = "auto";
+    /** SC_JOB_SCHED: "fifo" or "affinity" (the default). */
+    std::string jobSched = "affinity";
     /** SC_VERIFY: nullopt = build-type default (debug on). */
     std::optional<bool> verify;
     /** SC_ARTIFACT_CACHE (default on). */

@@ -56,6 +56,13 @@ class ThreadPool
     /** Host threads participating in forEach (workers + caller). */
     unsigned numThreads() const { return numThreads_; }
 
+    /** Spawned worker threads (numThreads() - 1). 0 means submit()
+     *  runs tasks inline on the calling thread. */
+    unsigned numWorkers() const
+    {
+        return static_cast<unsigned>(queues_.size());
+    }
+
     /**
      * The process-wide pool. Sized by the SC_HOST_THREADS environment
      * variable when set, else std::thread::hardware_concurrency().

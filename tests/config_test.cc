@@ -38,6 +38,7 @@ TEST(Config, Defaults)
 {
     const Config cfg = load({});
     EXPECT_EQ(cfg.replay, "auto");
+    EXPECT_EQ(cfg.jobSched, "affinity");
     EXPECT_FALSE(cfg.verify.has_value());
     EXPECT_TRUE(cfg.artifactCache);
     EXPECT_EQ(cfg.artifactCacheBytes, std::size_t{1} << 30);
@@ -52,6 +53,7 @@ TEST(Config, ParsesEveryKnob)
 {
     const Config cfg = load({
         {"SC_REPLAY", "event"},
+        {"SC_JOB_SCHED", "fifo"},
         {"SC_VERIFY", "1"},
         {"SC_ARTIFACT_CACHE", "off"},
         {"SC_ARTIFACT_CACHE_BYTES", "1048576"},
@@ -62,6 +64,7 @@ TEST(Config, ParsesEveryKnob)
         {"SC_BENCH_SMOKE", "1"},
     });
     EXPECT_EQ(cfg.replay, "event");
+    EXPECT_EQ(cfg.jobSched, "fifo");
     ASSERT_TRUE(cfg.verify.has_value());
     EXPECT_TRUE(*cfg.verify);
     EXPECT_FALSE(cfg.artifactCache);
@@ -85,6 +88,7 @@ TEST(Config, LoadBearingKnobsRejectBadValues)
     // A typo in SC_REPLAY or the cache knobs must fail loudly, not
     // silently run a different experiment.
     EXPECT_THROW(load({{"SC_REPLAY", "bytecod"}}), SimError);
+    EXPECT_THROW(load({{"SC_JOB_SCHED", "lifo"}}), SimError);
     EXPECT_THROW(load({{"SC_ARTIFACT_CACHE", "maybe"}}), SimError);
     EXPECT_THROW(load({{"SC_ARTIFACT_CACHE_BYTES", "1GB"}}), SimError);
 }
@@ -111,7 +115,7 @@ TEST(Config, ProcessConfigIsStable)
 TEST(Config, DescribeCoversEveryKnob)
 {
     const auto knobs = describeConfig();
-    ASSERT_EQ(knobs.size(), 9u);
+    ASSERT_EQ(knobs.size(), 10u);
     for (const ConfigKnob &k : knobs) {
         EXPECT_EQ(k.name.rfind("SC_", 0), 0u) << k.name;
         EXPECT_FALSE(k.value.empty()) << k.name;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <future>
 #include <string>
 #include <thread>
@@ -224,4 +226,185 @@ TEST(JobQueue, DrainWaitsForEverything)
     for (auto &f : futures)
         EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
                   std::future_status::ready);
+}
+
+TEST(JobQueue, DrainRacesConcurrentSubmitters)
+{
+    // drain() must be callable while other threads are still
+    // submitting: it waits for the jobs admitted so far and never
+    // deadlocks or crashes when more arrive concurrently (another
+    // TSan target).
+    JobQueue queue(2);
+    constexpr unsigned kSubmitters = 3;
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<std::future<JobReport>>> futures(
+        kSubmitters);
+    for (unsigned t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&queue, &futures, t] {
+            const auto mix = mixedBatch();
+            for (unsigned i = 0; i < 6; ++i)
+                futures[t].push_back(
+                    queue.submitJson(mix[(t + i) % mix.size()]));
+        });
+    }
+    for (unsigned i = 0; i < 8; ++i)
+        queue.drain();
+    for (auto &thread : submitters)
+        thread.join();
+    queue.drain();
+    for (auto &per_thread : futures)
+        for (auto &f : per_thread) {
+            ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                      std::future_status::ready);
+            EXPECT_TRUE(f.get().ok);
+        }
+}
+
+TEST(JobQueue, DestructorWaitsForParkedJobs)
+{
+    // Four jobs on one cold lane with a two-worker pool: the first
+    // dispatches as the warmer, the rest park. Destroying the queue
+    // immediately must wait for the whole chain — warmer completes,
+    // parked jobs release, everything finishes (TSan-clean).
+    std::vector<std::future<JobReport>> futures;
+    {
+        JobQueue queue(2, sc::api::SchedPolicy::Affinity);
+        for (int i = 0; i < 4; ++i)
+            futures.push_back(queue.submitJson(
+                R"({"version":1,"workload":"gpm","app":"T",)"
+                R"("dataset":"W"})"));
+    }
+    for (auto &f : futures) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_TRUE(f.get().ok);
+    }
+}
+
+TEST(JobQueue, CancelRemovesParkedJobsAndReportsThem)
+{
+    // One warmer plus three parked siblings on a cold lane; the
+    // siblings are cancelled while the warmer still runs. Their
+    // futures complete immediately with a structured "cancelled"
+    // diagnostic; the warmer is unaffected.
+    JobQueue queue(2, sc::api::SchedPolicy::Affinity);
+    auto warmer = queue.submitJson(
+        R"({"version":1,"id":"keeper","workload":"gpm","app":"T",)"
+        R"("dataset":"W"})");
+    std::vector<std::future<JobReport>> parked;
+    for (int i = 0; i < 3; ++i)
+        parked.push_back(queue.submitJson(
+            R"({"version":1,"id":"victim","workload":"gpm",)"
+            R"("app":"T","dataset":"W"})"));
+    const std::size_t cancelled = queue.cancel("victim");
+    EXPECT_EQ(cancelled, 3u);
+    for (auto &f : parked) {
+        const JobReport r = f.get();
+        EXPECT_FALSE(r.ok);
+        ASSERT_FALSE(r.errors.empty());
+        EXPECT_NE(r.errors[0].message.find("cancelled"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(warmer.get().ok);
+    const api::JobQueueStats stats = queue.stats();
+    EXPECT_EQ(stats.cancelled, 3u);
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.scheduler.cancelled, 3u);
+}
+
+TEST(JobQueue, CancelOfRunningOrFinishedJobsIsANoOp)
+{
+    // workers=1 executes inline: by the time cancel() runs, the job
+    // already finished — running/finished jobs are not cancellable.
+    JobQueue queue(1);
+    auto f = queue.submitJson(
+        R"({"version":1,"id":"done","workload":"gpm","app":"T",)"
+        R"("dataset":"W"})");
+    EXPECT_EQ(queue.cancel("done"), 0u);
+    EXPECT_EQ(queue.cancel("never-submitted"), 0u);
+    EXPECT_TRUE(f.get().ok);
+    EXPECT_EQ(queue.stats().cancelled, 0u);
+}
+
+TEST(JobQueue, PoliciesAndWidthsAgreeOnDeterministicReports)
+{
+    // The tentpole invariant: the --no-timing report of every job is
+    // byte-identical whatever the policy or queue width.
+    std::vector<std::string> reference;
+    for (const auto policy :
+         {sc::api::SchedPolicy::Fifo, sc::api::SchedPolicy::Affinity}) {
+        for (const unsigned workers : {1u, 3u}) {
+            JobQueue queue(workers, policy);
+            std::vector<std::future<JobReport>> futures;
+            for (const std::string &line : mixedBatch())
+                futures.push_back(queue.submitJson(line));
+            std::vector<std::string> dumped;
+            for (auto &f : futures)
+                dumped.push_back(f.get().toJsonValue(false).dump());
+            if (reference.empty())
+                reference = dumped;
+            else
+                EXPECT_EQ(dumped, reference)
+                    << sc::api::schedPolicyName(policy) << " x"
+                    << workers;
+        }
+    }
+}
+
+TEST(JobQueue, StatsExposeSchedulerCounters)
+{
+    JobQueue queue(1, sc::api::SchedPolicy::Affinity);
+    const std::string job =
+        R"({"version":1,"workload":"gpm","app":"T","dataset":"W"})";
+    EXPECT_TRUE(queue.submitJson(job).get().ok);
+    EXPECT_TRUE(queue.submitJson(job).get().ok);
+    const api::JobQueueStats stats = queue.stats();
+    EXPECT_EQ(stats.scheduler.policy, sc::api::SchedPolicy::Affinity);
+    EXPECT_EQ(stats.scheduler.warmers, 1u);
+    ASSERT_EQ(stats.scheduler.laneJobs.size(), 1u);
+    EXPECT_EQ(stats.scheduler.laneJobs[0].second, 2u);
+    EXPECT_EQ(stats.scheduler.laneJobs[0].first.rfind("gpm/", 0), 0u);
+    const std::string dumped = stats.toJsonValue().dump();
+    EXPECT_NE(dumped.find("\"scheduler\""), std::string::npos);
+    EXPECT_NE(dumped.find("\"convoy_avoided\""), std::string::npos);
+    EXPECT_NE(dumped.find("\"lanes\""), std::string::npos);
+    EXPECT_NE(dumped.find("\"trace_waits\""), std::string::npos);
+}
+
+TEST(LatencyReservoir, BoundsMemoryAtCapacity)
+{
+    api::LatencyReservoir reservoir(64);
+    for (int i = 0; i < 10000; ++i)
+        reservoir.record(static_cast<double>(i));
+    EXPECT_EQ(reservoir.samples().size(), 64u);
+    EXPECT_EQ(reservoir.count(), 10000u);
+    for (const double s : reservoir.samples()) {
+        EXPECT_GE(s, 0.0);
+        EXPECT_LT(s, 10000.0);
+    }
+}
+
+TEST(LatencyReservoir, KeepsEverythingBelowCapacity)
+{
+    api::LatencyReservoir reservoir(128);
+    for (int i = 0; i < 100; ++i)
+        reservoir.record(static_cast<double>(i));
+    EXPECT_EQ(reservoir.samples().size(), 100u);
+    EXPECT_EQ(reservoir.count(), 100u);
+}
+
+TEST(LatencyReservoir, MedianStaysNearTheStreamMedian)
+{
+    // A uniform 0..1 ramp of 50k observations through a 512-slot
+    // reservoir: the retained sample's median must stay close to the
+    // stream's 0.5 (deterministic generator, so this is a fixed
+    // result, not a flaky statistical bound).
+    api::LatencyReservoir reservoir(512);
+    for (int i = 0; i < 50000; ++i)
+        reservoir.record(i / 50000.0);
+    std::vector<double> samples = reservoir.samples();
+    ASSERT_EQ(samples.size(), 512u);
+    std::sort(samples.begin(), samples.end());
+    const double median = samples[samples.size() / 2];
+    EXPECT_NEAR(median, 0.5, 0.1);
 }

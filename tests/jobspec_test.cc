@@ -64,6 +64,7 @@ validCorpus()
         R"({"version":1,"workload":"spmspm","dataset":"C","dataset_b":"E","algorithm":"inner"})",
         R"({"version":1,"workload":"ttv","dataset":"Ch","options":{"stride":8,"verify":false,"replay":"event"}})",
         R"({"version":1,"workload":"ttm","dataset":"U","options":{"stride":16,"host_threads":2,"kernel":"scalar","index_policy":"array","artifact_cache":false}})",
+        R"({"version":1,"id":"p","priority":9,"workload":"gpm","app":"T","dataset":"W"})",
     };
     return corpus;
 }
@@ -78,6 +79,96 @@ TEST(JobSpec, ParsesMinimalJob)
     EXPECT_EQ(r.spec->workload, api::RunRequest::Workload::Gpm);
     EXPECT_EQ(r.spec->dataset, "W");
     EXPECT_EQ(r.spec->mode, api::JobMode::Compare);
+}
+
+TEST(JobSpec, PriorityParsesValidatesAndRoundTrips)
+{
+    // Default 0 is omitted from the canonical form (back-compat with
+    // pre-priority v1 documents); nonzero values round-trip.
+    const auto plain = parseJobSpec(
+        R"({"version":1,"workload":"gpm","app":"T","dataset":"W"})");
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(plain.spec->priority, 0);
+    EXPECT_EQ(plain.spec->toJson().find("priority"),
+              std::string::npos);
+
+    const auto high = parseJobSpec(
+        R"({"version":1,"priority":7,"workload":"fsm","dataset":"C",)"
+        R"("min_support":500})");
+    ASSERT_TRUE(high.ok()) << diagStr(high.errors);
+    EXPECT_EQ(high.spec->priority, 7);
+    const auto round = parseJobSpec(high.spec->toJson());
+    ASSERT_TRUE(round.ok());
+    EXPECT_EQ(round.spec->priority, 7);
+
+    // Out-of-range and wrong-typed priorities are structured errors.
+    EXPECT_TRUE(hasField(
+        parseJobSpec(R"({"version":1,"priority":101,)"
+                     R"("workload":"gpm","dataset":"W"})")
+            .errors,
+        "priority"));
+    EXPECT_TRUE(hasField(
+        parseJobSpec(R"({"version":1,"priority":-1,)"
+                     R"("workload":"gpm","dataset":"W"})")
+            .errors,
+        "priority"));
+    EXPECT_TRUE(hasField(
+        parseJobSpec(R"({"version":1,"priority":"high",)"
+                     R"("workload":"gpm","dataset":"W"})")
+            .errors,
+        "priority"));
+    // validateJobSpec catches a bad directly-built spec too.
+    api::JobSpec spec;
+    spec.dataset = "W";
+    spec.priority = 500;
+    EXPECT_TRUE(hasField(validateJobSpec(spec), "priority"));
+}
+
+TEST(JobSpec, ResolveExposesDatasetAffinityKeys)
+{
+    // gpm/fsm jobs route through the ArtifactStore, so their
+    // affinity key is the store trace key; tensor workloads share no
+    // store artifacts and get no affinity.
+    const auto gpm = parseJobSpec(
+        R"({"version":1,"workload":"gpm","app":"T","dataset":"W"})");
+    ASSERT_TRUE(gpm.ok());
+    const auto gpm_resolved = resolveJob(*gpm.spec);
+    ASSERT_TRUE(gpm_resolved.ok());
+    EXPECT_EQ(gpm_resolved.job->affinityKey.rfind("gpm/T/g", 0), 0u);
+
+    const auto fsm = parseJobSpec(
+        R"({"version":1,"workload":"fsm","dataset":"C",)"
+        R"("min_support":500})");
+    ASSERT_TRUE(fsm.ok());
+    const auto fsm_resolved = resolveJob(*fsm.spec);
+    ASSERT_TRUE(fsm_resolved.ok());
+    EXPECT_EQ(fsm_resolved.job->affinityKey.rfind("fsm/lg", 0), 0u);
+
+    const auto ttv = parseJobSpec(
+        R"({"version":1,"workload":"ttv","dataset":"Ch"})");
+    ASSERT_TRUE(ttv.ok());
+    const auto ttv_resolved = resolveJob(*ttv.spec);
+    ASSERT_TRUE(ttv_resolved.ok());
+    EXPECT_TRUE(ttv_resolved.job->affinityKey.empty());
+
+    // Same dataset + sampling -> same lane; different dataset or
+    // sampling -> different lane.
+    const auto again = resolveJob(*gpm.spec);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.job->affinityKey, gpm_resolved.job->affinityKey);
+    auto strided = *gpm.spec;
+    strided.options.rootStride = 4;
+    const auto strided_resolved = resolveJob(strided);
+    ASSERT_TRUE(strided_resolved.ok());
+    EXPECT_NE(strided_resolved.job->affinityKey,
+              gpm_resolved.job->affinityKey);
+
+    // A disabled artifact cache shares nothing: no affinity lane.
+    auto uncached = *gpm.spec;
+    uncached.options.artifactCache = false;
+    const auto uncached_resolved = resolveJob(uncached);
+    ASSERT_TRUE(uncached_resolved.ok());
+    EXPECT_TRUE(uncached_resolved.job->affinityKey.empty());
 }
 
 TEST(JobSpec, CanonicalJsonRoundTrips)
