@@ -5,12 +5,20 @@
  * graph) point fetches its trace and compiled program from the
  * ArtifactStore — captured and compiled exactly once — and replays
  * them across the SU ladder independently on the host pool.
+ *
+ * Every ladder point also self-gates the static cost-bound analysis:
+ * the [lower, upper] interval summarizeTrace derives for the point's
+ * config must bracket the dynamically simulated cycles (check.sh
+ * greps the confirmation line).
  */
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "analysis/summary.hh"
 #include "backend/sparsecore_backend.hh"
 #include "bench_util.hh"
 #include "trace/replay.hh"
@@ -24,6 +32,8 @@ main()
 
     bench::BenchReport report("fig12");
     const std::vector<unsigned> su_counts = {1, 2, 4, 8, 16};
+    std::atomic<unsigned> bracketed{0};
+    std::atomic<unsigned> ladder_points{0};
     for (const gpm::GpmApp app : gpm::allGpmApps()) {
         const auto keys = graph::smallGraphKeys();
         using Row = std::vector<std::string>;
@@ -43,6 +53,24 @@ main()
                     backend::SparseCoreBackend be(config);
                     const Cycles cyc =
                         bench::replayArtifacts(artifacts, be).cycles;
+                    const analysis::ProgramSummary summary =
+                        analysis::summarizeTrace(
+                            artifacts.cached->trace, config);
+                    ladder_points.fetch_add(1);
+                    if (summary.cost.valid &&
+                        summary.cost.contains(cyc))
+                        bracketed.fetch_add(1);
+                    else
+                        std::fprintf(
+                            stderr,
+                            "fig12: bounds [%llu, %llu] miss %llu "
+                            "cycles (%s on %s, %u SUs)\n",
+                            static_cast<unsigned long long>(
+                                summary.cost.lower),
+                            static_cast<unsigned long long>(
+                                summary.cost.upper),
+                            static_cast<unsigned long long>(cyc),
+                            gpm::gpmAppName(app), key.c_str(), sus);
                     if (sus == 1)
                         one_su = cyc;
                     row.push_back(Table::speedup(
@@ -57,5 +85,16 @@ main()
             table.addRow(row);
         report.emit(gpm::gpmAppName(app), table);
     }
+    if (bracketed.load() != ladder_points.load()) {
+        std::fprintf(stderr,
+                     "fig12: static bounds missed dynamic cycles at "
+                     "%u of %u ladder points\n",
+                     ladder_points.load() - bracketed.load(),
+                     ladder_points.load());
+        return 1;
+    }
+    std::printf("fig12: static cost bounds bracket dynamic cycles at "
+                "all %u ladder points\n",
+                ladder_points.load());
     return 0;
 }

@@ -3,8 +3,10 @@
 # same suite with the runtime verifier hooks forced on, then again
 # under each forced trace-replay engine (SC_REPLAY=event|bytecode),
 # then the scverify static-verifier leg over the example programs,
-# the golden trace and the golden bytecode program, a clang-tidy leg
-# (skipped when the tool is absent),
+# the golden trace and the golden bytecode program, a scverify v2
+# leg diffing --json --summary output (diagnostics, pressure
+# profiles, cost bounds) against the blessed golden, a clang-tidy
+# leg (skipped when the tool is absent),
 # then a ThreadSanitizer build running the concurrency-sensitive
 # suites (thread pool, host-parallel mining, machine comparisons,
 # artifact-store/LRU-cache races), then an ASan+UBSan build running
@@ -57,6 +59,25 @@ echo
 echo "=== scverify: example programs + golden trace + bytecode ==="
 "${prefix}/tools/scverify" examples/asm/*.s \
     tests/data/golden_trace.bin tests/data/golden_trace.scbc
+
+echo
+echo "=== scverify v2: quantitative summaries vs blessed goldens ==="
+# --json --summary over every emitted kernel program, the rule
+# fixtures, the golden trace and the golden SCBC image must be
+# byte-identical to the blessed output (pins diagnostic ordering,
+# the pressure profiles and the cost bounds). The rule fixtures
+# carry error diagnostics by design, so the expected exit is 1.
+sv_tmp="$(mktemp -d)"
+sv_rc=0
+"${prefix}/tools/scverify" --json --summary \
+    examples/asm/*.s \
+    tests/data/scverify/*.s \
+    tests/data/golden_trace.bin tests/data/golden_trace.scbc \
+    > "${sv_tmp}/scverify.json" || sv_rc=$?
+test "${sv_rc}" -eq 1
+diff tests/data/scverify_golden.json "${sv_tmp}/scverify.json"
+rm -rf "${sv_tmp}"
+echo "scverify --json --summary output matches the blessed golden"
 
 echo
 echo "=== clang-tidy ==="
@@ -131,6 +152,14 @@ diff "${store_tmp}/off.csv" "${store_tmp}/on.csv"
 grep -q 'traces 0 hits / 36 misses | programs 144 hits / 36 misses' \
     "${store_tmp}/on.txt"
 grep -q 'traces 0 hits / 0 misses | programs 0 hits / 0 misses' \
+    "${store_tmp}/off.txt"
+# The bench self-gates the scverify-v2 claim at every ladder point:
+# the static [lower, upper] cycle interval must bracket the
+# dynamically simulated cycles (it exits nonzero and names the
+# offending point otherwise).
+grep -q 'static cost bounds bracket dynamic cycles at all' \
+    "${store_tmp}/on.txt"
+grep -q 'static cost bounds bracket dynamic cycles at all' \
     "${store_tmp}/off.txt"
 rm -rf "${store_tmp}"
 echo "cold/warm cycles bit-identical; warm run compiled 36/36 once"

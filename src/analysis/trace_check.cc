@@ -1,9 +1,19 @@
 #include "analysis/trace_check.hh"
 
+#include "arch/config.hh"
 #include "backend/exec_backend.hh"
 #include "trace/bytecode.hh"
 
 namespace sc::analysis {
+
+StreamLifetimeChecker::Options
+StreamLifetimeChecker::Options::forArch(
+    const arch::SparseCoreConfig &config)
+{
+    Options options;
+    options.maxLiveStreams = config.numStreamRegs;
+    return options;
+}
 
 using trace::Event;
 using trace::EventKind;

@@ -29,6 +29,10 @@ namespace sc::trace {
 class BytecodeProgram;
 } // namespace sc::trace
 
+namespace sc::arch {
+struct SparseCoreConfig;
+} // namespace sc::arch
+
 namespace sc::analysis {
 
 /**
@@ -46,6 +50,10 @@ class StreamLifetimeChecker
          *  a correctness error — Warning by default here, unlike the
          *  static pass. */
         Severity overflowSeverity = Severity::Warning;
+
+        /** Options for a concrete machine: the overflow capacity
+         *  comes from the job's ArchConfig, not the ISA default. */
+        static Options forArch(const arch::SparseCoreConfig &config);
     };
 
     StreamLifetimeChecker() = default;

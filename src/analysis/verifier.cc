@@ -6,6 +6,9 @@
 #include <set>
 #include <vector>
 
+#include "analysis/summary.hh"
+#include "arch/config.hh"
+
 namespace sc::analysis {
 
 using isa::Inst;
@@ -560,50 +563,75 @@ buildCfg(const Program &program)
 
 // ---------------- the fixpoint + diagnostic pass ----------------
 
-VerifyReport
-verify(const Program &program, const VerifyOptions &options)
+namespace {
+
+/** Fixpoint in-states, indexed like cfg.blocks (nullopt =
+ *  unreachable). Shared by verify() and summarizeProgram(). */
+struct Fixpoint
 {
-    VerifyReport report;
-    const Cfg cfg = buildCfg(program);
-    if (cfg.blocks.empty())
-        return report;
+    Cfg cfg;
+    std::vector<std::optional<AbsState>> in;
+};
 
-    // True when some edge out of the block leaves the program: Halt,
-    // fall-off-the-end, or a branch/jump target past the end (all of
-    // which the interpreter treats as a clean stop).
-    auto exits = [&](const Cfg::Block &b) {
-        const Inst &inst = program[b.last - 1];
-        if (inst.op == Opcode::Halt)
-            return true;
-        if (isBranch(inst.op))
-            return b.last >= program.size() ||
-                   !branchTarget(program, b.last - 1, inst.imm);
-        if (inst.op == Opcode::Jmp)
-            return !branchTarget(program, b.last - 1, inst.imm);
-        return b.last >= program.size();
-    };
+/** True when some edge out of the block leaves the program: Halt,
+ *  fall-off-the-end, or a branch/jump target past the end (all of
+ *  which the interpreter treats as a clean stop). */
+bool
+blockExits(const Program &program, const Cfg::Block &b)
+{
+    const Inst &inst = program[b.last - 1];
+    if (inst.op == Opcode::Halt)
+        return true;
+    if (isBranch(inst.op))
+        return b.last >= program.size() ||
+               !branchTarget(program, b.last - 1, inst.imm);
+    if (inst.op == Opcode::Jmp)
+        return !branchTarget(program, b.last - 1, inst.imm);
+    return b.last >= program.size();
+}
 
-    // Worklist fixpoint over block in-states.
-    std::vector<std::optional<AbsState>> in(cfg.blocks.size());
-    in[0] = AbsState{};
+/** Worklist fixpoint over block in-states (silent: no diagnostics). */
+Fixpoint
+runFixpoint(const Program &program, const VerifyOptions &options)
+{
+    Fixpoint fp;
+    fp.cfg = buildCfg(program);
+    if (fp.cfg.blocks.empty())
+        return fp;
+    fp.in.resize(fp.cfg.blocks.size());
+    fp.in[0] = AbsState{};
     std::vector<std::uint32_t> worklist{0};
     Transfer silent(options, nullptr);
     while (!worklist.empty()) {
         const std::uint32_t bi = worklist.back();
         worklist.pop_back();
-        const Cfg::Block &b = cfg.blocks[bi];
-        AbsState st = *in[bi];
+        const Cfg::Block &b = fp.cfg.blocks[bi];
+        AbsState st = *fp.in[bi];
         for (std::uint64_t pc = b.first; pc < b.last; ++pc)
             silent.exec(st, program[pc], pc);
         for (const std::uint32_t s : b.succs) {
-            if (!in[s]) {
-                in[s] = st;
+            if (!fp.in[s]) {
+                fp.in[s] = st;
                 worklist.push_back(s);
-            } else if (in[s]->merge(st)) {
+            } else if (fp.in[s]->merge(st)) {
                 worklist.push_back(s);
             }
         }
     }
+    return fp;
+}
+
+} // namespace
+
+VerifyReport
+verify(const Program &program, const VerifyOptions &options)
+{
+    VerifyReport report;
+    const Fixpoint fp = runFixpoint(program, options);
+    const Cfg &cfg = fp.cfg;
+    const auto &in = fp.in;
+    if (cfg.blocks.empty())
+        return report;
 
     // Diagnostic pass: each reachable block once, over its fixpoint
     // in-state, with duplicates (same rule, pc, sid) collapsed.
@@ -616,7 +644,7 @@ verify(const Program &program, const VerifyOptions &options)
         AbsState st = *in[bi];
         for (std::uint64_t pc = b.first; pc < b.last; ++pc)
             reporting.exec(st, program[pc], pc);
-        if (exits(b))
+        if (blockExits(program, b))
             reporting.atExit(st, b.last - 1);
     }
 
@@ -625,12 +653,69 @@ verify(const Program &program, const VerifyOptions &options)
         if (seen.emplace(static_cast<unsigned>(d.rule), d.pc, d.sid)
                 .second)
             report.diagnostics.push_back(std::move(d));
+    // Deterministic order regardless of worklist iteration: pc, then
+    // sid, then rule (pinned byte-for-byte by the --json goldens).
     std::stable_sort(report.diagnostics.begin(),
                      report.diagnostics.end(),
                      [](const Diagnostic &a, const Diagnostic &b) {
-                         return a.pc < b.pc;
+                         if (a.pc != b.pc)
+                             return a.pc < b.pc;
+                         if (a.sid != b.sid)
+                             return a.sid < b.sid;
+                         return static_cast<unsigned>(a.rule) <
+                                static_cast<unsigned>(b.rule);
                      });
     return report;
+}
+
+// ---------------- quantitative summary (summary.hh) ----------------
+
+ProgramSummary
+summarizeProgram(const Program &program, const VerifyOptions &options)
+{
+    ProgramSummary summary;
+    const Fixpoint fp = runFixpoint(program, options);
+    Transfer silent(options, nullptr);
+    for (std::uint32_t bi = 0; bi < fp.cfg.blocks.size(); ++bi) {
+        if (!fp.in[bi])
+            continue; // unreachable
+        const Cfg::Block &b = fp.cfg.blocks[bi];
+        AbsState st = *fp.in[bi];
+        for (std::uint64_t pc = b.first; pc < b.last; ++pc) {
+            const Inst &inst = program[pc];
+            if (isa::definesStream(inst.op))
+                ++summary.defines;
+            if (isa::freesStream(inst.op))
+                ++summary.frees;
+            silent.exec(st, inst, pc);
+            unsigned live = 0;
+            bool lost = st.sidsUnknown;
+            for (const auto &[sid, sa] : st.streams) {
+                if (isLive(sa.sv))
+                    ++live;
+                else if (sa.sv == Sv::Top)
+                    lost = true; // possibly live on some path
+            }
+            if (lost)
+                summary.pressureExact = false;
+            summary.profile.push_back(
+                {pc, live});
+            ++summary.points;
+            if (live > summary.maxPressure) {
+                summary.maxPressure = live;
+                summary.maxPressurePc = pc;
+            }
+        }
+    }
+    return summary;
+}
+
+VerifyOptions
+VerifyOptions::forArch(const arch::SparseCoreConfig &config)
+{
+    VerifyOptions options;
+    options.maxLiveStreams = config.numStreamRegs;
+    return options;
 }
 
 } // namespace sc::analysis

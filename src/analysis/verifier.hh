@@ -32,6 +32,10 @@
 #include "analysis/diagnostics.hh"
 #include "isa/stream_inst.hh"
 
+namespace sc::arch {
+struct SparseCoreConfig;
+} // namespace sc::arch
+
 namespace sc::analysis {
 
 /** Basic-block control-flow graph over a Program (pc = index). */
@@ -62,6 +66,10 @@ struct VerifyOptions
      *  overflow is an error for ISA programs; trace-level checkers
      *  downgrade it because the SMT virtualizes by spilling (§4.1). */
     Severity overflowSeverity = Severity::Error;
+
+    /** Options for a concrete machine: the overflow capacity comes
+     *  from the job's ArchConfig instead of the ISA default. */
+    static VerifyOptions forArch(const arch::SparseCoreConfig &config);
 };
 
 /** Statically verify a program; diagnostics in program order. */

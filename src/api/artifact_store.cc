@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/trace_check.hh"
+#include "arch/config.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
 
@@ -22,6 +23,22 @@ std::size_t
 programBytes(const trace::BytecodeProgram &program)
 {
     return program.memoryBytes();
+}
+
+std::size_t
+verdictBytes(const analysis::VerifyReport &report)
+{
+    std::size_t bytes = sizeof(report);
+    for (const analysis::Diagnostic &d : report.diagnostics)
+        bytes += sizeof(d) + d.message.size();
+    return bytes;
+}
+
+std::size_t
+summaryBytes(const analysis::ProgramSummary &summary)
+{
+    return sizeof(summary) +
+           summary.profile.size() * sizeof(analysis::PressurePoint);
 }
 
 void
@@ -46,16 +63,20 @@ ArtifactStoreStats::str() const
     appendCounters(os, "traces", traces);
     os << " | ";
     appendCounters(os, "programs", programs);
+    os << " | ";
+    appendCounters(os, "verdicts", verdicts);
     os << " | resident "
        << (graphs.bytes + labeledGraphs.bytes + traces.bytes +
-           programs.bytes)
+           programs.bytes + verdicts.bytes)
        << " bytes";
     return os.str();
 }
 
 ArtifactStore::ArtifactStore(std::size_t capacity_bytes)
     : traces_(capacity_bytes, cachedTraceBytes),
-      programs_(capacity_bytes, programBytes)
+      programs_(capacity_bytes, programBytes),
+      verdicts_(capacity_bytes, verdictBytes),
+      summaries_(capacity_bytes, summaryBytes)
 {
 }
 
@@ -107,10 +128,10 @@ ArtifactStore::program(const std::string &trace_key,
     auto program = programs_.getOrBuild(programKey(trace_key), [&] {
         built = true;
         if (verify.value_or(analysis::verifyByDefault())) {
-            const analysis::VerifyReport report =
-                analysis::verifyTrace(tr);
-            if (report.hasErrors())
-                throw analysis::VerifyError(report.format());
+            const auto report =
+                verdict(trace_key, tr, isa::numStreamRegs);
+            if (report->hasErrors())
+                throw analysis::VerifyError(report->format());
         }
         return std::make_shared<const trace::BytecodeProgram>(
             trace::compileTrace(tr));
@@ -118,6 +139,35 @@ ArtifactStore::program(const std::string &trace_key,
     if (compiled)
         *compiled = built;
     return program;
+}
+
+std::shared_ptr<const analysis::VerifyReport>
+ArtifactStore::verdict(const std::string &trace_key,
+                       const trace::Trace &tr, unsigned capacity)
+{
+    return verdicts_.getOrBuild(verdictKey(trace_key, capacity), [&] {
+        analysis::StreamLifetimeChecker::Options options;
+        options.maxLiveStreams = capacity;
+        return std::make_shared<const analysis::VerifyReport>(
+            analysis::verifyTrace(tr, options));
+    });
+}
+
+std::shared_ptr<const analysis::ProgramSummary>
+ArtifactStore::summary(const std::string &trace_key,
+                       const trace::Trace &tr,
+                       const arch::SparseCoreConfig &config)
+{
+    return summaries_.getOrBuild(summaryKey(trace_key, config), [&] {
+        return std::make_shared<const analysis::ProgramSummary>(
+            analysis::summarizeTrace(tr, config));
+    });
+}
+
+std::shared_ptr<const ArtifactStore::CachedTrace>
+ArtifactStore::peekTrace(const std::string &key)
+{
+    return traces_.peek(key);
 }
 
 std::shared_ptr<const graph::CsrGraph>
@@ -141,6 +191,7 @@ ArtifactStore::stats() const
     stats.labeledGraphs = graph::labeledGraphCacheStats();
     stats.traces = traces_.stats();
     stats.programs = programs_.stats();
+    stats.verdicts = verdicts_.stats();
     return stats;
 }
 
@@ -149,6 +200,8 @@ ArtifactStore::clear()
 {
     traces_.clear();
     programs_.clear();
+    verdicts_.clear();
+    summaries_.clear();
 }
 
 std::string
@@ -194,6 +247,28 @@ ArtifactStore::programKey(const std::string &trace_key, bool fused)
     os << trace_key << "/scbc" << trace::bytecodeFormatVersion;
     if (fused)
         os << "f";
+    return os.str();
+}
+
+std::string
+ArtifactStore::verdictKey(const std::string &trace_key,
+                          unsigned capacity)
+{
+    std::ostringstream os;
+    os << trace_key << "/vfy" << capacity;
+    return os.str();
+}
+
+std::string
+ArtifactStore::summaryKey(const std::string &trace_key,
+                          const arch::SparseCoreConfig &config)
+{
+    // Only the arch fields the cost model reads (JobSpec's arch
+    // overrides) key the summary; pressure is config-independent.
+    std::ostringstream os;
+    os << trace_key << "/sum/su" << config.numSus << "w"
+       << config.suWindow << "bw" << config.aggregateBandwidth
+       << (config.nestedIntersection ? "n1" : "n0");
     return os.str();
 }
 

@@ -127,6 +127,10 @@ JobQueueStats::str() const
     os << " | store: traces " << traceHits << " hits / "
        << traceMisses << " misses, programs " << programHits
        << " hits / " << programMisses << " misses";
+    os << " | verify: " << verifyChecked << " checked, "
+       << verifyRejected << " program / " << pressureRejected
+       << " pressure rejects, " << verdictHits
+       << " re-checks skipped";
     os << " | sched " << schedPolicyName(scheduler.policy) << ": "
        << scheduler.warmers << " warmers, " << scheduler.convoyAvoided
        << " convoys avoided, " << traceWaits + programWaits
@@ -156,7 +160,16 @@ JobQueueStats::toJsonValue() const
     store.set("program_misses", JsonValue::number(programMisses));
     store.set("trace_waits", JsonValue::number(traceWaits));
     store.set("program_waits", JsonValue::number(programWaits));
+    store.set("verdict_hits", JsonValue::number(verdictHits));
+    store.set("verdict_misses", JsonValue::number(verdictMisses));
     out.set("artifact_store", std::move(store));
+    JsonValue verify = JsonValue::object();
+    verify.set("checked", JsonValue::number(verifyChecked));
+    verify.set("program_rejected",
+               JsonValue::number(verifyRejected));
+    verify.set("pressure_rejected",
+               JsonValue::number(pressureRejected));
+    out.set("verify", std::move(verify));
     JsonValue sched = JsonValue::object();
     sched.set("policy",
               JsonValue::str(schedPolicyName(scheduler.policy)));
@@ -237,6 +250,61 @@ JobQueue::submit(JobSpec spec)
     if (!resolved.ok()) {
         report.errors = std::move(resolved.errors);
         return reject(std::move(report));
+    }
+
+    // Admission-time verification, for jobs whose trace is already
+    // resident in the store (a warm dataset): the cached verdict and
+    // pressure summary are cheap to consult here, so a program that
+    // breaks the stream-lifetime contract — or exceeds the arch
+    // limits the job itself declared — is rejected with structured
+    // JobDiags before it costs a scheduler slot. Cold jobs verify at
+    // execution exactly as before (the trace does not exist yet), and
+    // jobs that declare no arch limits are never pressure-rejected.
+    if (!resolved.job->affinityKey.empty()) {
+        ArtifactStore &store = ArtifactStore::global();
+        if (const auto cached =
+                store.peekTrace(resolved.job->affinityKey)) {
+            const arch::SparseCoreConfig &cfg = resolved.job->config;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++verifyChecked_;
+            }
+            if (spec.options.verify.value_or(
+                    analysis::verifyByDefault())) {
+                const auto verdict =
+                    store.verdict(resolved.job->affinityKey,
+                                  cached->trace, cfg.numStreamRegs);
+                if (verdict->hasErrors()) {
+                    {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        ++verifyRejected_;
+                    }
+                    report.errors.push_back(
+                        {"program", verdict->format()});
+                    return reject(std::move(report));
+                }
+            }
+            if (spec.numSus) {
+                const auto summary = store.summary(
+                    resolved.job->affinityKey, cached->trace, cfg);
+                if (summary->maxPressure > *spec.numSus) {
+                    {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        ++pressureRejected_;
+                    }
+                    report.errors.push_back(
+                        {"arch.sus",
+                         strprintf("peak live-stream pressure %u "
+                                   "(first at event %llu) exceeds the "
+                                   "declared arch.sus budget of %u",
+                                   summary->maxPressure,
+                                   static_cast<unsigned long long>(
+                                       summary->maxPressurePc),
+                                   *spec.numSus)});
+                    return reject(std::move(report));
+                }
+            }
+        }
     }
 
     Pending pending;
@@ -403,6 +471,9 @@ JobQueue::stats() const
         out.completed = completed_;
         out.failed = failed_;
         out.cancelled = cancelled_;
+        out.verifyChecked = verifyChecked_;
+        out.verifyRejected = verifyRejected_;
+        out.pressureRejected = pressureRejected_;
         out.scheduler = sched_.stats();
         latencies = latencies_.samples();
     }
@@ -426,6 +497,9 @@ JobQueue::stats() const
                      store_before_.traces.inflightWaits;
     out.programWaits = now.programs.inflightWaits -
                        store_before_.programs.inflightWaits;
+    out.verdictHits = now.verdicts.hits - store_before_.verdicts.hits;
+    out.verdictMisses =
+        now.verdicts.misses - store_before_.verdicts.misses;
     return out;
 }
 

@@ -141,6 +141,17 @@ struct JobQueueStats
      *  affinity policy exists to avoid (it parks instead). */
     std::uint64_t traceWaits = 0;
     std::uint64_t programWaits = 0;
+    /** Verified-bit cache deltas: verdictHits = re-checks skipped. */
+    std::uint64_t verdictHits = 0;
+    std::uint64_t verdictMisses = 0;
+    /** Admission-time verification (warm-trace jobs only):
+     *  verifyChecked counts jobs whose resident trace was checked at
+     *  submit(); verifyRejected / pressureRejected split the
+     *  rejections between lifetime-rule failures ("program") and
+     *  declared-arch-limit pressure overflows ("arch.sus"). */
+    std::uint64_t verifyChecked = 0;
+    std::uint64_t verifyRejected = 0;
+    std::uint64_t pressureRejected = 0;
     /** Scheduler observability (policy, parked/warmer/convoy
      *  counters, per-dataset batch sizes). */
     SchedulerStats scheduler;
@@ -236,6 +247,9 @@ class JobQueue
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;
     std::uint64_t cancelled_ = 0;
+    std::uint64_t verifyChecked_ = 0;
+    std::uint64_t verifyRejected_ = 0;
+    std::uint64_t pressureRejected_ = 0;
     LatencyReservoir latencies_;
 };
 

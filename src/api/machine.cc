@@ -157,6 +157,23 @@ secondsBetween(std::chrono::steady_clock::time_point from,
     return std::chrono::duration<double>(to - from).count();
 }
 
+/** Store-backed verification for Event-mode replays: recall (or
+ *  compute exactly once) the trace's verified bit and throw the same
+ *  VerifyError trace::replay would. Callers then replay with
+ *  verify=false; the verdict is settled entirely before any timing
+ *  backend starts, so cycles are bit-identical either way. */
+void
+verifyViaStore(const std::string &key, const trace::Trace &tr,
+               std::optional<bool> verify)
+{
+    if (!verify.value_or(analysis::verifyByDefault()))
+        return;
+    const auto report =
+        ArtifactStore::global().verdict(key, tr, isa::numStreamRegs);
+    if (report->hasErrors())
+        throw analysis::VerifyError(report->format());
+}
+
 /**
  * The capture-once/replay-twice comparison core: the workload runs
  * functionally against a TraceRecorder once; the captured trace is
@@ -278,16 +295,17 @@ compareViaStore(const arch::SparseCoreConfig &config, ThreadPool &pool,
                 sc = trace::replayCompiled(*bc, be, /*verify=*/false);
             });
     } else {
+        verifyViaStore(key, tr, options.verify);
         parallelInvoke(
             pool,
             [&] {
                 backend::CpuBackend be(config.core, config.mem);
-                cpu = trace::replay(tr, be, options.verify,
+                cpu = trace::replay(tr, be, /*verify=*/false,
                                     trace::ReplayMode::Event);
             },
             [&] {
                 backend::SparseCoreBackend be(config);
-                sc = trace::replay(tr, be, options.verify,
+                sc = trace::replay(tr, be, /*verify=*/false,
                                    trace::ReplayMode::Event);
             });
     }
@@ -369,12 +387,14 @@ Machine::run(const RunRequest &request, Substrate substrate) const
                 rep = trace::replayCompiled(*bc, be, false);
             }
         } else if (substrate == Substrate::Cpu) {
+            verifyViaStore(key, tr, request.options.verify);
             backend::CpuBackend be(config_.core, config_.mem);
-            rep = trace::replay(tr, be, request.options.verify,
+            rep = trace::replay(tr, be, /*verify=*/false,
                                 trace::ReplayMode::Event);
         } else {
+            verifyViaStore(key, tr, request.options.verify);
             backend::SparseCoreBackend be(config_);
-            rep = trace::replay(tr, be, request.options.verify,
+            rep = trace::replay(tr, be, /*verify=*/false,
                                 trace::ReplayMode::Event);
         }
         out.trace.replaySeconds = secondsBetween(

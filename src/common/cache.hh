@@ -152,6 +152,17 @@ class LruCache
         return it->second->value;
     }
 
+    /** Lookup without building, counting, or refreshing LRU order —
+     *  for admission-time peeks that must not perturb the hit/miss
+     *  counters the smoke legs pin. */
+    ValuePtr
+    peek(const K &key)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = map_.find(key);
+        return it == map_.end() ? nullptr : it->second->value;
+    }
+
     /** Drop every resident entry (in-flight builds are unaffected;
      *  externally held shared_ptrs stay valid). Not counted as
      *  evictions. */

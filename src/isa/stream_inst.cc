@@ -145,6 +145,34 @@ isStreamOpcode(Opcode op)
     }
 }
 
+bool
+definesStream(Opcode op)
+{
+    switch (op) {
+      case Opcode::SRead:
+      case Opcode::SVRead:
+      case Opcode::SSub:
+      case Opcode::SInter:
+      case Opcode::SMerge:
+      case Opcode::SVMerge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+freesStream(Opcode op)
+{
+    return op == Opcode::SFree;
+}
+
+bool
+definesKvStream(Opcode op)
+{
+    return op == Opcode::SVRead || op == Opcode::SVMerge;
+}
+
 std::string
 Inst::toString() const
 {

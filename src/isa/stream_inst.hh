@@ -68,6 +68,16 @@ Opcode opcodeFromName(const std::string &mnemonic);
 /** True for the Table-1 stream extension opcodes. */
 bool isStreamOpcode(Opcode op);
 
+/** True when the opcode allocates a stream register (S_READ/S_VREAD
+ *  and the producing set ops) — the defines the pressure analysis
+ *  (analysis/summary.hh) counts. */
+bool definesStream(Opcode op);
+/** True when the opcode releases a stream register (S_FREE). */
+bool freesStream(Opcode op);
+/** True when the defined stream carries values (key/value lattice
+ *  point): S_VREAD and S_VMERGE. */
+bool definesKvStream(Opcode op);
+
 /** Number of general registers in the model. */
 constexpr unsigned numGprs = 32;
 /** Number of floating-point registers in the model. */

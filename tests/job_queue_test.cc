@@ -15,9 +15,11 @@
 #include <thread>
 #include <vector>
 
+#include "api/artifact_store.hh"
 #include "api/job_queue.hh"
 #include "api/jobspec.hh"
 #include "api/machine.hh"
+#include "trace/recorder.hh"
 
 using namespace sc;
 using api::JobQueue;
@@ -369,6 +371,162 @@ TEST(JobQueue, StatsExposeSchedulerCounters)
     EXPECT_NE(dumped.find("\"convoy_avoided\""), std::string::npos);
     EXPECT_NE(dumped.find("\"lanes\""), std::string::npos);
     EXPECT_NE(dumped.find("\"trace_waits\""), std::string::npos);
+}
+
+// ---------------- admission-time verification ----------------
+
+TEST(JobQueue, AdmissionRejectsWarmJobOverDeclaredSusBudget)
+{
+    // Cold submissions are never pressure-checked (nothing resident
+    // to analyze); once the dataset's trace is warm, a job declaring
+    // an arch.sus budget below the trace's peak live-stream pressure
+    // is rejected at submit() with a structured JobDiag — never a
+    // throw — before it reaches the scheduler.
+    // App TC keeps several streams live at once (the materializing
+    // triangle-count plan), unlike the nested-intersection apps whose
+    // trace-level pressure is 1.
+    api::ArtifactStore::global().clear();
+    JobQueue queue(1);
+    const std::string warmup =
+        R"({"version":1,"id":"warm","workload":"gpm","app":"TC",)"
+        R"("dataset":"W","mode":"run","substrate":"sparsecore"})";
+    EXPECT_TRUE(queue.submitJson(warmup).get().ok);
+
+    auto f = queue.submitJson(
+        R"({"version":1,"id":"tight","workload":"gpm","app":"TC",)"
+        R"("dataset":"W","mode":"run","substrate":"sparsecore",)"
+        R"("arch":{"sus":1}})");
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const JobReport r = f.get();
+    EXPECT_FALSE(r.ok);
+    ASSERT_FALSE(r.errors.empty());
+    EXPECT_EQ(r.errors[0].field, "arch.sus");
+    EXPECT_NE(r.errors[0].message.find("pressure"),
+              std::string::npos);
+    EXPECT_FALSE(r.run.has_value());
+    EXPECT_FALSE(r.comparison.has_value());
+
+    // A budget at or above the trace's peak pressure is admitted.
+    EXPECT_TRUE(queue
+                    .submitJson(R"({"version":1,"id":"roomy",)"
+                                R"("workload":"gpm","app":"TC",)"
+                                R"("dataset":"W","mode":"run",)"
+                                R"("substrate":"sparsecore",)"
+                                R"("arch":{"sus":8}})")
+                    .get()
+                    .ok);
+
+    const api::JobQueueStats stats = queue.stats();
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.pressureRejected, 1u);
+    EXPECT_EQ(stats.verifyRejected, 0u);
+    EXPECT_GE(stats.verifyChecked, 2u);
+    const std::string dumped = stats.toJsonValue().dump();
+    EXPECT_NE(dumped.find("\"pressure_rejected\":1"),
+              std::string::npos)
+        << dumped;
+}
+
+TEST(JobQueue, AdmissionRejectsWarmJobFailingVerification)
+{
+    // Poison the exact affinity key the job resolves to with a trace
+    // carrying a lifetime error: a verify-enabled job on that warm
+    // dataset must be rejected at admission with the "program" diag.
+    api::ArtifactStore::global().clear();
+    const std::string json =
+        R"({"version":1,"id":"poisoned","workload":"gpm",)"
+        R"("app":"T","dataset":"W","options":{"verify":true}})";
+    const auto parsed = api::parseJobSpec(json);
+    ASSERT_TRUE(parsed.ok());
+    const auto resolved = api::resolveJob(*parsed.spec);
+    ASSERT_TRUE(resolved.ok());
+    const std::string key = resolved.job->affinityKey;
+    ASSERT_FALSE(key.empty());
+    api::ArtifactStore::global().trace(
+        key, [](trace::TraceRecorder &rec) {
+            rec.begin();
+            const auto a = rec.streamLoad(
+                0x1000, 3, 0, std::vector<Key>{1, 2, 3});
+            rec.streamFree(a);
+            rec.streamFree(a); // double free: an error diagnostic
+            return std::uint64_t{0};
+        });
+
+    JobQueue queue(1);
+    auto f = queue.submitJson(json);
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const JobReport r = f.get();
+    EXPECT_FALSE(r.ok);
+    ASSERT_FALSE(r.errors.empty());
+    EXPECT_EQ(r.errors[0].field, "program");
+    EXPECT_NE(r.errors[0].message.find("double-free"),
+              std::string::npos)
+        << r.errors[0].message;
+
+    const api::JobQueueStats stats = queue.stats();
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.verifyRejected, 1u);
+    EXPECT_EQ(stats.pressureRejected, 0u);
+
+    // Drop the poisoned trace so later tests rebuild the real one.
+    api::ArtifactStore::global().clear();
+}
+
+TEST(JobQueue, AdmissionAdmitsUndeclaredJobsAndCachesVerdicts)
+{
+    // Jobs that declare no arch.sus budget are never pressure-
+    // rejected, and a warm verify-enabled job reuses the cached
+    // verdict instead of re-running the checker.
+    api::ArtifactStore::global().clear();
+    JobQueue queue(1);
+    const std::string job =
+        R"({"version":1,"workload":"gpm","app":"T","dataset":"W",)"
+        R"("options":{"verify":true}})";
+    EXPECT_TRUE(queue.submitJson(job).get().ok);
+    EXPECT_TRUE(queue.submitJson(job).get().ok);
+
+    const api::JobQueueStats stats = queue.stats();
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.pressureRejected, 0u);
+    EXPECT_EQ(stats.verifyRejected, 0u);
+    EXPECT_GE(stats.verifyChecked, 1u); // the warm second submit
+    EXPECT_GE(stats.verdictHits, 1u);   // re-check skipped
+    const std::string dumped = stats.toJsonValue().dump();
+    EXPECT_NE(dumped.find("\"verify\""), std::string::npos);
+    EXPECT_NE(dumped.find("\"verdict_hits\""), std::string::npos);
+}
+
+TEST(JobQueue, VerificationCachingKeepsResultsBitIdentical)
+{
+    // The acceptance invariant: results and cycles must be
+    // bit-identical whether the verdict cache is cold (checker runs)
+    // or warm (verified bit short-circuits the re-check).
+    const std::string job =
+        R"({"version":1,"workload":"gpm","app":"T","dataset":"W",)"
+        R"("options":{"verify":true}})";
+
+    api::ArtifactStore::global().clear();
+    JobQueue cold_queue(1);
+    const JobReport cold = cold_queue.submitJson(job).get();
+    ASSERT_TRUE(cold.ok);
+
+    JobQueue warm_queue(1); // verdict + trace + program all resident
+    const JobReport warm = warm_queue.submitJson(job).get();
+    ASSERT_TRUE(warm.ok);
+
+    ASSERT_TRUE(cold.comparison.has_value());
+    ASSERT_TRUE(warm.comparison.has_value());
+    EXPECT_EQ(warm.comparison->accelerated.cycles,
+              cold.comparison->accelerated.cycles);
+    EXPECT_EQ(warm.comparison->baseline.cycles,
+              cold.comparison->baseline.cycles);
+    EXPECT_EQ(warm.comparison->functionalResult,
+              cold.comparison->functionalResult);
+    EXPECT_EQ(warm.toJsonValue(false).dump(),
+              cold.toJsonValue(false).dump());
 }
 
 TEST(LatencyReservoir, BoundsMemoryAtCapacity)

@@ -28,8 +28,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/summary.hh"
 #include "analysis/trace_check.hh"
 #include "analysis/verifier.hh"
+#include "arch/config.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "isa/assembler.hh"
 #include "trace/compile.hh"
@@ -45,7 +48,15 @@ struct Cli
     bool werror = false;
     bool quiet = false;
     bool dumpCfg = false;
+    bool json = false;
+    bool summary = false;
+    bool costBounds = false;
     unsigned maxLive = isa::numStreamRegs;
+    /** Arch point the quantitative analyses run against (the JobSpec
+     *  arch override surface; Table-2 defaults otherwise). */
+    arch::SparseCoreConfig arch;
+
+    bool wantSummary() const { return summary || costBounds; }
 };
 
 int
@@ -64,6 +75,17 @@ usage(std::ostream &os, int code)
           "  --max-live N   live-stream capacity (default "
        << isa::numStreamRegs
        << ")\n"
+          "  --summary      quantitative summary per input: peak\n"
+          "                 live-stream pressure (+ profile in JSON)\n"
+          "                 and, for traces/SCBC, cost bounds\n"
+          "  --cost-bounds  print only the [lower, upper] simulated-\n"
+          "                 cycle interval (traces/SCBC)\n"
+          "  --json         one byte-stable JSON object per input on\n"
+          "                 stdout (diagnostics + any summary)\n"
+          "  --sus N        arch override: stream units\n"
+          "  --window N     arch override: SU comparator window\n"
+          "  --bandwidth N  arch override: aggregate stream bandwidth\n"
+          "  --nested 0|1   arch override: nested intersection\n"
           "  --dump-cfg     print each program's basic-block CFG\n"
           "  --list-rules   print the rule table and exit\n"
           "  --compile-bytecode <trace.bin> <out.scbc>\n"
@@ -160,9 +182,19 @@ dumpCfg(const isa::Program &program)
     }
 }
 
-/** Verify one input; returns its report or nullopt on a read/parse
+/** One input's analyses: the lifetime report plus, when requested,
+ *  the quantitative summary (pressure always; cost bounds only for
+ *  the trace forms, which carry the event stream the cost model
+ *  charges). */
+struct FileResult
+{
+    analysis::VerifyReport report;
+    std::optional<analysis::ProgramSummary> summary;
+};
+
+/** Verify one input; returns its analyses or nullopt on a read/parse
  *  failure (already reported to stderr). */
-std::optional<analysis::VerifyReport>
+std::optional<FileResult>
 checkFile(const Cli &cli, const std::string &path)
 {
     std::string bytes;
@@ -172,11 +204,16 @@ checkFile(const Cli &cli, const std::string &path)
     }
 
     try {
+        FileResult result;
         if (looksLikeTrace(bytes)) {
             const trace::Trace tr = trace::Trace::deserialize(bytes);
             analysis::StreamLifetimeChecker::Options options;
             options.maxLiveStreams = cli.maxLive;
-            return analysis::verifyTrace(tr, options);
+            result.report = analysis::verifyTrace(tr, options);
+            if (cli.wantSummary())
+                result.summary =
+                    analysis::summarizeTrace(tr, cli.arch);
+            return result;
         }
         if (looksLikeBytecode(bytes)) {
             const trace::BytecodeProgram bc =
@@ -185,7 +222,11 @@ checkFile(const Cli &cli, const std::string &path)
             options.maxLiveStreams = cli.maxLive;
             // Decode back to event order; both trace forms share one
             // checker, so coverage is identical.
-            return analysis::verifyBytecode(bc, options);
+            result.report = analysis::verifyBytecode(bc, options);
+            if (cli.wantSummary())
+                result.summary =
+                    analysis::summarizeBytecode(bc, cli.arch);
+            return result;
         }
         const isa::Program program = isa::assemble(bytes);
         if (cli.dumpCfg) {
@@ -194,11 +235,36 @@ checkFile(const Cli &cli, const std::string &path)
         }
         analysis::VerifyOptions options;
         options.maxLiveStreams = cli.maxLive;
-        return analysis::verify(program, options);
+        result.report = analysis::verify(program, options);
+        if (cli.wantSummary())
+            result.summary =
+                analysis::summarizeProgram(program, options);
+        return result;
     } catch (const SimError &e) {
         std::cerr << "scverify: " << path << ": " << e.what() << "\n";
         return std::nullopt;
     }
+}
+
+/** Human-readable summary lines (the JSON shape is the golden one;
+ *  this is the terminal view of the same numbers). */
+void
+printSummary(const Cli &cli, const std::string &path,
+             const analysis::ProgramSummary &summary)
+{
+    if (cli.summary)
+        std::cout << path << ": pressure max " << summary.maxPressure
+                  << " @ " << summary.maxPressurePc << " ("
+                  << (summary.pressureExact ? "exact" : "upper bound")
+                  << "), " << summary.defines << " defines / "
+                  << summary.frees << " frees over " << summary.points
+                  << " points\n";
+    if (summary.cost.valid)
+        std::cout << path << ": cost bounds [" << summary.cost.lower
+                  << ", " << summary.cost.upper << "] cycles\n";
+    else if (cli.costBounds)
+        std::cout << path
+                  << ": cost bounds unavailable (assembly input)\n";
 }
 
 } // namespace
@@ -225,11 +291,37 @@ main(int argc, char **argv)
             cli.quiet = true;
         } else if (arg == "--dump-cfg") {
             cli.dumpCfg = true;
+        } else if (arg == "--json") {
+            cli.json = true;
+        } else if (arg == "--summary") {
+            cli.summary = true;
+        } else if (arg == "--cost-bounds") {
+            cli.costBounds = true;
         } else if (arg == "--max-live") {
             if (i + 1 >= argc)
                 return usage(std::cerr, 2);
             cli.maxLive =
                 static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--sus") {
+            if (i + 1 >= argc)
+                return usage(std::cerr, 2);
+            cli.arch.numSus =
+                static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--window") {
+            if (i + 1 >= argc)
+                return usage(std::cerr, 2);
+            cli.arch.suWindow =
+                static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--bandwidth") {
+            if (i + 1 >= argc)
+                return usage(std::cerr, 2);
+            cli.arch.aggregateBandwidth =
+                static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--nested") {
+            if (i + 1 >= argc)
+                return usage(std::cerr, 2);
+            cli.arch.nestedIntersection =
+                std::stoul(argv[++i]) != 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "scverify: unknown option " << arg << "\n";
             return usage(std::cerr, 2);
@@ -249,21 +341,37 @@ main(int argc, char **argv)
     bool bad_input = false;
     bool failed = false;
     for (const std::string &path : cli.files) {
-        const auto report = checkFile(cli, path);
-        if (!report) {
+        const auto result = checkFile(cli, path);
+        if (!result) {
             bad_input = true;
             continue;
         }
-        for (const auto &d : report->diagnostics)
-            std::cout << path << ": " << d.format() << "\n";
+        const analysis::VerifyReport &report = result->report;
+        if (cli.json) {
+            // One byte-stable object per input (diagnostics already
+            // (pc, sid, rule)-sorted by the analyses) — what the
+            // check.sh golden diff pins.
+            JsonValue line = JsonValue::object();
+            line.set("file", JsonValue::str(path));
+            line.set("report", analysis::jsonValue(report));
+            if (result->summary)
+                line.set("summary",
+                         analysis::jsonValue(*result->summary));
+            std::cout << line.dump() << "\n";
+        } else {
+            for (const auto &d : report.diagnostics)
+                std::cout << path << ": " << d.format() << "\n";
+        }
         const bool fails =
-            report->hasErrors() ||
-            (cli.werror && report->warningCount() != 0);
+            report.hasErrors() ||
+            (cli.werror && report.warningCount() != 0);
         if (fails)
             failed = true;
-        else if (!cli.quiet)
+        else if (!cli.quiet && !cli.json)
             std::cout << path << ": OK ("
-                      << report->warningCount() << " warnings)\n";
+                      << report.warningCount() << " warnings)\n";
+        if (!cli.json && result->summary)
+            printSummary(cli, path, *result->summary);
     }
     if (bad_input)
         return 2;
